@@ -1,0 +1,156 @@
+//! Criterion microbenchmarks: the runtime costs that matter for a
+//! tuning daemon that wakes every 20 ms and must not perturb the
+//! application it tunes.
+//!
+//! * `daemon_tick` — one Algorithm 1 wake-up (the paper's overhead
+//!   claim rests on this being microseconds);
+//! * `exploration_advance` — one Algorithm 2 step;
+//! * `tipi_list` — node insertion with neighbour inheritance and
+//!   §4.5 propagation at AMG-like list sizes;
+//! * `engine_quantum` — one 20-core simulator quantum (the
+//!   reproduction's experiment throughput);
+//! * `scheduler_pull` — work-stealing chunk acquisition.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cuttlefish::daemon::Daemon;
+use cuttlefish::explore::Exploration;
+use cuttlefish::list::TipiList;
+use cuttlefish::{Config, TipiSlab};
+use simproc::engine::{Chunk, SimProcessor, Workload};
+use simproc::freq::{Freq, FreqDomain, HASWELL_2650V3};
+use simproc::perf::CostProfile;
+use simproc::profile::Sample;
+use std::hint::black_box;
+
+fn sample(tipi: f64, jpi: f64) -> Sample {
+    Sample {
+        tipi,
+        jpi,
+        instructions: 1_000_000,
+        joules: jpi * 1e6,
+        dt_ns: 20_000_000,
+    }
+}
+
+fn bench_daemon_tick(c: &mut Criterion) {
+    let core = FreqDomain::new(Freq(12), Freq(23));
+    let uncore = FreqDomain::new(Freq(12), Freq(30));
+    c.bench_function("daemon_tick_steady", |b| {
+        let mut d = Daemon::new(Config::default(), core.clone(), uncore.clone());
+        // Warm the daemon into the Done state for one slab.
+        for _ in 0..4000 {
+            d.tick(sample(0.065, 4.0));
+        }
+        b.iter(|| black_box(d.tick(sample(0.065, 4.0))));
+    });
+    c.bench_function("daemon_tick_exploring", |b| {
+        b.iter_batched(
+            || Daemon::new(Config::default(), core.clone(), uncore.clone()),
+            |mut d| {
+                for i in 0..64 {
+                    black_box(d.tick(sample(0.065, 4.0 + (i % 7) as f64 * 0.01)));
+                }
+                d
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    c.bench_function("exploration_advance", |b| {
+        b.iter_batched(
+            || Exploration::new(0, 11, 12, 10),
+            |mut e| {
+                for _ in 0..100 {
+                    let adv = e.advance();
+                    if e.opt().is_some() {
+                        break;
+                    }
+                    e.record(adv.next, 5.0 + adv.next as f64 * 0.1);
+                }
+                e
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_tipi_list(c: &mut Criterion) {
+    c.bench_function("tipi_list_insert_60_ranges", |b| {
+        b.iter(|| {
+            let mut list = TipiList::new();
+            // AMG-like: 60 distinct ranges arriving in scattered order.
+            for i in 0..60u32 {
+                let slab = TipiSlab((i * 37) % 83);
+                if list.get(slab).is_none() {
+                    list.insert(slab, 12, 10);
+                    list.propagate_cf(slab, true, true);
+                }
+            }
+            black_box(list.len())
+        });
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    struct Steady(Chunk);
+    impl Workload for Steady {
+        fn next_chunk(&mut self, _c: usize, _t: u64) -> Option<Chunk> {
+            Some(self.0.clone())
+        }
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+    c.bench_function("engine_quantum_20core", |b| {
+        let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut wl = Steady(
+            Chunk::new(1_000_000, 56_000, 8_000).with_profile(CostProfile::new(0.55, 12.0)),
+        );
+        b.iter(|| {
+            p.step(&mut wl);
+            black_box(p.now_ns())
+        });
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    use tasking::{TaskDag, WorkStealingScheduler};
+    fn wide_dag(n: usize) -> TaskDag {
+        let mut b = TaskDag::builder();
+        for _ in 0..n {
+            b.add_task(Chunk::new(100_000, 1000, 0));
+        }
+        b.build()
+    }
+    c.bench_function("worksteal_pull_10k_tasks", |b| {
+        b.iter_batched(
+            || WorkStealingScheduler::new(wide_dag(10_000), 20, 7),
+            |mut s| {
+                let mut handed = 0u64;
+                for core in (0..20).cycle() {
+                    if s.next_chunk(core, 0).is_none() {
+                        if s.is_done() {
+                            break;
+                        }
+                    } else {
+                        handed += 1;
+                    }
+                }
+                black_box(handed)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_daemon_tick,
+    bench_exploration,
+    bench_tipi_list,
+    bench_engine,
+    bench_scheduler
+);
+criterion_main!(benches);

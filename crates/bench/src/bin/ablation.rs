@@ -1,0 +1,193 @@
+//! Ablation studies of the Cuttlefish design choices (DESIGN.md).
+//!
+//! 1. **§4.4/§4.5 optimizations** — neighbour bound inheritance and
+//!    mid-exploration revalidation on/off, measured on AMG (the
+//!    benchmark with the most TIPI ranges, where the optimizations
+//!    matter most) and on the full suite geomean.
+//! 2. **§4.3 exploration strategy** — linear descent in steps of two
+//!    vs the modified binary search the paper argues against: probe
+//!    counts on synthetic JPI curves.
+//!
+//! Usage: `cargo run --release -p bench --bin ablation`
+
+use bench::{geomean_saving, render_table, run, saving_pct, Setup};
+use cuttlefish::explore::Exploration;
+use cuttlefish::{Config, Policy};
+use workloads::{openmp_suite, ProgModel};
+
+fn config_variant(inherit: bool, reval: bool) -> Config {
+    Config {
+        neighbor_inheritance: inherit,
+        revalidation: reval,
+        ..Config::default()
+    }
+}
+
+/// Probes needed by the step-of-two linear descent on a synthetic
+/// V-shaped JPI curve with minimum at `min_at` (12-level domain).
+fn linear_probes(min_at: usize) -> usize {
+    let curve = |l: usize| (l as f64 - min_at as f64).abs() + 1.0;
+    let mut e = Exploration::new(0, 11, 12, 1);
+    let mut probed = std::collections::BTreeSet::new();
+    for _ in 0..100 {
+        let adv = e.advance();
+        if e.opt().is_some() {
+            break;
+        }
+        probed.insert(adv.next);
+        e.record(adv.next, curve(adv.next));
+    }
+    probed.len()
+}
+
+/// Probes needed by the paper's §4.3 strawman: a binary search that
+/// must measure JPI at mid−1, mid, mid+1 to learn the slope direction
+/// at each split (JPI curves are V-shaped, not monotone, so a plain
+/// binary search does not apply).
+fn binary_probes(min_at: usize) -> usize {
+    let curve = |l: i64| (l as f64 - min_at as f64).abs() + 1.0;
+    let mut lo = 0i64;
+    let mut hi = 11i64;
+    let mut probed = std::collections::BTreeSet::new();
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        for m in [mid - 1, mid, mid + 1] {
+            if (0..=11).contains(&m) {
+                probed.insert(m);
+            }
+        }
+        let left = curve((mid - 1).max(0));
+        let right = curve((mid + 1).min(11));
+        if left < right {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    probed.insert(lo);
+    probed.insert(hi);
+    probed.len()
+}
+
+fn main() {
+    let scale = bench::harness_scale();
+    eprintln!("ablation: scale {:.2}", scale.0);
+
+    // ---- Part 1: §4.4/§4.5 on/off over the suite --------------------
+    let suite = openmp_suite(scale);
+    let bases: Vec<_> = suite
+        .iter()
+        .map(|b| run(b, Setup::Default, ProgModel::OpenMp, Config::default(), None))
+        .collect();
+
+    let mut rows = Vec::new();
+    for (label, inherit, reval) in [
+        ("full (paper)", true, true),
+        ("no §4.5 revalidation", true, false),
+        ("no §4.4 inheritance", false, true),
+        ("neither", false, false),
+    ] {
+        let cfg = config_variant(inherit, reval);
+        let mut e_savs = Vec::new();
+        let mut slows = Vec::new();
+        let mut amg_resolved = (0.0, 0.0);
+        for (b, base) in suite.iter().zip(&bases) {
+            let o = run(b, Setup::Cuttlefish(Policy::Both), ProgModel::OpenMp, cfg.clone(), None);
+            e_savs.push(saving_pct(base.joules, o.joules));
+            slows.push(-(o.seconds / base.seconds - 1.0) * 100.0);
+            if b.name == "AMG" {
+                amg_resolved = o.resolved;
+            }
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}%", geomean_saving(&e_savs)),
+            format!("{:.1}%", -geomean_saving(&slows)),
+            format!(
+                "{:.0}% / {:.0}%",
+                amg_resolved.0 * 100.0,
+                amg_resolved.1 * 100.0
+            ),
+        ]);
+    }
+    println!("§4.4/§4.5 ablation (suite geomeans; AMG = 60-range stress case):");
+    println!(
+        "{}",
+        render_table(
+            &["variant", "energy savings", "slowdown", "AMG resolved CF/UF"],
+            &rows
+        )
+    );
+
+    // ---- Part 2: DVFS vs DDCM at matched slowdown --------------------
+    // (The related-work comparison: duty-cycle modulation gates the
+    // clock at full voltage, so dynamic energy per instruction does not
+    // drop — DVFS wins at equal performance.)
+    {
+        use simproc::engine::{Chunk, SimProcessor, Workload};
+        use simproc::freq::{Freq, HASWELL_2650V3};
+        use simproc::perf::CostProfile;
+        struct N(usize, Chunk);
+        impl Workload for N {
+            fn next_chunk(&mut self, _c: usize, _t: u64) -> Option<Chunk> {
+                if self.0 == 0 {
+                    None
+                } else {
+                    self.0 -= 1;
+                    Some(self.1.clone())
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.0 == 0
+            }
+        }
+        let chunk =
+            Chunk::new(2_000_000, 1_600, 400).with_profile(CostProfile::new(0.9, 4.0));
+        let run = |cf: Option<Freq>, duty: Option<u32>| {
+            let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+            if let Some(f) = cf {
+                p.set_core_freq(f);
+            }
+            if let Some(d) = duty {
+                p.set_duty_all(d);
+            }
+            let mut wl = N(4000, chunk.clone());
+            let secs = p.run(&mut wl, |_| {});
+            (secs, p.total_energy_joules())
+        };
+        let base = run(None, None);
+        let dvfs = run(Some(Freq(12)), None);
+        let ddcm = run(None, Some(8)); // 2.3·8/16 ≈ 1.15 GHz effective
+        let mut rows = Vec::new();
+        for (label, (t, e)) in [("full speed", base), ("DVFS 1.2 GHz", dvfs), ("DDCM 8/16", ddcm)]
+        {
+            rows.push(vec![
+                label.to_string(),
+                format!("{t:.2}s"),
+                format!("{e:.0}J"),
+                format!("{:+.1}%", (1.0 - e / base.1) * 100.0),
+            ]);
+        }
+        println!("DVFS vs DDCM on a compute-bound kernel (equal ~2x slowdown):");
+        println!(
+            "{}",
+            render_table(&["actuator", "time", "energy", "vs full speed"], &rows)
+        );
+    }
+
+    // ---- Part 3: linear-by-two vs modified binary search ------------
+    let mut rows2 = Vec::new();
+    for min_at in [0usize, 3, 6, 9, 11] {
+        rows2.push(vec![
+            format!("minimum at level {min_at}"),
+            linear_probes(min_at).to_string(),
+            binary_probes(min_at).to_string(),
+        ]);
+    }
+    println!("§4.3 exploration strategy: probed levels on a 12-level domain");
+    println!("(paper: worst case 6 linear vs 8 binary):");
+    println!(
+        "{}",
+        render_table(&["JPI curve", "linear-by-two", "modified binary"], &rows2)
+    );
+}

@@ -1,0 +1,39 @@
+//! Debug utility: full per-slab report for one benchmark.
+//! Usage: `debug_report <bench-name> [scale]`
+
+use bench::{run, Setup};
+use cuttlefish::{Config, Policy};
+use workloads::{openmp_suite, ProgModel, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("SOR-ws");
+    let scale = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .map(Scale)
+        .unwrap_or(Scale(0.3));
+    let suite = openmp_suite(scale);
+    let b = suite
+        .iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let o = run(
+        b,
+        Setup::Cuttlefish(Policy::Both),
+        ProgModel::OpenMp,
+        Config::default(),
+        None,
+    );
+    println!("{name}: {:.2}s {:.0}J, resolved {:?}", o.seconds, o.joules, o.resolved);
+    for r in &o.report {
+        println!(
+            "  {:>13} {:6.2}% cf={:?} uf={:?} n={}",
+            r.label,
+            r.share * 100.0,
+            r.cf_opt.map(|f| f.ghz()),
+            r.uf_opt.map(|f| f.ghz()),
+            r.occurrences
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 10 — the headline evaluation (OpenMP benchmarks).
+//!
+//! Reproduces the three panels of the paper's Figure 10: for every
+//! OpenMP benchmark and each Cuttlefish policy, energy savings,
+//! execution-time degradation, and EDP savings relative to the Default
+//! execution (performance governor + firmware Auto uncore), plus the
+//! geometric means the abstract quotes (19.6 % / 3.6 % / 16.5 % for
+//! Cuttlefish at full scale).
+//!
+//! Usage: `cargo run --release -p bench --bin fig10`
+//! (`CUTTLEFISH_SCALE` scales run length; 1.0 = paper-length runs).
+
+use bench::{geomean_saving, render_table, run, saving_pct, RunOutcome, Setup};
+use cuttlefish::Config;
+use workloads::{openmp_suite, ProgModel};
+
+fn main() {
+    let scale = bench::harness_scale();
+    eprintln!("fig10: OpenMP suite at scale {:.2}", scale.0);
+
+    let suite = openmp_suite(scale);
+    let mut rows = Vec::new();
+    let mut by_setup: std::collections::BTreeMap<&str, Vec<(f64, f64, f64)>> =
+        Default::default();
+
+    for bench_def in &suite {
+        let base = run(
+            bench_def,
+            Setup::Default,
+            ProgModel::OpenMp,
+            Config::default(),
+            None,
+        );
+        for setup in [
+            Setup::Cuttlefish(cuttlefish::Policy::Both),
+            Setup::Cuttlefish(cuttlefish::Policy::CoreOnly),
+            Setup::Cuttlefish(cuttlefish::Policy::UncoreOnly),
+        ] {
+            let o: RunOutcome = run(bench_def, setup, ProgModel::OpenMp, Config::default(), None);
+            let e_sav = saving_pct(base.joules, o.joules);
+            let slow = (o.seconds / base.seconds - 1.0) * 100.0;
+            let edp_sav = saving_pct(base.edp(), o.edp());
+            by_setup.entry(o.setup).or_default().push((e_sav, slow, edp_sav));
+            rows.push(vec![
+                o.bench.clone(),
+                o.setup.to_string(),
+                format!("{e_sav:+.1}%"),
+                format!("{slow:+.1}%"),
+                format!("{edp_sav:+.1}%"),
+                format!("{:.1}", base.seconds),
+                format!("{:.1}", o.seconds),
+                format!("{:.0}", base.joules),
+                format!("{:.0}", o.joules),
+            ]);
+        }
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "setup",
+                "energy-sav",
+                "time-deg",
+                "EDP-sav",
+                "t_def(s)",
+                "t(s)",
+                "E_def(J)",
+                "E(J)",
+            ],
+            &rows
+        )
+    );
+
+    println!("Geometric means over the suite (paper: Cuttlefish 19.6% / 3.6% / 16.5%):");
+    for (setup, triples) in &by_setup {
+        let e: Vec<f64> = triples.iter().map(|t| t.0).collect();
+        let s: Vec<f64> = triples.iter().map(|t| -t.1).collect(); // slowdown = negative saving
+        let d: Vec<f64> = triples.iter().map(|t| t.2).collect();
+        println!(
+            "  {:>17}: energy {:+5.1}%  slowdown {:+5.1}%  EDP {:+5.1}%",
+            setup,
+            geomean_saving(&e),
+            -geomean_saving(&s),
+            geomean_saving(&d),
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 11 — the HClib (async–finish work-stealing) evaluation.
+//!
+//! Reproduces the paper's §5.2: the SOR and Heat variants executed
+//! under the HClib-style work-stealing runtime, each Cuttlefish policy
+//! vs the Default. The paper's claim — Cuttlefish is programming-model
+//! oblivious — shows as this figure matching Figure 10's results for
+//! the same benchmarks.
+//!
+//! Usage: `cargo run --release -p bench --bin fig11`
+
+use bench::{geomean_saving, render_table, run, saving_pct, Setup};
+use cuttlefish::Config;
+use workloads::{hclib_suite, ProgModel};
+
+fn main() {
+    let scale = bench::harness_scale();
+    eprintln!("fig11: HClib suite at scale {:.2}", scale.0);
+
+    let suite = hclib_suite(scale);
+    let mut rows = Vec::new();
+    let mut by_setup: std::collections::BTreeMap<&str, Vec<(f64, f64, f64)>> =
+        Default::default();
+
+    for bench_def in &suite {
+        let base = run(
+            bench_def,
+            Setup::Default,
+            ProgModel::HClib,
+            Config::default(),
+            None,
+        );
+        for setup in [
+            Setup::Cuttlefish(cuttlefish::Policy::Both),
+            Setup::Cuttlefish(cuttlefish::Policy::CoreOnly),
+            Setup::Cuttlefish(cuttlefish::Policy::UncoreOnly),
+        ] {
+            let o = run(bench_def, setup, ProgModel::HClib, Config::default(), None);
+            let e_sav = saving_pct(base.joules, o.joules);
+            let slow = (o.seconds / base.seconds - 1.0) * 100.0;
+            let edp_sav = saving_pct(base.edp(), o.edp());
+            by_setup.entry(o.setup).or_default().push((e_sav, slow, edp_sav));
+            rows.push(vec![
+                o.bench.clone(),
+                o.setup.to_string(),
+                format!("{e_sav:+.1}%"),
+                format!("{slow:+.1}%"),
+                format!("{edp_sav:+.1}%"),
+            ]);
+        }
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &["benchmark", "setup", "energy-sav", "time-deg", "EDP-sav"],
+            &rows
+        )
+    );
+    println!("Geometric means (compare with the same benchmarks in fig10 —");
+    println!("similarity across programming models is the paper's §5.2 claim):");
+    for (setup, triples) in &by_setup {
+        let e: Vec<f64> = triples.iter().map(|t| t.0).collect();
+        let s: Vec<f64> = triples.iter().map(|t| -t.1).collect();
+        let d: Vec<f64> = triples.iter().map(|t| t.2).collect();
+        println!(
+            "  {:>17}: energy {:+5.1}%  slowdown {:+5.1}%  EDP {:+5.1}%",
+            setup,
+            geomean_saving(&e),
+            -geomean_saving(&s),
+            geomean_saving(&d),
+        );
+    }
+}

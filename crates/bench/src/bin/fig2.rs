@@ -1,0 +1,81 @@
+//! Figure 2 — TIPI and JPI timelines.
+//!
+//! Reproduces both panels of the paper's Figure 2: for each of the six
+//! headline benchmarks run at maximum frequencies, the per-`Tinv` TIPI
+//! and JPI series over the execution timeline. Output is a CSV-like
+//! series (downsampled for readability) plus the correlation statistic
+//! the paper's analysis rests on ("for each benchmark, JPI increases
+//! with the increase in TIPI").
+//!
+//! Usage: `cargo run --release -p bench --bin fig2 [--csv]`
+
+use bench::{run, Setup, TracePoint};
+use cuttlefish::Config;
+use workloads::{openmp_suite, ProgModel};
+
+/// Pearson correlation between TIPI and JPI series.
+fn correlation(points: &[TracePoint]) -> f64 {
+    let n = points.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = points.iter().map(|p| p.tipi).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.jpi).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for p in points {
+        let dx = p.tipi - mx;
+        let dy = p.jpi - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let scale = bench::harness_scale();
+    eprintln!("fig2: timelines at max frequencies, scale {:.2}", scale.0);
+
+    // The paper plots UTS, SOR-irt, Heat-irt, MiniFE, HPCCG, AMG.
+    let wanted = ["UTS", "SOR-irt", "Heat-irt", "MiniFE", "HPCCG", "AMG"];
+    let suite = openmp_suite(scale);
+
+    for name in wanted {
+        let bench_def = suite.iter().find(|b| b.name == name).expect("known benchmark");
+        let mut trace = Vec::new();
+        let _ = run(
+            bench_def,
+            Setup::Default,
+            ProgModel::OpenMp,
+            Config::default(),
+            Some(&mut trace),
+        );
+        if csv {
+            println!("# {name}: t_s,tipi,jpi_nJ");
+            for p in &trace {
+                println!("{:.3},{:.5},{:.4}", p.t_s, p.tipi, p.jpi * 1e9);
+            }
+            continue;
+        }
+        let r = correlation(&trace);
+        println!("== {name}: {} samples, corr(TIPI, JPI) = {r:+.3}", trace.len());
+        // Downsample to ~16 display rows.
+        let step = (trace.len() / 16).max(1);
+        for p in trace.iter().step_by(step) {
+            let bar = "#".repeat((p.tipi * 400.0).min(60.0) as usize);
+            println!(
+                "  t={:6.2}s  TIPI {:.4}  JPI {:6.3} nJ  |{bar}",
+                p.t_s,
+                p.tipi,
+                p.jpi * 1e9
+            );
+        }
+    }
+}

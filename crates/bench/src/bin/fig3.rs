@@ -1,0 +1,154 @@
+//! Figure 3 — JPI of frequent TIPI ranges at fixed frequencies.
+//!
+//! Reproduces the motivating analysis of §3.2:
+//!
+//! * panel (a): uncore fixed at max (3.0 GHz), each benchmark run at
+//!   core frequencies min/mid/max (1.2 / 1.8 / 2.3 GHz);
+//! * panel (b): core fixed at max (2.3 GHz), uncore at min/mid/max
+//!   (1.2 / 2.1 / 3.0 GHz).
+//!
+//! For each run, the average JPI of the frequently occurring TIPI
+//! ranges (>10 % of samples) is reported. The paper's reading: for
+//! compute-bound benchmarks JPI falls with CF and rises with UF;
+//! memory-bound benchmarks behave exactly opposite, and even for them
+//! max uncore is not optimal.
+//!
+//! Usage: `cargo run --release -p bench --bin fig3`
+
+use bench::{render_table, TracePoint};
+use simproc::freq::{Freq, HASWELL_2650V3};
+use simproc::profile::{delta, CounterSnapshot};
+use simproc::SimProcessor;
+use std::collections::BTreeMap;
+use workloads::cache::slab_of;
+use workloads::{openmp_suite, Benchmark, ProgModel};
+
+/// Run at pinned frequencies, returning the Tinv trace.
+fn run_pinned(bench: &Benchmark, cf: Freq, uf: Freq) -> Vec<TracePoint> {
+    let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+    proc.set_core_freq(cf);
+    proc.set_uncore_freq(uf);
+    let mut wl = bench.instantiate(ProgModel::OpenMp, proc.n_cores(), 0xC0FFEE);
+    let mut points = Vec::new();
+    let mut quanta = 0u64;
+    let mut last = CounterSnapshot::capture(&proc).unwrap();
+    while !proc.workload_drained(wl.as_mut()) {
+        proc.step(wl.as_mut());
+        // Keep the pin (no governor runs).
+        quanta += 1;
+        if quanta.is_multiple_of(20) {
+            let now = CounterSnapshot::capture(&proc).unwrap();
+            if let Some(s) = delta(&last, &now) {
+                points.push(TracePoint {
+                    t_s: proc.now_seconds(),
+                    tipi: s.tipi,
+                    jpi: s.jpi,
+                    cf_ghz: cf.ghz(),
+                    uf_ghz: uf.ghz(),
+                    watts: proc.last_quantum().power_watts,
+                });
+            }
+            last = now;
+        }
+    }
+    points
+}
+
+/// Mean JPI over the frequent slabs of a trace, as (label, jpi) pairs.
+fn frequent_jpi(points: &[TracePoint]) -> Vec<(String, f64)> {
+    let mut by_slab: BTreeMap<u32, (u64, f64)> = BTreeMap::new();
+    for p in points {
+        let e = by_slab.entry(slab_of(p.tipi)).or_default();
+        e.0 += 1;
+        e.1 += p.jpi;
+    }
+    let total: u64 = by_slab.values().map(|v| v.0).sum();
+    by_slab
+        .into_iter()
+        .filter(|(_, (n, _))| *n as f64 > total as f64 * 0.10)
+        .map(|(slab, (n, sum))| {
+            let lo = slab as f64 * 0.004;
+            (format!("{:.3}-{:.3}", lo, lo + 0.004), sum / n as f64)
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = bench::harness_scale();
+    eprintln!("fig3: fixed-frequency JPI sweeps at scale {:.2}", scale.0);
+
+    let wanted = ["UTS", "SOR-irt", "Heat-irt", "MiniFE", "HPCCG", "AMG"];
+    let suite = openmp_suite(scale);
+
+    let cf_points = [Freq(12), Freq(18), Freq(23)];
+    let uf_points = [Freq(12), Freq(21), Freq(30)];
+
+    let mut rows_a = Vec::new();
+    let mut rows_b = Vec::new();
+    for name in wanted {
+        let bench_def = suite.iter().find(|b| b.name == name).expect("known");
+        // Panel (a): UF = max, CF sweep.
+        let jpis_a: Vec<Vec<(String, f64)>> = cf_points
+            .iter()
+            .map(|&cf| frequent_jpi(&run_pinned(bench_def, cf, Freq(30))))
+            .collect();
+        for (label, _) in &jpis_a[2] {
+            let cells: Vec<String> = jpis_a
+                .iter()
+                .map(|j| {
+                    j.iter()
+                        .find(|(l, _)| l == label)
+                        .map(|(_, v)| format!("{:.3}", v * 1e9))
+                        .unwrap_or("-".into())
+                })
+                .collect();
+            rows_a.push(vec![
+                name.to_string(),
+                label.clone(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+            ]);
+        }
+        // Panel (b): CF = max, UF sweep.
+        let jpis_b: Vec<Vec<(String, f64)>> = uf_points
+            .iter()
+            .map(|&uf| frequent_jpi(&run_pinned(bench_def, Freq(23), uf)))
+            .collect();
+        for (label, _) in &jpis_b[2] {
+            let cells: Vec<String> = jpis_b
+                .iter()
+                .map(|j| {
+                    j.iter()
+                        .find(|(l, _)| l == label)
+                        .map(|(_, v)| format!("{:.3}", v * 1e9))
+                        .unwrap_or("-".into())
+                })
+                .collect();
+            rows_b.push(vec![
+                name.to_string(),
+                label.clone(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+            ]);
+        }
+    }
+
+    println!("Panel (a): UF = 3.0 GHz, JPI (nJ/instr) at CF = 1.2 / 1.8 / 2.3 GHz");
+    println!(
+        "{}",
+        render_table(
+            &["benchmark", "TIPI range", "CF=1.2", "CF=1.8", "CF=2.3"],
+            &rows_a
+        )
+    );
+    println!("Panel (b): CF = 2.3 GHz, JPI (nJ/instr) at UF = 1.2 / 2.1 / 3.0 GHz");
+    println!(
+        "{}",
+        render_table(
+            &["benchmark", "TIPI range", "UF=1.2", "UF=2.1", "UF=3.0"],
+            &rows_b
+        )
+    );
+}

@@ -1,0 +1,66 @@
+//! Frequency-residency / exploration-cost analysis.
+//!
+//! For each benchmark under Cuttlefish: the share of execution time
+//! spent at the final optimal operating point versus exploring, and
+//! the top operating points by residency. This quantifies the §4
+//! claim that the runtime optimizations make exploration cheap — the
+//! run should spend the overwhelming majority of its time at the
+//! optimum despite starting with no prior information.
+//!
+//! Usage: `cargo run --release -p bench --bin residency`
+
+use bench::render_table;
+use cuttlefish::driver::CuttlefishDriver;
+use cuttlefish::Config;
+use simproc::freq::HASWELL_2650V3;
+use simproc::SimProcessor;
+use workloads::{openmp_suite, ProgModel};
+
+fn main() {
+    let scale = bench::harness_scale();
+    eprintln!("residency: scale {:.2}", scale.0);
+
+    let mut rows = Vec::new();
+    for bench_def in &openmp_suite(scale) {
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut driver = CuttlefishDriver::new(&proc, Config::default());
+        let mut wl = bench_def.instantiate(ProgModel::OpenMp, proc.n_cores(), 0xC0FFEE);
+        while !proc.workload_drained(wl.as_mut()) {
+            proc.step(wl.as_mut());
+            driver.on_quantum(&mut proc);
+        }
+        let total_ns: u64 = proc.frequency_residency().values().sum();
+        let mut pairs: Vec<((u32, u32), u64)> = proc
+            .frequency_residency()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        pairs.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
+        let (top, top_ns) = pairs[0];
+        let distinct = pairs.len();
+        let top3: f64 = pairs.iter().take(3).map(|&(_, v)| v as f64).sum::<f64>()
+            / total_ns as f64;
+        rows.push(vec![
+            bench_def.name.clone(),
+            format!("{:.1}/{:.1}", top.0 as f64 / 10.0, top.1 as f64 / 10.0),
+            format!("{:.1}%", top_ns as f64 / total_ns as f64 * 100.0),
+            format!("{:.1}%", top3 * 100.0),
+            distinct.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "dominant CF/UF",
+                "time there",
+                "top-3 points",
+                "distinct points",
+            ],
+            &rows
+        )
+    );
+    println!("\n('time there' ≈ 1 − exploration+warm-up share; the paper's");
+    println!("optimizations exist to push it toward 100% even for AMG's ~60 ranges)");
+}

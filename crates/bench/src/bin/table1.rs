@@ -1,0 +1,72 @@
+//! Table 1 — benchmark characterization.
+//!
+//! Runs every OpenMP benchmark under the Default setup and reports the
+//! columns of the paper's Table 1: execution time, observed TIPI range,
+//! number of distinct TIPI slabs, and number of frequent slabs (>10 %
+//! of `Tinv` samples).
+//!
+//! Usage: `cargo run --release -p bench --bin table1`
+
+use bench::{render_table, run, Setup};
+use cuttlefish::Config;
+use std::collections::BTreeMap;
+use workloads::cache::slab_of;
+use workloads::{openmp_suite, ProgModel};
+
+fn main() {
+    let scale = bench::harness_scale();
+    eprintln!("table1: OpenMP suite at scale {:.2}", scale.0);
+
+    let mut rows = Vec::new();
+    for bench_def in &openmp_suite(scale) {
+        let mut trace = Vec::new();
+        let o = run(
+            bench_def,
+            Setup::Default,
+            ProgModel::OpenMp,
+            Config::default(),
+            Some(&mut trace),
+        );
+        let mut slabs: BTreeMap<u32, u64> = BTreeMap::new();
+        for p in &trace {
+            *slabs.entry(slab_of(p.tipi)).or_default() += 1;
+        }
+        let total: u64 = slabs.values().sum();
+        let frequent = slabs
+            .values()
+            .filter(|&&n| n as f64 > total as f64 * 0.10)
+            .count();
+        let tipi_lo = trace.iter().map(|p| p.tipi).fold(f64::INFINITY, f64::min);
+        let tipi_hi = trace.iter().map(|p| p.tipi).fold(0.0, f64::max);
+        rows.push(vec![
+            o.bench.clone(),
+            bench_def.style.suffix().to_string(),
+            format!("{:.1}", o.seconds),
+            format!("{:.1}", bench_def.paper_time_s * scale.0),
+            format!("{tipi_lo:.3}-{tipi_hi:.3}"),
+            format!(
+                "{:.3}-{:.3}",
+                bench_def.paper_tipi_range.0, bench_def.paper_tipi_range.1
+            ),
+            slabs.len().to_string(),
+            frequent.to_string(),
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "style",
+                "time(s)",
+                "paper(s)",
+                "TIPI range",
+                "paper range",
+                "slabs",
+                "frequent",
+            ],
+            &rows
+        )
+    );
+}

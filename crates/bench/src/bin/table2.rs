@@ -1,0 +1,99 @@
+//! Table 2 — per-benchmark frequency assignments.
+//!
+//! For every OpenMP benchmark: the fraction of distinct TIPI ranges
+//! whose CFopt/UFopt were resolved, and for each *frequent* TIPI range
+//! (>10 % of samples) the CFopt and UFopt Cuttlefish chose, versus the
+//! Default execution's settings (CF pinned 2.3; firmware uncore 2.2
+//! for compute-bound, 3.0 for memory-bound).
+//!
+//! Usage: `cargo run --release -p bench --bin table2`
+
+use bench::{render_table, run, Setup};
+use cuttlefish::{Config, Policy};
+use workloads::{openmp_suite, ProgModel};
+
+fn main() {
+    let scale = bench::harness_scale();
+    eprintln!("table2: OpenMP suite at scale {:.2}", scale.0);
+
+    let suite = openmp_suite(scale);
+    let mut rows = Vec::new();
+
+    for bench_def in &suite {
+        // Default run to observe the firmware's uncore choice.
+        let mut trace = Vec::new();
+        let _ = run(
+            bench_def,
+            Setup::Default,
+            ProgModel::OpenMp,
+            Config::default(),
+            Some(&mut trace),
+        );
+        // Modal uncore frequency over the run (the firmware's settled
+        // point; the last sample can catch a phase dip).
+        let default_uf = {
+            let mut counts: std::collections::BTreeMap<u32, u32> = Default::default();
+            for p in &trace {
+                *counts.entry((p.uf_ghz * 10.0).round() as u32).or_default() += 1;
+            }
+            counts
+                .into_iter()
+                .max_by_key(|&(_, n)| n)
+                .map(|(r, _)| r as f64 / 10.0)
+                .unwrap_or(f64::NAN)
+        };
+
+        let o = run(
+            bench_def,
+            Setup::Cuttlefish(Policy::Both),
+            ProgModel::OpenMp,
+            Config::default(),
+            None,
+        );
+        let (cf_frac, uf_frac) = o.resolved;
+        let mut first = true;
+        for r in o.report.iter().filter(|r| r.is_frequent()) {
+            rows.push(vec![
+                if first { o.bench.clone() } else { String::new() },
+                if first {
+                    format!("{:.0}% / {:.0}%", cf_frac * 100.0, uf_frac * 100.0)
+                } else {
+                    String::new()
+                },
+                format!("{} ({:.0}%)", r.label, r.share * 100.0),
+                r.cf_opt.map(|f| format!("{:.1}", f.ghz())).unwrap_or("-".into()),
+                r.uf_opt.map(|f| format!("{:.1}", f.ghz())).unwrap_or("-".into()),
+                "2.3".into(),
+                format!("{default_uf:.1}"),
+            ]);
+            first = false;
+        }
+        if first {
+            rows.push(vec![
+                o.bench.clone(),
+                format!("{:.0}% / {:.0}%", cf_frac * 100.0, uf_frac * 100.0),
+                "(no frequent range)".into(),
+                "-".into(),
+                "-".into(),
+                "2.3".into(),
+                format!("{default_uf:.1}"),
+            ]);
+        }
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "resolved CF/UF",
+                "frequent TIPI range",
+                "CFopt",
+                "UFopt",
+                "Def CF",
+                "Def UF",
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,48 @@
+//! Table 3 — sensitivity to the profiling interval `Tinv`.
+//!
+//! Geomean energy savings and slowdown over the OpenMP suite for
+//! `Tinv` ∈ {10, 20, 40, 60} ms. The paper's trend: larger `Tinv`
+//! slightly reduces both savings and slowdown (exploration takes
+//! longer, so more time runs at the higher pre-optimum frequencies);
+//! 20 ms is chosen as the default.
+//!
+//! Usage: `cargo run --release -p bench --bin table3`
+
+use bench::{geomean_saving, render_table, run, saving_pct, Setup};
+use cuttlefish::{Config, Policy};
+use workloads::{openmp_suite, ProgModel};
+
+fn main() {
+    let scale = bench::harness_scale();
+    eprintln!("table3: Tinv sensitivity at scale {:.2}", scale.0);
+
+    let suite = openmp_suite(scale);
+    // Default runs are Tinv-independent: measure once.
+    let bases: Vec<_> = suite
+        .iter()
+        .map(|b| run(b, Setup::Default, ProgModel::OpenMp, Config::default(), None))
+        .collect();
+
+    let mut rows = Vec::new();
+    for tinv_ms in [10u64, 20, 40, 60] {
+        let cfg = Config::default().with_tinv_ms(tinv_ms);
+        let mut e_savs = Vec::new();
+        let mut slows = Vec::new();
+        for (b, base) in suite.iter().zip(&bases) {
+            let o = run(b, Setup::Cuttlefish(Policy::Both), ProgModel::OpenMp, cfg.clone(), None);
+            e_savs.push(saving_pct(base.joules, o.joules));
+            slows.push(-(o.seconds / base.seconds - 1.0) * 100.0);
+        }
+        rows.push(vec![
+            format!("{tinv_ms}ms"),
+            format!("{:.1}%", geomean_saving(&e_savs)),
+            format!("{:.1}%", -geomean_saving(&slows)),
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(&["T_inv", "energy savings", "slowdown"], &rows)
+    );
+    println!("(paper: 10ms 19.5%/4.1%, 20ms 19.4%/3.6%, 40ms 18.8%/2.9%, 60ms 17.8%/2.9%)");
+}

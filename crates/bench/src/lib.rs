@@ -1,0 +1,285 @@
+//! Evaluation harness shared by the table/figure regenerators.
+//!
+//! One entry point, [`run`], executes a benchmark on the simulated
+//! 20-core machine under one of the paper's four configurations
+//! ([`Setup`]) and returns measured energy / time / frequency
+//! assignments. Everything downstream — savings percentages, EDP,
+//! geometric means, trace series — is arithmetic over [`RunOutcome`]s.
+
+use cuttlefish::driver::CuttlefishDriver;
+use cuttlefish::{Config, Policy};
+use simproc::freq::HASWELL_2650V3;
+use simproc::governor::DefaultGovernor;
+use simproc::profile::{delta, CounterSnapshot};
+use simproc::SimProcessor;
+use workloads::{Benchmark, ProgModel};
+
+/// The four execution configurations of the paper's Figures 10/11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Setup {
+    /// `performance` governor + firmware Auto uncore.
+    Default,
+    /// A Cuttlefish policy.
+    Cuttlefish(Policy),
+}
+
+impl Setup {
+    /// The paper's four setups in presentation order.
+    pub fn all() -> [Setup; 4] {
+        [
+            Setup::Default,
+            Setup::Cuttlefish(Policy::Both),
+            Setup::Cuttlefish(Policy::CoreOnly),
+            Setup::Cuttlefish(Policy::UncoreOnly),
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Setup::Default => "Default",
+            Setup::Cuttlefish(p) => p.name(),
+        }
+    }
+}
+
+/// Measurements from one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Benchmark name.
+    pub bench: String,
+    /// Setup used.
+    pub setup: &'static str,
+    /// Virtual execution time, seconds.
+    pub seconds: f64,
+    /// Package energy, joules.
+    pub joules: f64,
+    /// Instructions retired.
+    pub instructions: f64,
+    /// Per-TIPI-range report from the Cuttlefish daemon, if one ran.
+    pub report: Vec<cuttlefish::daemon::NodeReport>,
+    /// Fractions of distinct ranges with resolved (CFopt, UFopt).
+    pub resolved: (f64, f64),
+}
+
+impl RunOutcome {
+    /// Energy-delay product, J·s.
+    pub fn edp(&self) -> f64 {
+        self.joules * self.seconds
+    }
+
+    /// Joules per instruction.
+    pub fn jpi(&self) -> f64 {
+        self.joules / self.instructions.max(1.0)
+    }
+}
+
+/// One (time, tipi, jpi, cf, uf, watts) trace point (Fig. 2 series).
+#[derive(Debug, Clone, Copy)]
+pub struct TracePoint {
+    pub t_s: f64,
+    pub tipi: f64,
+    pub jpi: f64,
+    pub cf_ghz: f64,
+    pub uf_ghz: f64,
+    pub watts: f64,
+}
+
+/// Run `bench` under `setup`; optionally collect a `Tinv`-rate trace.
+pub fn run(
+    bench: &Benchmark,
+    setup: Setup,
+    model: ProgModel,
+    cfg: Config,
+    mut trace: Option<&mut Vec<TracePoint>>,
+) -> RunOutcome {
+    let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+    let mut wl = bench.instantiate(model, proc.n_cores(), 0xC0FFEE);
+
+    let mut governor = DefaultGovernor::new();
+    let mut driver = match setup {
+        Setup::Default => None,
+        Setup::Cuttlefish(policy) => {
+            Some(CuttlefishDriver::new(&proc, cfg.with_policy(policy)))
+        }
+    };
+
+    let mut quanta = 0u64;
+    let mut last = CounterSnapshot::capture(&proc).expect("counters readable");
+    let start_e = proc.total_energy_joules();
+    let start_t = proc.now_ns();
+
+    while !proc.workload_drained(wl.as_mut()) {
+        proc.step(wl.as_mut());
+        match &mut driver {
+            Some(d) => d.on_quantum(&mut proc),
+            None => governor.on_quantum(&mut proc),
+        }
+        quanta += 1;
+        if let Some(points) = trace.as_deref_mut() {
+            if quanta.is_multiple_of(20) {
+                let now = CounterSnapshot::capture(&proc).expect("counters readable");
+                if let Some(s) = delta(&last, &now) {
+                    points.push(TracePoint {
+                        t_s: proc.now_seconds(),
+                        tipi: s.tipi,
+                        jpi: s.jpi,
+                        cf_ghz: proc.core_freq().ghz(),
+                        uf_ghz: proc.uncore_freq().ghz(),
+                        watts: proc.last_quantum().power_watts,
+                    });
+                }
+                last = now;
+            }
+        }
+    }
+
+    let (report, resolved) = match &driver {
+        Some(d) => (d.daemon().report(), d.daemon().resolved_fractions()),
+        None => (Vec::new(), (0.0, 0.0)),
+    };
+
+    RunOutcome {
+        bench: bench.name.clone(),
+        setup: setup.name(),
+        seconds: (proc.now_ns() - start_t) as f64 * 1e-9,
+        joules: proc.total_energy_joules() - start_e,
+        instructions: proc.total_instructions(),
+        report,
+        resolved,
+    }
+}
+
+/// Percentage saving of `tuned` relative to `base` (positive = tuned
+/// is better/lower).
+pub fn saving_pct(base: f64, tuned: f64) -> f64 {
+    (1.0 - tuned / base) * 100.0
+}
+
+/// Geometric mean of ratios expressed as savings percentages.
+///
+/// The paper reports geomean savings across benchmarks; each saving
+/// `s%` corresponds to a ratio `1 − s/100`, and the geomean of the
+/// ratios is converted back to a percentage.
+pub fn geomean_saving(savings_pct: &[f64]) -> f64 {
+    if savings_pct.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = savings_pct.iter().map(|s| (1.0 - s / 100.0).ln()).sum();
+    (1.0 - (log_sum / savings_pct.len() as f64).exp()) * 100.0
+}
+
+/// Render a fixed-width table (plain text, like the paper's artifacts).
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Scale for harness binaries: `CUTTLEFISH_SCALE` env var, default 1.0
+/// (the paper's full-length runs).
+pub fn harness_scale() -> workloads::Scale {
+    let s = std::env::var("CUTTLEFISH_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    workloads::Scale(s.clamp(0.01, 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Scale;
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        // Ratios 0.8 and 0.9 → geomean √0.72 ≈ 0.8485 → 15.15% saving.
+        let g = geomean_saving(&[20.0, 10.0]);
+        assert!((g - 15.147).abs() < 0.01, "got {g}");
+        assert_eq!(geomean_saving(&[]), 0.0);
+        // Negative savings (losses) are handled.
+        let g2 = geomean_saving(&[-10.0, 10.0]);
+        assert!(g2.abs() < 0.6, "symmetric gains/losses nearly cancel, got {g2}");
+    }
+
+    #[test]
+    fn saving_pct_signs() {
+        assert!((saving_pct(100.0, 80.0) - 20.0).abs() < 1e-12);
+        assert!((saving_pct(100.0, 110.0) + 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_table_aligns() {
+        let t = render_table(
+            &["name", "x"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("1.0"));
+    }
+
+    #[test]
+    fn default_and_cuttlefish_runs_complete() {
+        let suite = workloads::openmp_suite(Scale(0.05));
+        let uts = &suite[0];
+        let d = run(uts, Setup::Default, ProgModel::OpenMp, Config::default(), None);
+        assert!(d.seconds > 0.0 && d.joules > 0.0);
+        let c = run(
+            uts,
+            Setup::Cuttlefish(Policy::Both),
+            ProgModel::OpenMp,
+            Config::default(),
+            None,
+        );
+        assert!(c.seconds > 0.0 && c.joules > 0.0);
+        assert!(!c.report.is_empty(), "daemon must have discovered ranges");
+    }
+
+    #[test]
+    fn trace_collection_samples_at_tinv() {
+        let suite = workloads::openmp_suite(Scale(0.05));
+        let mut points = Vec::new();
+        let o = run(
+            &suite[1],
+            Setup::Default,
+            ProgModel::OpenMp,
+            Config::default(),
+            Some(&mut points),
+        );
+        // ~1 point per 20 ms of virtual time.
+        let expect = o.seconds / 0.020;
+        assert!(
+            (points.len() as f64) > expect * 0.8 && (points.len() as f64) < expect * 1.2,
+            "expected ~{expect} points, got {}",
+            points.len()
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Bulk-synchronous application and communication models.
+
+use simproc::engine::Chunk;
+
+/// α–β model for the inter-node exchange after every superstep.
+#[derive(Debug, Clone)]
+pub struct CommModel {
+    /// Per-message latency (software + NIC + switch), seconds.
+    pub alpha_s: f64,
+    /// Exchanged bytes per node per superstep.
+    pub bytes: f64,
+    /// Network bandwidth per node, bytes/second.
+    pub bandwidth: f64,
+}
+
+impl Default for CommModel {
+    fn default() -> Self {
+        // A halo exchange of a few MB over 100 Gb/s class fabric.
+        CommModel {
+            alpha_s: 10.0e-6,
+            bytes: 4.0e6,
+            bandwidth: 12.0e9,
+        }
+    }
+}
+
+impl CommModel {
+    /// Wall time of one exchange.
+    pub fn exchange_seconds(&self) -> f64 {
+        self.alpha_s + self.bytes / self.bandwidth
+    }
+}
+
+/// A bulk-synchronous application: for each superstep, each node's
+/// local computation expressed as chunks (executed work-sharing across
+/// the node's cores).
+#[derive(Debug, Clone)]
+pub struct BspApp {
+    /// `steps[s][node]` = that node's chunk list in superstep `s`.
+    pub steps: Vec<Vec<Vec<Chunk>>>,
+}
+
+impl BspApp {
+    /// Uniform app: every node gets the same chunks each superstep.
+    pub fn uniform(n_nodes: usize, n_steps: usize, make: impl Fn() -> Vec<Chunk>) -> Self {
+        BspApp {
+            steps: (0..n_steps)
+                .map(|_| (0..n_nodes).map(|_| make()).collect())
+                .collect(),
+        }
+    }
+
+    /// Imbalanced app: node `slow` gets `factor`× the chunks of the
+    /// others — the §4.6 slack scenario.
+    pub fn imbalanced(
+        n_nodes: usize,
+        n_steps: usize,
+        slow: usize,
+        factor: usize,
+        make: impl Fn() -> Vec<Chunk>,
+    ) -> Self {
+        assert!(slow < n_nodes && factor >= 1);
+        BspApp {
+            steps: (0..n_steps)
+                .map(|_| {
+                    (0..n_nodes)
+                        .map(|node| {
+                            let mut chunks = make();
+                            if node == slow {
+                                let extra: Vec<Chunk> = (1..factor)
+                                    .flat_map(|_| make())
+                                    .collect();
+                                chunks.extend(extra);
+                            }
+                            chunks
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of nodes the app addresses.
+    pub fn n_nodes(&self) -> usize {
+        self.steps.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Number of supersteps.
+    pub fn n_steps(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// Aggregate result of a cluster run.
+#[derive(Debug, Clone)]
+pub struct BspOutcome {
+    /// Wall time (the slowest node per superstep, plus exchanges).
+    pub seconds: f64,
+    /// Total energy across all nodes.
+    pub joules: f64,
+    /// Per-node energies.
+    pub node_joules: Vec<f64>,
+    /// Per-node busy (non-barrier-wait) seconds.
+    pub node_busy_s: Vec<f64>,
+    /// Total seconds nodes spent waiting at superstep barriers.
+    pub barrier_wait_s: f64,
+}
+
+impl BspOutcome {
+    /// Energy-delay product.
+    pub fn edp(&self) -> f64 {
+        self.joules * self.seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_model_time() {
+        let c = CommModel::default();
+        let t = c.exchange_seconds();
+        assert!(t > c.alpha_s);
+        assert!((t - (10.0e-6 + 4.0e6 / 12.0e9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_app_shape() {
+        let app = BspApp::uniform(4, 7, || vec![Chunk::new(1000, 10, 2)]);
+        assert_eq!(app.n_nodes(), 4);
+        assert_eq!(app.n_steps(), 7);
+        for step in &app.steps {
+            for node in step {
+                assert_eq!(node.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn imbalanced_app_loads_one_node() {
+        let app = BspApp::imbalanced(4, 3, 2, 3, || vec![Chunk::new(1000, 10, 2)]);
+        for step in &app.steps {
+            assert_eq!(step[0].len(), 1);
+            assert_eq!(step[2].len(), 3, "slow node gets factor x chunks");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # cluster — MPI+X-style execution with per-node Cuttlefish
+//!
+//! Section 4.6 of the paper scopes Cuttlefish to single-node parallel
+//! regions of MPI+X programs: one process per node doing inter-node
+//! communication, a multithreaded runtime (OpenMP/HClib) inside each
+//! node, and one Cuttlefish instance per node tuning its own package.
+//! The paper notes the limitation this crate makes measurable:
+//! Cuttlefish does **not** reclaim inter-node slack — a node that
+//! finishes its superstep early waits at the tuned frequencies rather
+//! than slowing down to arrive just-in-time (the Adagio-style
+//! optimization the paper leaves to future work).
+//!
+//! The model is bulk-synchronous: every superstep, each node computes
+//! its local region, then all nodes synchronize and exchange halos
+//! (α–β communication model). Each node is a full [`simproc::SimProcessor`]
+//! with its own MSR file and optional [`cuttlefish::driver::CuttlefishDriver`]; node
+//! daemons see only their local counters, exactly as real per-node
+//! instances would.
+//!
+//! ```
+//! use cluster::{BspApp, Cluster, CommModel, NodePolicy};
+//! use simproc::engine::Chunk;
+//!
+//! // 2 nodes, 3 supersteps, balanced work.
+//! let app = BspApp::uniform(2, 3, || vec![Chunk::new(2_000_000, 130_000, 56_000)]);
+//! let mut cluster = Cluster::new(2, NodePolicy::Default, CommModel::default());
+//! let outcome = cluster.run(&app);
+//! assert!(outcome.seconds > 0.0 && outcome.joules > 0.0);
+//! ```
+
+pub mod bsp;
+pub mod node;
+
+pub use bsp::{BspApp, BspOutcome, CommModel};
+pub use node::{Cluster, NodePolicy};

@@ -1,0 +1,284 @@
+//! Cluster simulation: N simulated packages in bulk-synchronous
+//! lockstep, each with its own frequency controller.
+
+use crate::bsp::{BspApp, BspOutcome, CommModel};
+use cuttlefish::driver::CuttlefishDriver;
+use cuttlefish::Config;
+use simproc::engine::{Chunk, Workload};
+use simproc::freq::HASWELL_2650V3;
+use simproc::governor::DefaultGovernor;
+use simproc::SimProcessor;
+use tasking::{Region, WorkSharingScheduler};
+
+/// Frequency policy per node.
+#[derive(Debug, Clone)]
+pub enum NodePolicy {
+    /// `performance` governor + firmware uncore on every node.
+    Default,
+    /// One Cuttlefish instance per node with this configuration.
+    Cuttlefish(Config),
+}
+
+enum Controller {
+    Default(DefaultGovernor),
+    Cuttlefish(CuttlefishDriver),
+}
+
+struct Node {
+    proc: SimProcessor,
+    ctrl: Controller,
+    busy_s: f64,
+}
+
+/// Nothing to run: models barrier wait / communication windows (cores
+/// idle; the package still burns its floor power; per-node Cuttlefish
+/// daemons skip the interval because no instructions retire).
+struct Idle;
+impl Workload for Idle {
+    fn next_chunk(&mut self, _c: usize, _t: u64) -> Option<Chunk> {
+        None
+    }
+    fn is_done(&self) -> bool {
+        true
+    }
+}
+
+/// A simulated cluster.
+pub struct Cluster {
+    nodes: Vec<Node>,
+    comm: CommModel,
+}
+
+impl Cluster {
+    /// Build `n_nodes` Haswell nodes under `policy`.
+    pub fn new(n_nodes: usize, policy: NodePolicy, comm: CommModel) -> Self {
+        assert!(n_nodes > 0);
+        let nodes = (0..n_nodes)
+            .map(|_| {
+                let proc = SimProcessor::new(HASWELL_2650V3.clone());
+                let ctrl = match &policy {
+                    NodePolicy::Default => Controller::Default(DefaultGovernor::new()),
+                    NodePolicy::Cuttlefish(cfg) => {
+                        Controller::Cuttlefish(CuttlefishDriver::new(&proc, cfg.clone()))
+                    }
+                };
+                Node {
+                    proc,
+                    ctrl,
+                    busy_s: 0.0,
+                }
+            })
+            .collect();
+        Cluster { nodes, comm }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Per-node Cuttlefish reports (empty under the Default policy).
+    pub fn reports(&self) -> Vec<Vec<cuttlefish::daemon::NodeReport>> {
+        self.nodes
+            .iter()
+            .map(|n| match &n.ctrl {
+                Controller::Cuttlefish(d) => d.daemon().report(),
+                Controller::Default(_) => Vec::new(),
+            })
+            .collect()
+    }
+
+    fn step_node(node: &mut Node, wl: &mut dyn Workload) {
+        node.proc.step(wl);
+        match &mut node.ctrl {
+            Controller::Default(g) => g.on_quantum(&mut node.proc),
+            Controller::Cuttlefish(d) => d.on_quantum(&mut node.proc),
+        }
+    }
+
+    /// Execute the app to completion; nodes run their local regions
+    /// work-sharing, synchronize each superstep, then pay the exchange.
+    pub fn run(&mut self, app: &BspApp) -> BspOutcome {
+        assert_eq!(app.n_nodes(), self.nodes.len(), "app/cluster size mismatch");
+        let quantum_s = self.nodes[0].proc.spec().quantum_ns as f64 * 1e-9;
+        let mut barrier_wait_s = 0.0;
+
+        for step in &app.steps {
+            // Phase 1: local computation, each node at its own pace.
+            let mut finish_ns: Vec<u64> = Vec::with_capacity(self.nodes.len());
+            for (node, chunks) in self.nodes.iter_mut().zip(step) {
+                let n_cores = node.proc.n_cores();
+                let region = Region::statically_partitioned(chunks.clone(), n_cores);
+                let mut sched = WorkSharingScheduler::new(vec![region], n_cores);
+                let t0 = node.proc.now_ns();
+                while !node.proc.workload_drained(&sched) {
+                    Self::step_node(node, &mut sched);
+                }
+                let t1 = node.proc.now_ns();
+                node.busy_s += (t1 - t0) as f64 * 1e-9;
+                finish_ns.push(t1);
+            }
+
+            // Phase 2: barrier — early finishers idle until the slowest
+            // node arrives (no slack reclamation: §4.6's limitation).
+            let barrier_ns = *finish_ns.iter().max().expect("nodes exist");
+            for (node, &t) in self.nodes.iter_mut().zip(&finish_ns) {
+                let mut wait = barrier_ns.saturating_sub(t);
+                barrier_wait_s += wait as f64 * 1e-9;
+                while wait > 0 {
+                    Self::step_node(node, &mut Idle);
+                    wait = wait.saturating_sub(node.proc.spec().quantum_ns);
+                }
+            }
+
+            // Phase 3: the exchange — all nodes busy-idle on the NIC.
+            let comm_quanta =
+                (self.comm.exchange_seconds() / quantum_s).ceil() as u64;
+            for node in self.nodes.iter_mut() {
+                for _ in 0..comm_quanta {
+                    Self::step_node(node, &mut Idle);
+                }
+            }
+        }
+
+        let node_joules: Vec<f64> = self
+            .nodes
+            .iter()
+            .map(|n| n.proc.total_energy_joules())
+            .collect();
+        let seconds = self
+            .nodes
+            .iter()
+            .map(|n| n.proc.now_seconds())
+            .fold(0.0, f64::max);
+        BspOutcome {
+            seconds,
+            joules: node_joules.iter().sum(),
+            node_busy_s: self.nodes.iter().map(|n| n.busy_s).collect(),
+            node_joules,
+            barrier_wait_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simproc::perf::CostProfile;
+
+    fn heat_chunks() -> Vec<Chunk> {
+        // One superstep of a memory-bound stencil: ~0.4 s per node
+        // (enough supersteps of this give the per-node daemons time to
+        // finish their exploration and run at the optimum).
+        // TIPI 0.066 — centred in its 0.064–0.068 slab (a boundary
+        // value would flap between slabs and look like perpetual
+        // transitions to the profiler).
+        (0..120)
+            .map(|_| {
+                Chunk::new(30_000_000, 1_390_000, 590_000)
+                    .with_profile(CostProfile::new(0.55, 12.0))
+            })
+            .collect()
+    }
+
+    fn cuttlefish_cfg() -> Config {
+        // Short warm-up, and the idle guard enabled: BSP supersteps end
+        // in barrier waits whose boundary windows would otherwise
+        // poison the JPI averages.
+        Config {
+            warmup_ns: 500_000_000,
+            idle_guard: Some(0.3),
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn balanced_cluster_saves_like_single_node() {
+        let app = BspApp::uniform(2, 40, heat_chunks);
+        let base = Cluster::new(2, NodePolicy::Default, CommModel::default()).run(&app);
+        let tuned = Cluster::new(
+            2,
+            NodePolicy::Cuttlefish(cuttlefish_cfg()),
+            CommModel::default(),
+        )
+        .run(&app);
+        let saving = 1.0 - tuned.joules / base.joules;
+        assert!(
+            saving > 0.12,
+            "per-node Cuttlefish should save like single-node, got {:.1}%",
+            saving * 100.0
+        );
+        let slowdown = tuned.seconds / base.seconds - 1.0;
+        assert!(slowdown < 0.08, "slowdown {:.3}", slowdown);
+    }
+
+    #[test]
+    fn nodes_tune_independently() {
+        let app = BspApp::uniform(3, 40, heat_chunks);
+        let mut cluster = Cluster::new(
+            3,
+            NodePolicy::Cuttlefish(cuttlefish_cfg()),
+            CommModel::default(),
+        );
+        cluster.run(&app);
+        for report in cluster.reports() {
+            assert!(
+                report.iter().any(|r| r.cf_opt.is_some()),
+                "every node's daemon must have resolved its MAP"
+            );
+        }
+    }
+
+    #[test]
+    fn imbalance_creates_barrier_wait_but_no_slack_reclamation() {
+        // §4.6: Cuttlefish "cannot regulate the processor frequencies to
+        // mitigate the workload imbalance between the processes". The
+        // fast nodes wait at the barrier; wall time is set by the slow
+        // node under both policies.
+        let app = BspApp::imbalanced(2, 20, 0, 2, heat_chunks);
+        let base = Cluster::new(2, NodePolicy::Default, CommModel::default()).run(&app);
+        let tuned = Cluster::new(
+            2,
+            NodePolicy::Cuttlefish(cuttlefish_cfg()),
+            CommModel::default(),
+        )
+        .run(&app);
+        assert!(base.barrier_wait_s > 1.0, "imbalance must create waiting");
+        assert!(tuned.barrier_wait_s > 1.0);
+        // Wall time tracks the slow node in both cases.
+        let slowdown = tuned.seconds / base.seconds - 1.0;
+        assert!(slowdown.abs() < 0.08, "slowdown {slowdown:.3}");
+        // Energy still improves (each node tunes its own MAP)...
+        assert!(tuned.joules < base.joules);
+        // ...but the fast node's energy during its wait is floor power,
+        // not a just-in-time slowdown: its busy time is far below the
+        // slow node's.
+        assert!(tuned.node_busy_s[1] < tuned.node_busy_s[0] * 0.7);
+    }
+
+    #[test]
+    fn exchange_time_is_charged() {
+        let comm = CommModel {
+            alpha_s: 0.0,
+            bytes: 120.0e6,
+            bandwidth: 12.0e9, // 10 ms per exchange
+        };
+        let app = BspApp::uniform(2, 10, heat_chunks);
+        let with_comm = Cluster::new(2, NodePolicy::Default, comm).run(&app);
+        let no_comm = Cluster::new(
+            2,
+            NodePolicy::Default,
+            CommModel {
+                alpha_s: 0.0,
+                bytes: 0.0,
+                bandwidth: 1.0,
+            },
+        )
+        .run(&app);
+        let diff = with_comm.seconds - no_comm.seconds;
+        assert!(
+            (0.08..0.15).contains(&diff),
+            "10 supersteps x 10 ms exchange ~ 0.1 s, got {diff:.3}"
+        );
+    }
+}

@@ -1,0 +1,463 @@
+//! The Cuttlefish daemon state machine — Algorithm 1.
+//!
+//! One [`Daemon::tick`] call corresponds to one wake-up of the paper's
+//! daemon thread after `Tinv`: it receives the interval's (TIPI, JPI)
+//! sample and returns the frequencies to set for the next interval.
+//! All timing (warm-up, the `Tinv` sleep) lives in the wrappers
+//! ([`crate::driver`] for simulation, [`crate::api`] for threads), so
+//! the state machine itself is pure and deterministic — every branch of
+//! the published pseudocode is unit-testable.
+//!
+//! Per tick:
+//!
+//! 1. Quantize TIPI into its slab; a new slab inserts a node whose core
+//!    exploration bounds are inherited from its neighbours (§4.4).
+//! 2. If the interval crossed a slab boundary, the JPI reading is
+//!    discarded (Algorithm 2 lines 6–8): it blends two MAPs.
+//! 3. Drive the node's current exploration stage (core, then uncore —
+//!    the uncore window seeded by Algorithm 3 when the core optimum
+//!    resolves), propagating every bound movement to neighbours (§4.5).
+//! 4. Return `(CFnext, UFnext)`.
+
+use crate::explore::Advance;
+use crate::list::TipiList;
+use crate::node::{Node, Stage};
+use crate::tipi::TipiSlab;
+use crate::ufrange::uf_window;
+use crate::{Config, Policy};
+use simproc::freq::{Freq, FreqDomain};
+use simproc::profile::Sample;
+
+/// Snapshot of one TIPI node for reporting (Table 2).
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// The TIPI range.
+    pub slab: TipiSlab,
+    /// Paper-style range label ("0.064-0.068").
+    pub label: String,
+    /// Resolved core optimum.
+    pub cf_opt: Option<Freq>,
+    /// Resolved uncore optimum.
+    pub uf_opt: Option<Freq>,
+    /// `Tinv` samples attributed to this range.
+    pub occurrences: u64,
+    /// Share of all samples (the paper calls ranges above 10 %
+    /// "frequently occurring").
+    pub share: f64,
+}
+
+impl NodeReport {
+    /// The paper's "frequent TIPI" threshold.
+    pub fn is_frequent(&self) -> bool {
+        self.share > 0.10
+    }
+}
+
+/// The Algorithm 1 state machine.
+#[derive(Debug)]
+pub struct Daemon {
+    cfg: Config,
+    core: FreqDomain,
+    uncore: FreqDomain,
+    list: TipiList,
+    prev_slab: Option<TipiSlab>,
+    /// Domain indices set at the end of the previous tick — the
+    /// operating point the incoming sample was measured at.
+    cf_prev: usize,
+    uf_prev: usize,
+    total_samples: u64,
+    /// Peak instructions per interval seen so far (idle-guard baseline).
+    peak_instructions: f64,
+}
+
+impl Daemon {
+    /// New daemon for a machine with the given frequency domains.
+    pub fn new(cfg: Config, core: FreqDomain, uncore: FreqDomain) -> Self {
+        let cf_prev = core.len() - 1;
+        let uf_prev = uncore.len() - 1;
+        Daemon {
+            cfg,
+            core,
+            uncore,
+            list: TipiList::new(),
+            prev_slab: None,
+            cf_prev,
+            uf_prev,
+            total_samples: 0,
+            peak_instructions: 0.0,
+        }
+    }
+
+    /// The frequencies Algorithm 1 sets before its loop (line 2): both
+    /// domains at maximum.
+    pub fn initial_frequencies(&self) -> (Freq, Freq) {
+        (self.core.max(), self.uncore.max())
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Total `Tinv` samples processed.
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// Iterate discovered nodes in TIPI order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.list.iter()
+    }
+
+    /// The TIPI list (tests, invariant checks).
+    pub fn list(&self) -> &TipiList {
+        &self.list
+    }
+
+    /// Table 2 style per-node report.
+    pub fn report(&self) -> Vec<NodeReport> {
+        let total = self.total_samples.max(1) as f64;
+        self.list
+            .iter()
+            .map(|n| NodeReport {
+                slab: n.slab,
+                label: n.slab.label(self.cfg.slab_width),
+                cf_opt: n.cf_opt().map(|i| self.core.at(i)),
+                uf_opt: n.uf_opt().map(|i| self.uncore.at(i)),
+                occurrences: n.occurrences,
+                share: n.occurrences as f64 / total,
+            })
+            .collect()
+    }
+
+    /// Fractions of distinct ranges with resolved CFopt / UFopt
+    /// (Table 2's first columns).
+    pub fn resolved_fractions(&self) -> (f64, f64) {
+        let n = self.list.len().max(1) as f64;
+        let cf = self.list.iter().filter(|x| x.cf_opt().is_some()).count() as f64;
+        let uf = self.list.iter().filter(|x| x.uf_opt().is_some()).count() as f64;
+        (cf / n, uf / n)
+    }
+
+    fn needed(&self) -> u32 {
+        self.cfg.samples_per_freq
+    }
+
+    /// Process one `Tinv` sample; returns the frequencies for the next
+    /// interval.
+    pub fn tick(&mut self, sample: Sample) -> (Freq, Freq) {
+        let slab = TipiSlab::quantize(sample.tipi, self.cfg.slab_width);
+        let mut transition = self.prev_slab != Some(slab);
+        if let Some(guard) = self.cfg.idle_guard {
+            // Idle-guard extension: boundary windows with abnormally
+            // few retired instructions carry idle-dominated JPI — skip
+            // their readings like a TIPI transition.
+            if (sample.instructions as f64) < guard * self.peak_instructions {
+                transition = true;
+            }
+        }
+        self.peak_instructions = self.peak_instructions.max(sample.instructions as f64);
+        let n_cf = self.core.len();
+        self.total_samples += 1;
+
+        if self.list.get(slab).is_none() {
+            if self.cfg.neighbor_inheritance {
+                self.list.insert(slab, n_cf, self.needed());
+            } else {
+                self.list.insert_default(slab, n_cf, self.needed());
+            }
+            if self.cfg.policy == Policy::UncoreOnly {
+                // Cores are pinned at max: collapse the core
+                // exploration immediately. The uncore exploration is
+                // opened by `ensure_uncore_started` below.
+                let node = self.list.get_mut(slab).expect("just inserted");
+                node.cf.clamp_bounds(Some(n_cf - 1), None);
+                self.list.propagate_cf(slab, true, true);
+            }
+        }
+
+        let node = self.list.get_mut(slab).expect("present");
+        node.occurrences += 1;
+        let stage = node.stage();
+
+        let (cf_next, uf_next) = match stage {
+            Stage::Core => self.tick_core(slab, sample, transition),
+            Stage::Uncore => {
+                // The core optimum may have resolved outside tick_core
+                // (neighbour clamp collapsing the range, singleton
+                // inheritance, UncoreOnly pinning): open the uncore
+                // exploration on first contact.
+                if self.list.get(slab).expect("present").uf.is_none() {
+                    self.ensure_uncore_started(slab);
+                }
+                self.tick_uncore(slab, sample, transition)
+            }
+            Stage::Done => {
+                let node = self.list.get(slab).expect("present");
+                (
+                    node.cf_opt().expect("done implies cf"),
+                    node.uf_opt().expect("done implies uf"),
+                )
+            }
+        };
+
+        self.prev_slab = Some(slab);
+        self.cf_prev = cf_next;
+        self.uf_prev = uf_next;
+        (self.core.at(cf_next), self.uncore.at(uf_next))
+    }
+
+    /// Core-exploration stage of Algorithm 1 (lines 8–24).
+    fn tick_core(&mut self, slab: TipiSlab, sample: Sample, transition: bool) -> (usize, usize) {
+        let n_uf = self.uncore.len();
+        let cf_prev = self.cf_prev;
+
+        let node = self.list.get_mut(slab).expect("present");
+        if !transition {
+            node.cf.record(cf_prev, sample.jpi);
+        }
+        let adv: Advance = node.cf.advance();
+        if self.cfg.revalidation && (adv.rb_lowered || adv.lb_raised || adv.resolved) {
+            self.list
+                .propagate_cf(slab, adv.rb_lowered || adv.resolved, adv.lb_raised || adv.resolved);
+        }
+
+        let mut cf_next = adv.next;
+        // During core exploration the uncore stays at max (line 14/19).
+        let mut uf_next = n_uf - 1;
+
+        if adv.resolved {
+            let node = self.list.get(slab).expect("present");
+            cf_next = node.cf_opt().expect("resolved");
+            self.ensure_uncore_started(slab);
+            let node = self.list.get(slab).expect("present");
+            // Algorithm 1 line 23: UF exploration starts at its RB.
+            uf_next = node.uf.as_ref().expect("just begun").bounds().1;
+        }
+        (cf_next, uf_next)
+    }
+
+    /// Open the uncore exploration of a node whose core optimum is
+    /// resolved, per policy:
+    ///
+    /// * `Both` — Algorithm 3 window from CFopt, clamped by neighbours
+    ///   (§4.4, Fig. 7);
+    /// * `CoreOnly` — uncore out of scope: pinned at max (resolves
+    ///   instantly);
+    /// * `UncoreOnly` — the full default uncore range (§5), clamped by
+    ///   neighbours.
+    fn ensure_uncore_started(&mut self, slab: TipiSlab) {
+        let n_cf = self.core.len();
+        let n_uf = self.uncore.len();
+        let needed = self.needed();
+        let node = self.list.get(slab).expect("present");
+        if node.uf.is_some() {
+            return;
+        }
+        let cf_opt = node.cf_opt().expect("uncore requires resolved cf");
+        let window = match self.cfg.policy {
+            Policy::Both => uf_window(cf_opt, n_cf, n_uf, self.cfg.uf_window_mult),
+            Policy::CoreOnly => (n_uf - 1, n_uf - 1),
+            Policy::UncoreOnly => (0, n_uf - 1),
+        };
+        self.list
+            .begin_uncore_opts(slab, window, n_uf, needed, self.cfg.neighbor_inheritance);
+        if self.cfg.revalidation {
+            // The resolved core optimum also constrains neighbours (§4.5).
+            self.list.propagate_cf(slab, true, true);
+        }
+    }
+
+    /// Uncore-exploration stage of Algorithm 1 (lines 25–27).
+    fn tick_uncore(&mut self, slab: TipiSlab, sample: Sample, transition: bool) -> (usize, usize) {
+        let uf_prev = self.uf_prev;
+        let node = self.list.get_mut(slab).expect("present");
+        let cf_opt = node.cf_opt().expect("uncore stage implies cf resolved");
+        let uf = node.uf.as_mut().expect("uncore stage implies uf exploration");
+        if !transition {
+            uf.record(uf_prev, sample.jpi);
+        }
+        let adv = uf.advance();
+        if self.cfg.revalidation && (adv.rb_lowered || adv.lb_raised || adv.resolved) {
+            self.list
+                .propagate_uf(slab, adv.rb_lowered || adv.resolved, adv.lb_raised || adv.resolved);
+        }
+        (cf_opt, adv.next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simproc::freq::FreqDomain;
+
+    fn domains() -> (FreqDomain, FreqDomain) {
+        (
+            FreqDomain::new(Freq(12), Freq(23)),
+            FreqDomain::new(Freq(12), Freq(30)),
+        )
+    }
+
+    fn cfg() -> Config {
+        Config {
+            samples_per_freq: 2, // fast tests
+            ..Config::default()
+        }
+    }
+
+    fn sample(tipi: f64, jpi: f64) -> Sample {
+        Sample {
+            tipi,
+            jpi,
+            instructions: 1_000_000,
+            joules: jpi * 1e6,
+            dt_ns: 20_000_000,
+        }
+    }
+
+    /// Drive a daemon against a synthetic JPI landscape. The landscape
+    /// maps (cf_idx, uf_idx) → JPI for a fixed TIPI.
+    fn run_daemon(
+        daemon: &mut Daemon,
+        tipi: f64,
+        landscape: &dyn Fn(usize, usize) -> f64,
+        ticks: usize,
+    ) -> (Freq, Freq) {
+        let (mut cf, mut uf) = daemon.initial_frequencies();
+        for _ in 0..ticks {
+            let ci = daemon.core.index_of(cf);
+            let ui = daemon.uncore.index_of(uf);
+            let s = sample(tipi, landscape(ci, ui));
+            let (c, u) = daemon.tick(s);
+            cf = c;
+            uf = u;
+        }
+        (cf, uf)
+    }
+
+    #[test]
+    fn compute_bound_landscape_resolves_to_cf_max_uf_min() {
+        // JPI falls with CF and rises with UF — a UTS-like MAP.
+        let (core, uncore) = domains();
+        let mut d = Daemon::new(cfg(), core, uncore);
+        let land = |c: usize, u: usize| 10.0 - c as f64 * 0.3 + u as f64 * 0.2;
+        let (cf, uf) = run_daemon(&mut d, 0.001, &land, 400);
+        assert_eq!(cf, Freq(23), "CFopt at max");
+        assert!(uf <= Freq(13), "UFopt near min, got {uf}");
+        let node = d.nodes().next().unwrap();
+        assert_eq!(node.cf_opt(), Some(11));
+        assert!(node.uf_opt().is_some());
+    }
+
+    #[test]
+    fn memory_bound_landscape_resolves_to_cf_min_uf_high() {
+        // JPI rises with CF and has an interior UF minimum at index 10
+        // (2.2 GHz).
+        let (core, uncore) = domains();
+        let mut d = Daemon::new(cfg(), core, uncore);
+        let land = |c: usize, u: usize| 10.0 + c as f64 * 0.3 + ((u as f64) - 10.0).abs() * 0.2;
+        let (cf, uf) = run_daemon(&mut d, 0.065, &land, 600);
+        assert!(cf <= Freq(13), "CFopt near min, got {cf}");
+        assert!(
+            (Freq(20)..=Freq(24)).contains(&uf),
+            "UFopt near the 2.2 GHz knee, got {uf}"
+        );
+    }
+
+    #[test]
+    fn second_slab_inherits_bounds() {
+        let (core, uncore) = domains();
+        let mut d = Daemon::new(cfg(), core, uncore);
+        // First: a compute-bound slab resolving CFopt = max.
+        let land1 = |c: usize, u: usize| 10.0 - c as f64 * 0.3 + u as f64 * 0.2;
+        run_daemon(&mut d, 0.001, &land1, 400);
+        // Then: a memory-bound slab. Its CF exploration must start with
+        // bounds inherited (RB from the compute-bound node's history is
+        // irrelevant here since it's on the left; the new node's RB
+        // comes from the left neighbour's CFopt = max — i.e. unchanged —
+        // but its LB comes from "no right neighbour" = min).
+        let land2 = |c: usize, u: usize| 10.0 + c as f64 * 0.3 + u as f64 * 0.1;
+        run_daemon(&mut d, 0.065, &land2, 600);
+        assert_eq!(d.list().len(), 2);
+        assert!(d.list().check_invariants().is_ok());
+    }
+
+    #[test]
+    fn transition_samples_are_discarded() {
+        let (core, uncore) = domains();
+        let mut d = Daemon::new(cfg(), core, uncore);
+        // Alternate slabs every tick: every sample is a transition, so
+        // no JPI is ever recorded and no exploration can resolve.
+        for i in 0..100 {
+            let tipi = if i % 2 == 0 { 0.001 } else { 0.065 };
+            d.tick(sample(tipi, 5.0));
+        }
+        for node in d.nodes() {
+            assert_eq!(node.cf_opt(), None, "no stable samples ⇒ no resolution");
+        }
+    }
+
+    #[test]
+    fn done_nodes_hold_their_frequencies() {
+        let (core, uncore) = domains();
+        let mut d = Daemon::new(cfg(), core, uncore);
+        let land = |c: usize, u: usize| 10.0 - c as f64 * 0.3 + u as f64 * 0.2;
+        let (cf1, uf1) = run_daemon(&mut d, 0.001, &land, 400);
+        // Further ticks at the same TIPI never move the frequencies.
+        let (cf2, uf2) = run_daemon(&mut d, 0.001, &land, 50);
+        assert_eq!((cf1, uf1), (cf2, uf2));
+    }
+
+    #[test]
+    fn core_only_policy_pins_uncore_at_max() {
+        let (core, uncore) = domains();
+        let mut d = Daemon::new(cfg().with_policy(Policy::CoreOnly), core, uncore);
+        let land = |c: usize, _u: usize| 10.0 - c as f64 * 0.3;
+        let (cf, uf) = run_daemon(&mut d, 0.001, &land, 400);
+        assert_eq!(uf, Freq(30), "Cuttlefish-Core never lowers the uncore");
+        assert_eq!(cf, Freq(23));
+        let node = d.nodes().next().unwrap();
+        assert_eq!(node.uf_opt(), Some(18), "uncore 'optimum' pinned at max index");
+    }
+
+    #[test]
+    fn uncore_only_policy_pins_core_at_max() {
+        let (core, uncore) = domains();
+        let mut d = Daemon::new(cfg().with_policy(Policy::UncoreOnly), core, uncore);
+        // Memory-bound landscape: interior UF optimum.
+        let land = |_c: usize, u: usize| 10.0 + ((u as f64) - 10.0).abs() * 0.2;
+        let (cf, uf) = run_daemon(&mut d, 0.065, &land, 600);
+        assert_eq!(cf, Freq(23), "Cuttlefish-Uncore never lowers the cores");
+        assert!(
+            (Freq(20)..=Freq(24)).contains(&uf),
+            "UF explored over the full default range, got {uf}"
+        );
+    }
+
+    #[test]
+    fn report_tracks_occurrences_and_frequency() {
+        let (core, uncore) = domains();
+        let mut d = Daemon::new(cfg(), core, uncore);
+        for _ in 0..95 {
+            d.tick(sample(0.001, 5.0));
+        }
+        for _ in 0..5 {
+            d.tick(sample(0.065, 5.0));
+        }
+        let report = d.report();
+        assert_eq!(report.len(), 2);
+        assert!(report[0].is_frequent());
+        assert!(!report[1].is_frequent());
+        assert_eq!(report[0].label, "0.000-0.004");
+        assert_eq!(report[1].label, "0.064-0.068");
+        let (cf_frac, _) = d.resolved_fractions();
+        assert!(cf_frac > 0.0);
+    }
+
+    #[test]
+    fn exploration_starts_at_max_frequencies() {
+        let (core, uncore) = domains();
+        let d = Daemon::new(cfg(), core, uncore);
+        assert_eq!(d.initial_frequencies(), (Freq(23), Freq(30)));
+    }
+}

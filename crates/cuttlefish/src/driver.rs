@@ -1,0 +1,224 @@
+//! Simulation driver: couples the daemon to a [`SimProcessor`] for
+//! deterministic experiments.
+//!
+//! [`CuttlefishDriver::on_quantum`] is called after every engine
+//! quantum (1 ms). It implements the daemon thread's outer timing from
+//! Algorithm 1: set both domains to max (line 2), sleep through the
+//! warm-up (line 3), then wake every `Tinv` to read counters and run
+//! the policy. Counter access goes through an allow-listed
+//! [`MsrSession`], exactly like MSR-SAFE on the paper's testbed.
+
+use crate::daemon::Daemon;
+use crate::Config;
+use simproc::msr::{MsrFile, MsrSession, IA32_PERF_CTL, MSR_UNCORE_RATIO_LIMIT};
+use simproc::profile::{delta, CounterSnapshot};
+use simproc::SimProcessor;
+
+/// Harness-facing driver: one per tuned execution.
+#[derive(Debug)]
+pub struct CuttlefishDriver {
+    daemon: Daemon,
+    session: MsrSession,
+    quanta_seen: u64,
+    quanta_per_tinv: u64,
+    warmup_quanta: u64,
+    last: Option<CounterSnapshot>,
+    started: bool,
+}
+
+impl CuttlefishDriver {
+    /// Create a driver for `proc` (captures the MSR session baseline).
+    pub fn new(proc: &SimProcessor, cfg: Config) -> Self {
+        let spec = proc.spec();
+        let quantum = spec.quantum_ns;
+        let quanta_per_tinv = (cfg.tinv_ns / quantum).max(1);
+        let warmup_quanta = cfg.warmup_ns / quantum;
+        let session = MsrSession::open(proc.msr_file(), &MsrSession::cuttlefish_allowlist());
+        let daemon = Daemon::new(cfg, spec.core.clone(), spec.uncore.clone());
+        CuttlefishDriver {
+            daemon,
+            session,
+            quanta_seen: 0,
+            quanta_per_tinv,
+            warmup_quanta,
+            last: None,
+            started: false,
+        }
+    }
+
+    /// The daemon state (for Table 2 reports and tests).
+    pub fn daemon(&self) -> &Daemon {
+        &self.daemon
+    }
+
+    fn write_freqs(&self, proc: &mut SimProcessor, cf: simproc::freq::Freq, uf: simproc::freq::Freq) {
+        let file = proc.msr_file_mut();
+        self.session
+            .write(file, IA32_PERF_CTL, MsrFile::encode_perf_ctl(cf.0))
+            .expect("PERF_CTL on allow-list");
+        self.session
+            .write(
+                file,
+                MSR_UNCORE_RATIO_LIMIT,
+                MsrFile::encode_uncore_limit(uf.0, uf.0),
+            )
+            .expect("UNCORE_RATIO_LIMIT on allow-list");
+    }
+
+    /// Advance the daemon clock by one engine quantum.
+    pub fn on_quantum(&mut self, proc: &mut SimProcessor) {
+        if !self.started {
+            // Algorithm 1 line 2: start at max frequencies.
+            let (cf, uf) = self.daemon.initial_frequencies();
+            self.write_freqs(proc, cf, uf);
+            self.started = true;
+        }
+        self.quanta_seen += 1;
+        if self.quanta_seen < self.warmup_quanta {
+            return;
+        }
+        if !(self.quanta_seen - self.warmup_quanta).is_multiple_of(self.quanta_per_tinv) {
+            return;
+        }
+        let now = match CounterSnapshot::capture(proc) {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        if let Some(prev) = self.last.replace(now) {
+            if let Some(sample) = delta(&prev, &now) {
+                let (cf, uf) = self.daemon.tick(sample);
+                self.write_freqs(proc, cf, uf);
+            }
+        }
+    }
+
+    /// `cuttlefish::stop()`: restore the MSR state captured at session
+    /// open (frequencies return to the pre-Cuttlefish settings).
+    pub fn stop(&mut self, proc: &mut SimProcessor) {
+        self.session.restore(proc.msr_file_mut());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simproc::engine::{Chunk, Workload};
+    use simproc::freq::{Freq, HASWELL_2650V3};
+    use simproc::perf::CostProfile;
+
+    struct Steady(Chunk);
+    impl Workload for Steady {
+        fn next_chunk(&mut self, _c: usize, _t: u64) -> Option<Chunk> {
+            Some(self.0.clone())
+        }
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+
+    fn compute_chunk() -> Chunk {
+        Chunk::new(1_000_000, 800, 200).with_profile(CostProfile::new(0.9, 4.0))
+    }
+
+    fn memory_chunk() -> Chunk {
+        Chunk::new(1_000_000, 56_000, 8_000).with_profile(CostProfile::new(0.55, 12.0))
+    }
+
+    fn run(chunk: Chunk, seconds: u64) -> (SimProcessor, CuttlefishDriver) {
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut driver = CuttlefishDriver::new(&proc, Config::default());
+        let mut wl = Steady(chunk);
+        for _ in 0..(seconds * 1000) {
+            proc.step(&mut wl);
+            driver.on_quantum(&mut proc);
+        }
+        (proc, driver)
+    }
+
+    #[test]
+    fn warmup_holds_max_frequencies() {
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut driver = CuttlefishDriver::new(&proc, Config::default());
+        let mut wl = Steady(memory_chunk());
+        for _ in 0..1500 {
+            // 1.5 s < 2 s warm-up
+            proc.step(&mut wl);
+            driver.on_quantum(&mut proc);
+        }
+        assert_eq!(proc.core_freq(), Freq(23));
+        assert_eq!(proc.uncore_freq(), Freq(30));
+        assert_eq!(driver.daemon().total_samples(), 0);
+    }
+
+    #[test]
+    fn compute_bound_run_lands_on_paper_frequencies() {
+        // UTS-like: expect CFopt = 2.3, UFopt ≈ 1.2–1.3 (Table 2).
+        let (proc, driver) = run(compute_chunk(), 12);
+        assert_eq!(proc.core_freq(), Freq(23), "CF pinned at max");
+        assert!(
+            proc.uncore_freq() <= Freq(14),
+            "uncore driven down, got {}",
+            proc.uncore_freq()
+        );
+        let report = driver.daemon().report();
+        assert_eq!(report.len(), 1, "single TIPI range");
+        assert_eq!(report[0].cf_opt, Some(Freq(23)));
+    }
+
+    #[test]
+    fn memory_bound_run_lands_on_paper_frequencies() {
+        // Heat-like: expect CFopt ≈ 1.2–1.3, UFopt ≈ 2.1–2.3 (Table 2).
+        let (proc, driver) = run(memory_chunk(), 20);
+        assert!(
+            proc.core_freq() <= Freq(14),
+            "cores driven down, got {}",
+            proc.core_freq()
+        );
+        assert!(
+            (Freq(20)..=Freq(24)).contains(&proc.uncore_freq()),
+            "uncore at the knee, got {}",
+            proc.uncore_freq()
+        );
+        let report = driver.daemon().report();
+        assert!(report.iter().any(|r| r.uf_opt.is_some()));
+    }
+
+    #[test]
+    fn stop_restores_previous_settings() {
+        let (mut proc, mut driver) = run(memory_chunk(), 20);
+        assert_ne!(proc.core_freq(), Freq(23));
+        driver.stop(&mut proc);
+        let mut wl = Steady(memory_chunk());
+        proc.step(&mut wl);
+        assert_eq!(proc.core_freq(), Freq(23));
+        assert_eq!(proc.uncore_freq(), Freq(30));
+    }
+
+    #[test]
+    fn energy_saving_versus_default_governor_memory_bound() {
+        // End-to-end sanity: a Cuttlefish run uses measurably less
+        // energy per instruction than the Default governor on a
+        // memory-bound workload.
+        let seconds = 30u64;
+        let jpi_cuttlefish = {
+            let (proc, _) = run(memory_chunk(), seconds);
+            proc.total_energy_joules() / proc.total_instructions()
+        };
+        let jpi_default = {
+            let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+            let mut gov = simproc::governor::DefaultGovernor::new();
+            let mut wl = Steady(memory_chunk());
+            for _ in 0..(seconds * 1000) {
+                proc.step(&mut wl);
+                gov.on_quantum(&mut proc);
+            }
+            proc.total_energy_joules() / proc.total_instructions()
+        };
+        let saving = 1.0 - jpi_cuttlefish / jpi_default;
+        assert!(
+            saving > 0.10,
+            "expected >10% JPI saving on memory-bound code, got {:.1}%",
+            saving * 100.0
+        );
+    }
+}

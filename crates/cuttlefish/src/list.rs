@@ -1,0 +1,396 @@
+//! The sorted list of TIPI ranges with neighbour-based bound
+//! optimization (§4.4) and revalidation (§4.5).
+//!
+//! The paper keeps nodes in a sorted doubly linked list: walking left
+//! to right moves from compute-bound to memory-bound MAPs. The load-
+//! bearing invariant is **monotonicity**:
+//!
+//! * optimal *core* frequency is non-increasing along increasing TIPI
+//!   (more memory-bound ⇒ same or lower CFopt), and
+//! * optimal *uncore* frequency is non-decreasing along increasing
+//!   TIPI.
+//!
+//! This implementation stores nodes in an ordered map keyed by slab
+//! index (same asymptotics and neighbour access as the linked list,
+//! with simpler ownership) and concentrates both optimizations here:
+//!
+//! * [`TipiList::insert`] — a new node inherits exploration bounds from
+//!   its neighbours' state (Fig. 6 for CF, Fig. 7 for UF);
+//! * [`TipiList::propagate_cf`] / [`TipiList::propagate_uf`] — when a
+//!   node's bounds tighten mid-exploration, the same bound is pushed to
+//!   every node on the side the invariant constrains (Fig. 8 / Fig. 9).
+
+use crate::explore::Exploration;
+use crate::node::Node;
+use crate::tipi::TipiSlab;
+use std::collections::BTreeMap;
+
+/// Ordered collection of TIPI nodes.
+#[derive(Debug, Default)]
+pub struct TipiList {
+    nodes: BTreeMap<u32, Node>,
+}
+
+impl TipiList {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct TIPI ranges discovered.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no ranges have been discovered yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable lookup.
+    pub fn get(&self, slab: TipiSlab) -> Option<&Node> {
+        self.nodes.get(&slab.0)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, slab: TipiSlab) -> Option<&mut Node> {
+        self.nodes.get_mut(&slab.0)
+    }
+
+    /// Iterate nodes in TIPI order (compute-bound → memory-bound).
+    pub fn iter(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.values()
+    }
+
+    /// The left (more compute-bound) neighbour of `slab`.
+    pub fn left_of(&self, slab: TipiSlab) -> Option<&Node> {
+        self.nodes.range(..slab.0).next_back().map(|(_, n)| n)
+    }
+
+    /// The right (more memory-bound) neighbour of `slab`.
+    pub fn right_of(&self, slab: TipiSlab) -> Option<&Node> {
+        self.nodes.range(slab.0 + 1..).next().map(|(_, n)| n)
+    }
+
+    /// Insert a node for a newly discovered TIPI range, deriving its
+    /// core exploration bounds from its neighbours (§4.4, Fig. 6):
+    ///
+    /// * `CFRB` ← left neighbour's CFopt if resolved, else the left
+    ///   neighbour's current CFRB (a compute-bound neighbour's optimum
+    ///   upper-bounds ours); no left neighbour ⇒ CFmax.
+    /// * `CFLB` ← right neighbour's CFopt if resolved, else its CFLB;
+    ///   no right neighbour ⇒ CFmin.
+    pub fn insert(&mut self, slab: TipiSlab, n_cf: usize, needed: u32) -> &mut Node {
+        debug_assert!(!self.nodes.contains_key(&slab.0), "node already present");
+        let rb = match self.left_of(slab) {
+            Some(l) => l.cf_opt().unwrap_or(l.cf.bounds().1),
+            None => n_cf - 1,
+        };
+        let lb = match self.right_of(slab) {
+            Some(r) => r.cf_opt().unwrap_or(r.cf.bounds().0),
+            None => 0,
+        };
+        let lb = lb.min(rb);
+        let node = Node::new(slab, lb, rb, n_cf, needed);
+        self.nodes.insert(slab.0, node);
+        self.nodes.get_mut(&slab.0).expect("just inserted")
+    }
+
+    /// Insert with the full default exploration range, ignoring
+    /// neighbours — the §4.4-disabled ablation path.
+    pub fn insert_default(&mut self, slab: TipiSlab, n_cf: usize, needed: u32) -> &mut Node {
+        debug_assert!(!self.nodes.contains_key(&slab.0), "node already present");
+        let node = Node::new(slab, 0, n_cf - 1, n_cf, needed);
+        self.nodes.insert(slab.0, node);
+        self.nodes.get_mut(&slab.0).expect("just inserted")
+    }
+
+    /// Begin the uncore exploration of `slab`: take Algorithm 3's
+    /// window, then clamp with the neighbours' uncore state (§4.4,
+    /// Fig. 7 — the mirror of the CF direction, since UFopt is
+    /// non-decreasing along increasing TIPI):
+    ///
+    /// * `UFLB` ← max(window LB, left neighbour's UFopt or UFLB) — a
+    ///   compute-bound neighbour's optimum lower-bounds ours
+    ///   (Fig. 7(b));
+    /// * `UFRB` ← min(window RB, right neighbour's UFopt or UFRB) — a
+    ///   memory-bound neighbour's optimum upper-bounds ours
+    ///   (Fig. 7(a)).
+    pub fn begin_uncore(
+        &mut self,
+        slab: TipiSlab,
+        window: (usize, usize),
+        n_uf: usize,
+        needed: u32,
+    ) {
+        self.begin_uncore_opts(slab, window, n_uf, needed, true)
+    }
+
+    /// [`TipiList::begin_uncore`] with neighbour clamping optional
+    /// (`clamp_neighbors = false` is the §4.4-disabled ablation path).
+    pub fn begin_uncore_opts(
+        &mut self,
+        slab: TipiSlab,
+        window: (usize, usize),
+        n_uf: usize,
+        needed: u32,
+        clamp_neighbors: bool,
+    ) {
+        let lb_floor = clamp_neighbors
+            .then(|| {
+                self.left_of(slab)
+                    .and_then(|l| l.uf_opt().or_else(|| l.uf.as_ref().map(|u| u.bounds().0)))
+            })
+            .flatten();
+        let rb_ceil = clamp_neighbors
+            .then(|| {
+                self.right_of(slab)
+                    .and_then(|r| r.uf_opt().or_else(|| r.uf.as_ref().map(|u| u.bounds().1)))
+            })
+            .flatten();
+
+        let mut lb = window.0;
+        let mut rb = window.1;
+        if let Some(f) = lb_floor {
+            lb = lb.max(f);
+        }
+        if let Some(c) = rb_ceil {
+            rb = rb.min(c);
+        }
+        let lb = lb.min(rb);
+        let node = self.nodes.get_mut(&slab.0).expect("begin_uncore on unknown slab");
+        node.uf = Some(Exploration::new(lb, rb, n_uf, needed));
+    }
+
+    /// §4.5 revalidation for the core domain: `slab`'s CF bounds
+    /// changed. Push the new RB to every node on the *right* (their
+    /// CFopt can be at most ours — Fig. 8(b)) and the new LB to every
+    /// node on the *left* (their CFopt is at least ours — Fig. 8(a)).
+    pub fn propagate_cf(&mut self, slab: TipiSlab, rb_lowered: bool, lb_raised: bool) {
+        let (lb, rb) = match self.nodes.get(&slab.0) {
+            Some(n) => match n.cf_opt() {
+                Some(o) => (o, o),
+                None => n.cf.bounds(),
+            },
+            None => return,
+        };
+        if rb_lowered {
+            let right: Vec<u32> = self.nodes.range(slab.0 + 1..).map(|(&k, _)| k).collect();
+            for k in right {
+                let n = self.nodes.get_mut(&k).expect("key from range");
+                n.cf.clamp_bounds(None, Some(rb));
+            }
+        }
+        if lb_raised {
+            let left: Vec<u32> = self.nodes.range(..slab.0).map(|(&k, _)| k).collect();
+            for k in left {
+                let n = self.nodes.get_mut(&k).expect("key from range");
+                n.cf.clamp_bounds(Some(lb), None);
+            }
+        }
+    }
+
+    /// §4.5 revalidation for the uncore domain (mirrored): a lowered
+    /// UFRB propagates to the *left* (compute-bound neighbours need at
+    /// most our uncore — Fig. 9(a)); a raised UFLB propagates to the
+    /// *right* (memory-bound neighbours need at least ours — Fig. 9(b)).
+    pub fn propagate_uf(&mut self, slab: TipiSlab, rb_lowered: bool, lb_raised: bool) {
+        let (lb, rb) = match self.nodes.get(&slab.0).and_then(|n| n.uf.as_ref()) {
+            Some(uf) => match uf.opt() {
+                Some(o) => (o, o),
+                None => uf.bounds(),
+            },
+            None => return,
+        };
+        if rb_lowered {
+            let left: Vec<u32> = self.nodes.range(..slab.0).map(|(&k, _)| k).collect();
+            for k in left {
+                let n = self.nodes.get_mut(&k).expect("key from range");
+                if let Some(uf) = n.uf.as_mut() {
+                    uf.clamp_bounds(None, Some(rb));
+                }
+            }
+        }
+        if lb_raised {
+            let right: Vec<u32> = self.nodes.range(slab.0 + 1..).map(|(&k, _)| k).collect();
+            for k in right {
+                let n = self.nodes.get_mut(&k).expect("key from range");
+                if let Some(uf) = n.uf.as_mut() {
+                    uf.clamp_bounds(Some(lb), None);
+                }
+            }
+        }
+    }
+
+    /// Check the monotonicity invariants over resolved optima; returns
+    /// a violation description for tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut prev_cf: Option<usize> = None;
+        let mut prev_uf: Option<usize> = None;
+        for node in self.nodes.values() {
+            if let Some(cf) = node.cf_opt() {
+                if let Some(p) = prev_cf {
+                    if cf > p {
+                        return Err(format!(
+                            "CFopt rose with TIPI at {} ({cf} > {p})",
+                            node.slab
+                        ));
+                    }
+                }
+                prev_cf = Some(cf);
+            }
+            if let Some(uf) = node.uf_opt() {
+                if let Some(p) = prev_uf {
+                    if uf < p {
+                        return Err(format!(
+                            "UFopt fell with TIPI at {} ({uf} < {p})",
+                            node.slab
+                        ));
+                    }
+                }
+                prev_uf = Some(uf);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N_CF: usize = 7;
+    const N_UF: usize = 7;
+
+    fn resolve_cf(list: &mut TipiList, slab: TipiSlab, opt: usize) {
+        let n = list.get_mut(slab).unwrap();
+        n.cf.clamp_bounds(Some(opt), Some(opt));
+        assert_eq!(n.cf_opt(), Some(opt));
+    }
+
+    #[test]
+    fn first_node_gets_default_bounds() {
+        let mut list = TipiList::new();
+        let n = list.insert(TipiSlab(10), N_CF, 10);
+        assert_eq!(n.cf.bounds(), (0, 6));
+    }
+
+    #[test]
+    fn figure6a_insert_at_front_inherits_lb_from_right() {
+        // TIPI-3 exists with CFopt = B (index 1); TIPI-1 inserted in
+        // front must get CFLB = B, CFRB = G.
+        let mut list = TipiList::new();
+        list.insert(TipiSlab(30), N_CF, 10);
+        resolve_cf(&mut list, TipiSlab(30), 1);
+        let n1 = list.insert(TipiSlab(10), N_CF, 10);
+        assert_eq!(n1.cf.bounds(), (1, 6), "LB from right neighbour's CFopt");
+    }
+
+    #[test]
+    fn figure6b_insert_between_uses_unresolved_rb() {
+        // TIPI-1 (front) still exploring with CFRB = E (4); TIPI-3 has
+        // CFopt = B (1). TIPI-2 inserted between: LB = 1, RB = 4.
+        let mut list = TipiList::new();
+        list.insert(TipiSlab(30), N_CF, 10);
+        resolve_cf(&mut list, TipiSlab(30), 1);
+        {
+            let n1 = list.insert(TipiSlab(10), N_CF, 10);
+            n1.cf.clamp_bounds(None, Some(4)); // mid-exploration: RB = E
+        }
+        let n2 = list.insert(TipiSlab(20), N_CF, 10);
+        assert_eq!(n2.cf.bounds(), (1, 4));
+    }
+
+    #[test]
+    fn figure7_uncore_window_clamped_by_neighbours() {
+        // TIPI-3 resolved UFopt = C (2). TIPI-1 (more compute-bound)
+        // starts uncore exploration with Algorithm-3 window [A, E]:
+        // its UFRB clamps to C.
+        let mut list = TipiList::new();
+        list.insert(TipiSlab(30), N_CF, 10);
+        resolve_cf(&mut list, TipiSlab(30), 0);
+        list.begin_uncore(TipiSlab(30), (2, 6), N_UF, 10);
+        list.get_mut(TipiSlab(30))
+            .unwrap()
+            .uf
+            .as_mut()
+            .unwrap()
+            .clamp_bounds(Some(2), Some(2)); // UFopt = C
+
+        list.insert(TipiSlab(10), N_CF, 10);
+        resolve_cf(&mut list, TipiSlab(10), 6);
+        list.begin_uncore(TipiSlab(10), (0, 4), N_UF, 10);
+        let uf = list.get(TipiSlab(10)).unwrap().uf.as_ref().unwrap();
+        assert_eq!(uf.bounds(), (0, 2), "UFRB clamped to right neighbour's UFopt");
+    }
+
+    #[test]
+    fn figure8_cf_revalidation_propagates() {
+        // Three nodes; the middle one's RB drops → right neighbour's RB
+        // capped; the middle's LB rises → left neighbour's LB raised.
+        let mut list = TipiList::new();
+        list.insert(TipiSlab(10), N_CF, 10);
+        list.insert(TipiSlab(20), N_CF, 10);
+        list.insert(TipiSlab(30), N_CF, 10);
+
+        list.get_mut(TipiSlab(20)).unwrap().cf.clamp_bounds(Some(2), Some(4));
+        list.propagate_cf(TipiSlab(20), true, true);
+
+        let right = list.get(TipiSlab(30)).unwrap();
+        assert_eq!(right.cf.bounds().1, 4, "right neighbour's RB capped");
+        let left = list.get(TipiSlab(10)).unwrap();
+        assert_eq!(left.cf.bounds().0, 2, "left neighbour's LB raised");
+    }
+
+    #[test]
+    fn figure9b_uf_collapse_resolves_neighbour() {
+        // TIPI-4 resolves UFopt = E (4); TIPI-5's window was [C, E] —
+        // propagation raises its LB to E, collapsing it to UFopt = E.
+        let mut list = TipiList::new();
+        list.insert(TipiSlab(40), N_CF, 10);
+        list.insert(TipiSlab(50), N_CF, 10);
+        resolve_cf(&mut list, TipiSlab(40), 3);
+        resolve_cf(&mut list, TipiSlab(50), 2);
+        list.begin_uncore(TipiSlab(50), (2, 4), N_UF, 10);
+        list.begin_uncore(TipiSlab(40), (1, 4), N_UF, 10);
+
+        // TIPI-4 resolves UFopt = 4.
+        list.get_mut(TipiSlab(40))
+            .unwrap()
+            .uf
+            .as_mut()
+            .unwrap()
+            .clamp_bounds(Some(4), None);
+        assert_eq!(list.get(TipiSlab(40)).unwrap().uf_opt(), Some(4));
+        list.propagate_uf(TipiSlab(40), false, true);
+
+        let n5 = list.get(TipiSlab(50)).unwrap();
+        assert_eq!(n5.uf_opt(), Some(4), "neighbour collapsed to the same optimum");
+    }
+
+    #[test]
+    fn neighbour_queries() {
+        let mut list = TipiList::new();
+        list.insert(TipiSlab(10), N_CF, 10);
+        list.insert(TipiSlab(20), N_CF, 10);
+        list.insert(TipiSlab(30), N_CF, 10);
+        assert_eq!(list.left_of(TipiSlab(20)).unwrap().slab, TipiSlab(10));
+        assert_eq!(list.right_of(TipiSlab(20)).unwrap().slab, TipiSlab(30));
+        assert!(list.left_of(TipiSlab(10)).is_none());
+        assert!(list.right_of(TipiSlab(30)).is_none());
+        // Queries between existing slabs resolve to nearest.
+        assert_eq!(list.left_of(TipiSlab(25)).unwrap().slab, TipiSlab(20));
+        assert_eq!(list.right_of(TipiSlab(25)).unwrap().slab, TipiSlab(30));
+    }
+
+    #[test]
+    fn invariant_checker_catches_violations() {
+        let mut list = TipiList::new();
+        list.insert(TipiSlab(10), N_CF, 10);
+        list.insert(TipiSlab(20), N_CF, 10);
+        assert!(list.check_invariants().is_ok());
+        resolve_cf(&mut list, TipiSlab(10), 2);
+        // A memory-bound node with a *higher* CFopt violates monotonicity.
+        list.get_mut(TipiSlab(20)).unwrap().cf.clamp_bounds(Some(5), Some(5));
+        assert!(list.check_invariants().is_err());
+    }
+}

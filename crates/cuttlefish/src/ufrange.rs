@@ -1,0 +1,131 @@
+//! Uncore exploration-window estimation — Algorithm 3.
+//!
+//! Once a TIPI node's optimal core frequency is known, the uncore
+//! search does not span the whole UFS domain. Section 3.2's
+//! observation — optimal core and uncore frequencies move in opposite
+//! directions — is encoded as a straight line through
+//! `(CFmax, UFmin)` and `(CFmin, UFmax)`; the window of width
+//! `mult · nUF / nCF` (the paper's constant `mult = 4`) is centred on
+//! the line's estimate and shifted inward at domain boundaries so its
+//! width is preserved.
+
+/// Compute the uncore exploration window `[lb, rb]` (domain indices)
+/// from the resolved core optimum.
+///
+/// * `cf_opt` — core optimum as an index into a core domain of
+///   `n_cf` levels.
+/// * `n_uf` — uncore domain size.
+/// * `mult` — window multiplier (paper: 4).
+pub fn uf_window(cf_opt: usize, n_cf: usize, n_uf: usize, mult: f64) -> (usize, usize) {
+    assert!(n_cf > 0 && n_uf > 0 && cf_opt < n_cf);
+    let uf_max = (n_uf - 1) as i64;
+
+    // Line 1: Range = mult · nUF / nCF (kept fractional; quantizing the
+    // half-width early would clip the shifted window by one level at
+    // the domain edges — the paper's measured UFopt of 2.2 GHz for
+    // memory-bound codes requires the unclipped width).
+    let range = (mult * n_uf as f64) / n_cf as f64;
+    let half = range / 2.0;
+
+    // Lines 2–3: the anti-correlation line, in index space.
+    let alpha = if n_cf > 1 {
+        (n_uf - 1) as f64 / (n_cf - 1) as f64
+    } else {
+        0.0
+    };
+    let est = (uf_max as f64 - alpha * cf_opt as f64).clamp(0.0, uf_max as f64);
+
+    // Lines 4–5: centred window.
+    let mut lb = est - half;
+    let mut rb = est + half;
+
+    // Lines 6–11: shift the window inward at the boundaries so its
+    // width stays `range`.
+    if rb > uf_max as f64 {
+        lb -= rb - uf_max as f64;
+        rb = uf_max as f64;
+    }
+    if lb < 0.0 {
+        rb += -lb;
+        lb = 0.0;
+    }
+
+    let lb = (lb.floor() as i64).clamp(0, uf_max) as usize;
+    let rb = (rb.ceil() as i64).clamp(0, uf_max) as usize;
+    (lb, rb.max(lb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The paper's machine: 12 core levels, 19 uncore levels, mult 4.
+    const N_CF: usize = 12;
+    const N_UF: usize = 19;
+
+    #[test]
+    fn cf_max_maps_to_uncore_bottom() {
+        let (lb, rb) = uf_window(N_CF - 1, N_CF, N_UF, 4.0);
+        assert_eq!(lb, 0, "CFopt = max ⇒ window starts at UFmin");
+        // Window width = 4·19/12 ≈ 6.33 (fractional), ceil'd outward:
+        // the shifted window is [0, 7].
+        assert!(rb <= 7, "window stays near the bottom, rb = {rb}");
+        assert!(rb >= 3, "window keeps its width after the shift, rb = {rb}");
+    }
+
+    #[test]
+    fn cf_min_maps_to_uncore_top() {
+        let (lb, rb) = uf_window(0, N_CF, N_UF, 4.0);
+        assert_eq!(rb, N_UF - 1, "CFopt = min ⇒ window ends at UFmax");
+        assert!(lb >= N_UF - 1 - 8, "window near the top, lb = {lb}");
+    }
+
+    #[test]
+    fn mid_cf_gives_interior_window() {
+        let (lb, rb) = uf_window(N_CF / 2, N_CF, N_UF, 4.0);
+        assert!(lb > 0 && rb < N_UF - 1, "interior window [{lb}, {rb}]");
+        assert!(rb - lb <= 8);
+    }
+
+    #[test]
+    fn window_much_smaller_than_domain() {
+        for cf in 0..N_CF {
+            let (lb, rb) = uf_window(cf, N_CF, N_UF, 4.0);
+            assert!(lb <= rb);
+            assert!(rb < N_UF);
+            assert!(
+                rb - lb + 1 <= 9,
+                "window should cut the 19-level domain well down, got {}",
+                rb - lb + 1
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_are_monotone_in_cf() {
+        // Higher CFopt ⇒ the window shifts down (anti-correlation).
+        let mut prev_mid = i64::MAX;
+        for cf in 0..N_CF {
+            let (lb, rb) = uf_window(cf, N_CF, N_UF, 4.0);
+            let mid = (lb + rb) as i64 / 2;
+            assert!(mid <= prev_mid, "window centre must not rise with CF");
+            prev_mid = mid;
+        }
+    }
+
+    #[test]
+    fn paper_hypothetical_machine_example() {
+        // Figure 4(e): 7 levels each, CFopt = A (min) ⇒ UF window
+        // [C, G]: the top of the domain, width 4 = floor(4·7/7).
+        let (lb, rb) = uf_window(0, 7, 7, 4.0);
+        assert_eq!(rb, 6, "RB = G");
+        assert_eq!(lb, 2, "LB = C (window of 4 below G)");
+    }
+
+    #[test]
+    fn degenerate_single_level_domains() {
+        assert_eq!(uf_window(0, 1, 1, 4.0), (0, 0));
+        let (lb, rb) = uf_window(0, 1, 5, 4.0);
+        assert!(lb <= rb && rb <= 4);
+    }
+}

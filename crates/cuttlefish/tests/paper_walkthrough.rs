@@ -1,0 +1,193 @@
+//! The paper's worked examples (Figures 4–9) replayed on the
+//! hypothetical seven-level machine (frequencies A–G for both domains)
+//! as executable specifications.
+
+use cuttlefish::daemon::Daemon;
+use cuttlefish::{Config, TipiSlab};
+use simproc::freq::{Freq, FreqDomain};
+use simproc::profile::Sample;
+
+/// Seven levels, A(=index 0) .. G(=index 6), as ratios 10..=16.
+fn domains() -> (FreqDomain, FreqDomain) {
+    (
+        FreqDomain::new(Freq(10), Freq(16)),
+        FreqDomain::new(Freq(10), Freq(16)),
+    )
+}
+
+const A: Freq = Freq(10);
+const C: Freq = Freq(12);
+const G: Freq = Freq(16);
+
+fn cfg() -> Config {
+    Config {
+        samples_per_freq: 3, // the walkthrough is count-independent
+        ..Config::default()
+    }
+}
+
+fn sample(tipi: f64, jpi: f64) -> Sample {
+    Sample {
+        tipi,
+        jpi,
+        instructions: 1_000_000,
+        joules: jpi * 1e6,
+        dt_ns: 20_000_000,
+    }
+}
+
+/// Drive the daemon at a fixed TIPI over a landscape indexed by the
+/// frequencies the daemon itself sets.
+fn drive(d: &mut Daemon, tipi: f64, ticks: usize, jpi: &dyn Fn(Freq, Freq) -> f64) -> (Freq, Freq) {
+    let (mut cf, mut uf) = d.initial_frequencies();
+    for _ in 0..ticks {
+        let s = sample(tipi, jpi(cf, uf));
+        let (c, u) = d.tick(s);
+        cf = c;
+        uf = u;
+    }
+    (cf, uf)
+}
+
+#[test]
+fn figure4_full_walkthrough_single_tipi() {
+    // Figure 4: CF exploration descends G → E → C → A (JPI improves at
+    // every step), so CFopt = A; Algorithm 3 then yields the uncore
+    // window [C, G]; the UF exploration descends G → E → C and lands
+    // UFopt = C at the window's left bound.
+    let (core, uncore) = domains();
+    let mut d = Daemon::new(cfg(), core.clone(), uncore.clone());
+
+    // JPI falls toward low CF (memory-bound MAP) and toward low UF
+    // within the window.
+    let jpi = |cf: Freq, uf: Freq| 10.0 + (cf.0 - 10) as f64 * 0.5 + (uf.0 - 10) as f64 * 0.2;
+
+    // Phase 1: enough ticks to resolve the core frequency.
+    let mut cf_resolved_at = None;
+    let (mut cf, mut uf) = d.initial_frequencies();
+    for tick in 0..200 {
+        let s = sample(0.05, jpi(cf, uf));
+        let (c, u) = d.tick(s);
+        cf = c;
+        uf = u;
+        let node = d.nodes().next().expect("node exists");
+        if node.cf_opt().is_some() && cf_resolved_at.is_none() {
+            cf_resolved_at = Some(tick);
+            // Figure 4(d): CFopt = A.
+            assert_eq!(node.cf_opt(), Some(0), "CFopt must be A");
+            // Figure 4(e): Algorithm 3 window for CFopt = A is [C, G].
+            let (lb, rb) = node.uf.as_ref().expect("uncore exploration begun").bounds();
+            assert_eq!((lb, rb), (2, 6), "uncore window must be [C, G]");
+            // Algorithm 1 line 23: UF exploration starts at its RB.
+            assert_eq!(u, G, "first uncore probe at the window RB");
+        }
+    }
+    assert!(cf_resolved_at.is_some(), "core exploration must resolve");
+
+    // Phase 2: the uncore exploration resolves to C.
+    let node = d.nodes().next().unwrap();
+    assert_eq!(node.uf_opt(), Some(2), "UFopt must be C");
+    let (final_cf, final_uf) = drive(&mut d, 0.05, 5, &jpi);
+    assert_eq!((final_cf, final_uf), (A, C));
+}
+
+#[test]
+fn figure5a_compute_bound_stays_at_g() {
+    // Figure 5(a): JPI at E is higher than at G — the adjacent pair
+    // [F, G] resolves to G to protect performance.
+    let (core, uncore) = domains();
+    let mut d = Daemon::new(cfg(), core, uncore);
+    let jpi = |cf: Freq, _uf: Freq| 20.0 - (cf.0 - 10) as f64; // JPI falls with CF
+    drive(&mut d, 0.001, 200, &jpi);
+    let node = d.nodes().next().unwrap();
+    assert_eq!(node.cf_opt(), Some(6), "CFopt must be G");
+}
+
+#[test]
+fn figure5b_interior_bracket_resolves_low() {
+    // Figure 5(b): descending succeeds to C but A is worse; the bracket
+    // [B, C] resolves to B (the untested level — energy-favouring).
+    let (core, uncore) = domains();
+    let mut d = Daemon::new(cfg(), core, uncore);
+    let jpi = |cf: Freq, _uf: Freq| match cf.0 {
+        10 => 12.0,       // A worse than C
+        12 => 8.0,        // C best measured
+        14 => 10.0,       // E
+        16 => 11.0,       // G
+        _ => 9.0,
+    };
+    drive(&mut d, 0.05, 200, &jpi);
+    let node = d.nodes().next().unwrap();
+    assert_eq!(node.cf_opt(), Some(1), "CFopt must be B = RB−1");
+}
+
+#[test]
+fn figure6_insertion_inherits_neighbour_bounds() {
+    // Figure 6: TIPI-3 resolves CFopt = B; TIPI-1 (more compute-bound)
+    // is then discovered and must start with CFLB = B, CFRB = G.
+    let (core, uncore) = domains();
+    let mut d = Daemon::new(cfg(), core, uncore);
+
+    // TIPI-3 (slab of 0.050): landscape with minimum at B.
+    let jpi3 = |cf: Freq, _uf: Freq| ((cf.0 as f64) - 11.0).abs() + 1.0;
+    drive(&mut d, 0.050, 400, &jpi3);
+    let n3 = d.list().get(TipiSlab::quantize(0.050, 0.004)).unwrap();
+    let cf3 = n3.cf_opt().expect("TIPI-3 resolved");
+    assert!(cf3 <= 2, "TIPI-3's optimum is low (B-ish), got {cf3}");
+
+    // TIPI-1 (slab of 0.010) appears: one tick creates the node.
+    d.tick(sample(0.010, 5.0));
+    let n1 = d.list().get(TipiSlab::quantize(0.010, 0.004)).unwrap();
+    let (lb, rb) = n1.cf.bounds();
+    assert_eq!(lb, cf3, "CFLB inherited from the right neighbour's CFopt");
+    assert_eq!(rb, 6, "CFRB defaults to G (no left neighbour)");
+}
+
+#[test]
+fn figure9b_uf_propagation_collapses_neighbour() {
+    // Figure 9(b)-style: two memory-bound slabs; when the more
+    // compute-bound one resolves its UFopt, the neighbour's UFLB rises;
+    // with matching bounds it collapses to the same optimum without
+    // ever exploring.
+    let (core, uncore) = domains();
+    let mut d = Daemon::new(cfg(), core, uncore);
+
+    // Slab X (0.050): CF minimum at A, UF minimum at E (index 4).
+    let jpi_x = |cf: Freq, uf: Freq| {
+        (cf.0 - 10) as f64 * 0.5 + ((uf.0 as f64) - 14.0).abs() * 0.3 + 1.0
+    };
+    drive(&mut d, 0.050, 500, &jpi_x);
+    let x = d.list().get(TipiSlab::quantize(0.050, 0.004)).unwrap();
+    assert!(x.uf_opt().is_some(), "slab X fully resolved");
+    let uf_x = x.uf_opt().unwrap();
+
+    // Slab Y (0.060, more memory-bound): its UFLB must be ≥ X's UFopt
+    // as soon as its uncore exploration opens.
+    let jpi_y = |cf: Freq, uf: Freq| {
+        (cf.0 - 10) as f64 * 0.5 + ((uf.0 as f64) - 14.0).abs() * 0.3 + 2.0
+    };
+    drive(&mut d, 0.060, 500, &jpi_y);
+    let y = d.list().get(TipiSlab::quantize(0.060, 0.004)).unwrap();
+    if let Some(uf) = y.uf.as_ref() {
+        assert!(
+            uf.bounds().0 >= uf_x,
+            "monotonicity: Y's UFLB {} must be ≥ X's UFopt {uf_x}",
+            uf.bounds().0
+        );
+    }
+    assert!(d.list().check_invariants().is_ok());
+}
+
+#[test]
+fn exploration_count_matches_paper_worst_case() {
+    // §4.3: on the hypothetical machine the worst case (optimum at the
+    // default minimum) takes total/2 ≈ 3–4 probes, not 7.
+    let (core, uncore) = domains();
+    let mut d = Daemon::new(cfg(), core, uncore);
+    let jpi = |cf: Freq, _uf: Freq| (cf.0 - 9) as f64; // min at A
+    drive(&mut d, 0.05, 300, &jpi);
+    let node = d.nodes().next().unwrap();
+    assert_eq!(node.cf_opt(), Some(0));
+    let measured: Vec<usize> = (0..7).filter(|&l| node.cf.jpi_at(l).is_some()).collect();
+    assert_eq!(measured, vec![0, 2, 4, 6], "probes at A, C, E, G only");
+}

@@ -1,0 +1,138 @@
+//! Property-based tests over the Cuttlefish decision logic.
+//!
+//! The paper's runtime must behave sanely for *any* JPI landscape and
+//! any sample stream — exploration always terminates, frequencies stay
+//! in-domain, the sorted-list invariants survive arbitrary interleaved
+//! discoveries, and bound clamping is monotone.
+
+use cuttlefish::daemon::Daemon;
+use cuttlefish::explore::Exploration;
+use cuttlefish::ufrange::uf_window;
+use cuttlefish::{Config, Policy, TipiSlab};
+use proptest::prelude::*;
+use simproc::freq::{Freq, FreqDomain};
+use simproc::profile::Sample;
+
+fn sample(tipi: f64, jpi: f64) -> Sample {
+    Sample {
+        tipi,
+        jpi,
+        instructions: 1_000_000,
+        joules: jpi * 1e6,
+        dt_ns: 20_000_000,
+    }
+}
+
+proptest! {
+    /// Exploration resolves within a bounded number of ticks for any
+    /// positive JPI curve, and the optimum lies within the initial
+    /// bounds.
+    #[test]
+    fn exploration_terminates_for_any_curve(
+        curve in proptest::collection::vec(0.01f64..100.0, 12),
+        lb in 0usize..12,
+        width in 0usize..12,
+    ) {
+        let rb = (lb + width).min(11);
+        let mut e = Exploration::new(lb, rb, 12, 10);
+        let mut resolved = false;
+        // 10 samples per level, ≤ 12 levels, plus slack.
+        for _ in 0..500 {
+            let adv = e.advance();
+            if e.opt().is_some() {
+                resolved = true;
+                break;
+            }
+            e.record(adv.next, curve[adv.next]);
+        }
+        prop_assert!(resolved, "exploration must terminate");
+        let opt = e.opt().unwrap();
+        prop_assert!((lb..=rb).contains(&opt), "opt {opt} outside [{lb}, {rb}]");
+    }
+
+    /// `clamp_bounds` never widens a range and never un-resolves an
+    /// optimum.
+    #[test]
+    fn clamp_is_monotone(
+        ops in proptest::collection::vec((0usize..12, 0usize..12), 1..20),
+    ) {
+        let mut e = Exploration::new(0, 11, 12, 10);
+        let mut prev = e.bounds();
+        for (f, c) in ops {
+            e.clamp_bounds(Some(f), Some(c));
+            let now = e.bounds();
+            prop_assert!(now.0 >= prev.0, "lb moved down: {now:?} from {prev:?}");
+            prop_assert!(now.1 <= prev.1, "rb moved up: {now:?} from {prev:?}");
+            prop_assert!(now.0 <= now.1, "bounds crossed: {now:?}");
+            if let Some(o) = e.opt() {
+                prop_assert!((now.0..=now.1).contains(&o));
+            }
+            prev = now;
+        }
+    }
+
+    /// The Algorithm 3 window is always a valid, small sub-range.
+    #[test]
+    fn uf_window_always_valid(
+        cf in 0usize..12,
+        n_cf in 1usize..32,
+        n_uf in 1usize..32,
+        mult in 1.0f64..8.0,
+    ) {
+        let cf = cf.min(n_cf - 1);
+        let (lb, rb) = uf_window(cf, n_cf, n_uf, mult);
+        prop_assert!(lb <= rb);
+        prop_assert!(rb < n_uf);
+        let width = rb - lb + 1;
+        let expect = ((mult * n_uf as f64) / n_cf as f64).ceil() as usize + 2;
+        prop_assert!(width <= expect.max(1), "window {width} > expected {expect}");
+    }
+
+    /// The daemon survives any sample stream: frequencies stay within
+    /// their domains and the monotonicity invariants of the TIPI list
+    /// hold whenever optima are resolved.
+    #[test]
+    fn daemon_is_total_and_invariant_preserving(
+        stream in proptest::collection::vec((0.0f64..0.35, 0.1f64..50.0), 1..800),
+        policy in prop_oneof![
+            Just(Policy::Both),
+            Just(Policy::CoreOnly),
+            Just(Policy::UncoreOnly)
+        ],
+    ) {
+        let core = FreqDomain::new(Freq(12), Freq(23));
+        let uncore = FreqDomain::new(Freq(12), Freq(30));
+        let cfg = Config { samples_per_freq: 3, ..Config::default() }.with_policy(policy);
+        let mut d = Daemon::new(cfg, core.clone(), uncore.clone());
+        for (tipi, jpi) in stream {
+            let (cf, uf) = d.tick(sample(tipi, jpi));
+            prop_assert!(core.contains(cf), "core frequency {cf} out of domain");
+            prop_assert!(uncore.contains(uf), "uncore frequency {uf} out of domain");
+            match policy {
+                Policy::CoreOnly => prop_assert_eq!(uf, Freq(30)),
+                Policy::UncoreOnly => prop_assert_eq!(cf, Freq(23)),
+                Policy::Both => {}
+            }
+        }
+        if let Err(e) = d.list().check_invariants() {
+            // Monotonicity can only be violated transiently if the JPI
+            // landscape itself is adversarially inconsistent across
+            // slabs — but bounds inheritance must still prevent
+            // *resolved* optima from crossing.
+            return Err(TestCaseError::fail(format!("invariant violated: {e}")));
+        }
+    }
+
+    /// Slab quantization is order-preserving and consistent with its
+    /// bounds.
+    #[test]
+    fn slab_quantization_consistent(t1 in 0.0f64..1.0, t2 in 0.0f64..1.0) {
+        let w = 0.004;
+        let s1 = TipiSlab::quantize(t1, w);
+        let s2 = TipiSlab::quantize(t2, w);
+        if t1 <= t2 {
+            prop_assert!(s1 <= s2);
+        }
+        prop_assert!(s1.lo(w) <= t1 && t1 < s1.hi(w) + 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! The `Default` baseline: Linux `performance` governor plus the BIOS
+//! "Auto" uncore-frequency controller.
+//!
+//! The paper's baseline fixes every core at the maximum frequency
+//! (`performance` policy, as production supercomputers do) and leaves
+//! the uncore to the Intel firmware, whose algorithm is "highly
+//! sensitive to memory requests": Table 2 reports that it settles at
+//! 2.2 GHz for compute-bound benchmarks and 3.0 GHz for memory-bound
+//! ones. [`DefaultGovernor`] reproduces that observable behaviour with
+//! a traffic-tracking controller: it smooths the achieved memory
+//! bandwidth and ramps the uncore between a 2.2 GHz floor and the
+//! 3.0 GHz ceiling as traffic crosses a saturation band.
+
+use crate::engine::SimProcessor;
+use crate::freq::Freq;
+
+/// Traffic-tracking uncore controller + pinned-max core governor.
+#[derive(Debug, Clone)]
+pub struct DefaultGovernor {
+    /// Uncore frequency used when traffic is light (firmware idle point).
+    pub uf_floor: Freq,
+    /// Traffic fraction (of DRAM peak) where the ramp to max begins.
+    pub ramp_start: f64,
+    /// Traffic fraction where the uncore reaches max.
+    pub ramp_full: f64,
+    /// EWMA smoothing factor applied to the traffic signal per quantum.
+    pub alpha: f64,
+    smoothed: f64,
+}
+
+impl Default for DefaultGovernor {
+    fn default() -> Self {
+        DefaultGovernor {
+            uf_floor: Freq(22),
+            ramp_start: 0.60,
+            ramp_full: 0.80,
+            alpha: 0.2,
+            smoothed: 0.0,
+        }
+    }
+}
+
+impl DefaultGovernor {
+    /// Fresh controller with default firmware-like parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Smoothed traffic estimate (0..1 of DRAM peak).
+    pub fn traffic(&self) -> f64 {
+        self.smoothed
+    }
+
+    /// Uncore target for a given smoothed traffic level.
+    pub fn uncore_target(&self, proc: &SimProcessor, traffic: f64) -> Freq {
+        let floor = proc.spec().uncore.clamp(self.uf_floor);
+        let ceil = proc.spec().uncore.max();
+        if traffic <= self.ramp_start {
+            return floor;
+        }
+        if traffic >= self.ramp_full {
+            return ceil;
+        }
+        let t = (traffic - self.ramp_start) / (self.ramp_full - self.ramp_start);
+        let steps = (ceil.0 - floor.0) as f64;
+        Freq(floor.0 + (t * steps).round() as u32)
+    }
+
+    /// Apply the policy for one quantum: cores pinned at max, uncore
+    /// tracking traffic. Call after every [`SimProcessor::step`].
+    pub fn on_quantum(&mut self, proc: &mut SimProcessor) {
+        let traffic = proc.last_quantum().achieved_bw / proc.perf_model().dram_peak_bw;
+        self.smoothed = self.alpha * traffic + (1.0 - self.alpha) * self.smoothed;
+        let uf = self.uncore_target(proc, self.smoothed);
+        proc.set_core_freq(proc.spec().core.max());
+        proc.set_uncore_freq(uf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Chunk, Workload};
+    use crate::freq::HASWELL_2650V3;
+    use crate::perf::CostProfile;
+
+    struct Steady {
+        chunk: Chunk,
+    }
+    impl Workload for Steady {
+        fn next_chunk(&mut self, _c: usize, _t: u64) -> Option<Chunk> {
+            Some(self.chunk.clone())
+        }
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+
+    fn run_governor(chunk: Chunk, quanta: usize) -> (Freq, Freq) {
+        let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut g = DefaultGovernor::new();
+        let mut wl = Steady { chunk };
+        for _ in 0..quanta {
+            p.step(&mut wl);
+            g.on_quantum(&mut p);
+        }
+        (p.core_freq(), p.uncore_freq())
+    }
+
+    #[test]
+    fn compute_bound_settles_at_uncore_floor() {
+        let chunk = Chunk::new(1_000_000, 500, 100).with_profile(CostProfile::new(0.9, 4.0));
+        let (cf, uf) = run_governor(chunk, 300);
+        assert_eq!(cf, Freq(23), "performance governor pins CF at max");
+        assert_eq!(uf, Freq(22), "light traffic settles at the 2.2 GHz floor");
+    }
+
+    #[test]
+    fn memory_bound_ramps_uncore_to_max() {
+        // TIPI 0.064 streaming — saturates bandwidth.
+        let chunk = Chunk::new(1_000_000, 56_000, 8_000).with_profile(CostProfile::new(0.55, 12.0));
+        let (cf, uf) = run_governor(chunk, 300);
+        assert_eq!(cf, Freq(23));
+        assert_eq!(uf, Freq(30), "saturating traffic drives uncore to 3.0 GHz");
+    }
+
+    #[test]
+    fn ramp_is_monotone_in_traffic() {
+        let p = SimProcessor::new(HASWELL_2650V3.clone());
+        let g = DefaultGovernor::new();
+        let mut prev = Freq(0);
+        for i in 0..=20 {
+            let t = i as f64 / 20.0;
+            let uf = g.uncore_target(&p, t);
+            assert!(uf >= prev);
+            prev = uf;
+        }
+        assert_eq!(g.uncore_target(&p, 0.0), Freq(22));
+        assert_eq!(g.uncore_target(&p, 1.0), Freq(30));
+    }
+}

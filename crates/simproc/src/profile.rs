@@ -1,0 +1,173 @@
+//! Counter snapshot and delta helpers — the TIPI/JPI arithmetic shared
+//! by the Cuttlefish runtime backend and the trace collectors.
+//!
+//! The implementation mirrors what the paper (following RCRtool) does on
+//! real hardware: read the RAPL package-energy MSR, the per-core
+//! instructions-retired counters, and the TOR-insert counters; diff
+//! against the previous reading with wraparound handling; divide.
+
+use crate::engine::SimProcessor;
+use crate::msr::{
+    MsrError, IA32_FIXED_CTR0, JOULES_PER_COUNT, MSR_PKG_ENERGY_STATUS,
+    SIM_TOR_INSERT_MISS_LOCAL, SIM_TOR_INSERT_MISS_REMOTE,
+};
+
+/// Raw counter values captured at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// RAPL package energy counter (32-bit wrapping, ESU units).
+    pub energy_counts: u64,
+    /// Sum of per-core `INST_RETIRED.ANY` (48-bit wrapping each).
+    pub inst_retired: u64,
+    /// Socket TOR inserts, local-miss umask (48-bit wrapping).
+    pub tor_local: u64,
+    /// Socket TOR inserts, remote-miss umask (48-bit wrapping).
+    pub tor_remote: u64,
+    /// Virtual timestamp, nanoseconds.
+    pub t_ns: u64,
+}
+
+impl CounterSnapshot {
+    /// Capture all counters from a simulated processor.
+    pub fn capture(proc: &SimProcessor) -> Result<Self, MsrError> {
+        let energy_counts = proc.msr_read(MSR_PKG_ENERGY_STATUS)?;
+        let mut inst: u64 = 0;
+        for core in 0..proc.n_cores() {
+            inst = inst.wrapping_add(proc.msr_read_core(core, IA32_FIXED_CTR0)?);
+        }
+        Ok(CounterSnapshot {
+            energy_counts,
+            inst_retired: inst,
+            tor_local: proc.msr_read(SIM_TOR_INSERT_MISS_LOCAL)?,
+            tor_remote: proc.msr_read(SIM_TOR_INSERT_MISS_REMOTE)?,
+            t_ns: proc.now_ns(),
+        })
+    }
+}
+
+/// A profiling sample over an interval: the two quantities the
+/// Cuttlefish daemon lives on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// TOR inserts per instruction over the interval.
+    pub tipi: f64,
+    /// Joules per instruction over the interval.
+    pub jpi: f64,
+    /// Instructions retired over the interval.
+    pub instructions: u64,
+    /// Joules over the interval.
+    pub joules: f64,
+    /// Interval length, nanoseconds.
+    pub dt_ns: u64,
+}
+
+/// Difference of two wrapping counters with `bits` significant bits.
+#[inline]
+pub fn wrapping_delta(now: u64, before: u64, bits: u32) -> u64 {
+    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    now.wrapping_sub(before) & mask
+}
+
+/// Compute the interval sample between two snapshots.
+///
+/// Returns `None` when no instructions retired in the interval (TIPI and
+/// JPI are undefined; the paper's daemon simply skips such readings).
+pub fn delta(before: &CounterSnapshot, now: &CounterSnapshot) -> Option<Sample> {
+    let instructions = wrapping_delta(now.inst_retired, before.inst_retired, 64);
+    if instructions == 0 {
+        return None;
+    }
+    let energy = wrapping_delta(now.energy_counts, before.energy_counts, 32);
+    let tor = wrapping_delta(now.tor_local, before.tor_local, 48)
+        + wrapping_delta(now.tor_remote, before.tor_remote, 48);
+    let joules = energy as f64 * JOULES_PER_COUNT;
+    Some(Sample {
+        tipi: tor as f64 / instructions as f64,
+        jpi: joules / instructions as f64,
+        instructions,
+        joules,
+        dt_ns: now.t_ns.saturating_sub(before.t_ns),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msr::CTR48_MASK;
+
+    fn snap(e: u64, i: u64, tl: u64, tr: u64, t: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            energy_counts: e,
+            inst_retired: i,
+            tor_local: tl,
+            tor_remote: tr,
+            t_ns: t,
+        }
+    }
+
+    #[test]
+    fn basic_delta() {
+        let a = snap(0, 0, 0, 0, 0);
+        let b = snap(16384, 1_000_000, 50_000, 14_000, 20_000_000);
+        let s = delta(&a, &b).unwrap();
+        assert!((s.jpi - 1.0 / 1_000_000.0).abs() < 1e-12, "16384 counts = 1 J");
+        assert!((s.tipi - 0.064).abs() < 1e-12);
+        assert_eq!(s.dt_ns, 20_000_000);
+    }
+
+    #[test]
+    fn zero_instructions_yields_none() {
+        let a = snap(0, 42, 0, 0, 0);
+        let b = snap(100, 42, 7, 0, 1);
+        assert!(delta(&a, &b).is_none());
+    }
+
+    #[test]
+    fn rapl_wraparound_handled() {
+        let a = snap(0xffff_fff0, 0, 0, 0, 0);
+        let b = snap(0x10, 1000, 0, 0, 1);
+        let s = delta(&a, &b).unwrap();
+        let counts = (s.joules / JOULES_PER_COUNT).round() as u64;
+        assert_eq!(counts, 0x20, "32 counts across the 32-bit wrap");
+    }
+
+    #[test]
+    fn tor_wraparound_handled() {
+        let a = snap(0, 0, CTR48_MASK - 5, CTR48_MASK - 1, 0);
+        let b = snap(0, 100, 10, 3, 1);
+        let s = delta(&a, &b).unwrap();
+        // local: 16, remote: 5 => 21 total.
+        assert!((s.tipi - 21.0 / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capture_from_processor_works() {
+        use crate::engine::{Chunk, Workload};
+        use crate::freq::HASWELL_2650V3;
+        struct One(bool);
+        impl Workload for One {
+            fn next_chunk(&mut self, core: usize, _t: u64) -> Option<Chunk> {
+                if core == 0 && !self.0 {
+                    self.0 = true;
+                    Some(Chunk::new(10_000_000, 640_000, 0))
+                } else {
+                    None
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.0
+            }
+        }
+        let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+        let before = CounterSnapshot::capture(&p).unwrap();
+        let mut wl = One(false);
+        p.run(&mut wl, |_| {});
+        let after = CounterSnapshot::capture(&p).unwrap();
+        let s = delta(&before, &after).unwrap();
+        // Counter reads floor the exact f64 accumulator, so allow for
+        // one count of rounding slack.
+        assert!(s.instructions.abs_diff(10_000_000) <= 1, "{}", s.instructions);
+        assert!((s.tipi - 0.064).abs() < 1e-6);
+        assert!(s.jpi > 0.0);
+    }
+}

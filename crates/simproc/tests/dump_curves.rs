@@ -1,0 +1,52 @@
+//! Diagnostic dump of JPI curves (run with --ignored --nocapture).
+
+use simproc::engine::{Chunk, SimProcessor, Workload};
+use simproc::freq::{Freq, HASWELL_2650V3};
+use simproc::perf::CostProfile;
+
+struct Uniform {
+    chunk: Chunk,
+    left: Vec<usize>,
+}
+impl Workload for Uniform {
+    fn next_chunk(&mut self, core: usize, _t: u64) -> Option<Chunk> {
+        if self.left[core] == 0 {
+            None
+        } else {
+            self.left[core] -= 1;
+            Some(self.chunk.clone())
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.left.iter().all(|&l| l == 0)
+    }
+}
+
+fn run_at(chunk: &Chunk, cf: Freq, uf: Freq) -> (f64, f64) {
+    let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+    p.set_core_freq(cf);
+    p.set_uncore_freq(uf);
+    let mut wl = Uniform { chunk: chunk.clone(), left: vec![60; p.n_cores()] };
+    let secs = p.run(&mut wl, |_| {});
+    (p.total_energy_joules() / p.total_instructions() * 1e9, secs)
+}
+
+#[test]
+#[ignore]
+fn dump() {
+    let uts = Chunk::new(1_000_000, 800, 200).with_profile(CostProfile::new(0.9, 4.0));
+    let sor = Chunk::new(1_000_000, 22_000, 4_000).with_profile(CostProfile::new(2.2, 26.0));
+    let heat = Chunk::new(1_000_000, 56_000, 8_000).with_profile(CostProfile::new(0.55, 12.0));
+    for (name, c) in [("uts", &uts), ("sor", &sor), ("heat", &heat)] {
+        println!("== {name} JPI(CF) at UF=3.0 (nJ/instr, secs)");
+        for cf in HASWELL_2650V3.core.iter() {
+            let (j, t) = run_at(c, cf, Freq(30));
+            println!("  CF {cf}: {j:.4} {t:.3}");
+        }
+        println!("== {name} JPI(UF) at CF=2.3");
+        for uf in HASWELL_2650V3.uncore.iter() {
+            let (j, t) = run_at(c, Freq(23), uf);
+            println!("  UF {uf}: {j:.4} {t:.3}");
+        }
+    }
+}

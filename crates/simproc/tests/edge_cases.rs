@@ -1,0 +1,178 @@
+//! Edge-case and failure-injection tests for the substrate: degenerate
+//! machines, adversarial workloads, and boundary conditions that a
+//! production simulator must shrug off.
+
+use simproc::engine::{Chunk, SimProcessor, Workload};
+use simproc::freq::{Freq, FreqDomain, MachineSpec, HASWELL_2650V3};
+use simproc::perf::CostProfile;
+
+fn tiny_machine() -> MachineSpec {
+    MachineSpec {
+        name: "1-core/1-level".into(),
+        n_cores: 1,
+        core: FreqDomain::new(Freq(12), Freq(12)),
+        uncore: FreqDomain::new(Freq(12), Freq(12)),
+        quantum_ns: 1_000_000,
+    }
+}
+
+struct Once(Option<Chunk>);
+impl Workload for Once {
+    fn next_chunk(&mut self, _c: usize, _t: u64) -> Option<Chunk> {
+        self.0.take()
+    }
+    fn is_done(&self) -> bool {
+        self.0.is_none()
+    }
+}
+
+#[test]
+fn single_core_single_level_machine_runs() {
+    let mut p = SimProcessor::new(tiny_machine());
+    let mut wl = Once(Some(Chunk::new(5_000_000, 1000, 0)));
+    let secs = p.run(&mut wl, |_| {});
+    assert!(secs > 0.0);
+    assert_eq!(p.core_freq(), Freq(12));
+    // Frequency writes clamp to the only level.
+    p.set_core_freq(Freq(99));
+    p.set_uncore_freq(Freq(1));
+    let mut wl2 = Once(None);
+    p.step(&mut wl2);
+    assert_eq!(p.core_freq(), Freq(12));
+    assert_eq!(p.uncore_freq(), Freq(12));
+}
+
+#[test]
+fn zero_instruction_chunk_does_not_hang() {
+    // A chunk with misses but no instructions is pure memory traffic;
+    // the engine must finish it in finite time.
+    let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+    let mut wl = Once(Some(Chunk::new(0, 100_000, 10_000)));
+    let mut guard = 0;
+    while !p.workload_drained(&wl) {
+        p.step(&mut wl);
+        guard += 1;
+        assert!(guard < 100_000, "engine must drain a zero-instruction chunk");
+    }
+}
+
+#[test]
+fn truly_empty_chunk_completes_immediately() {
+    let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+    let mut wl = Once(Some(Chunk::new(0, 0, 0)));
+    let mut guard = 0;
+    while !p.workload_drained(&wl) {
+        p.step(&mut wl);
+        guard += 1;
+        assert!(guard < 10, "empty chunk must cost ~nothing");
+    }
+}
+
+struct Liar {
+    handed: bool,
+}
+impl Workload for Liar {
+    fn next_chunk(&mut self, core: usize, _t: u64) -> Option<Chunk> {
+        if core == 0 && !self.handed {
+            self.handed = true;
+            Some(Chunk::new(50_000_000, 0, 0))
+        } else {
+            None
+        }
+    }
+    fn is_done(&self) -> bool {
+        // Lies: claims done while its chunk may still be in flight.
+        true
+    }
+}
+
+#[test]
+fn in_flight_chunks_complete_even_if_workload_claims_done() {
+    // `workload_drained` must consider engine-held chunks, not just the
+    // workload's own claim.
+    let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+    let mut wl = Liar { handed: false };
+    p.step(&mut wl); // hands out the chunk
+    assert!(
+        !p.workload_drained(&wl),
+        "chunk is in flight; drain must be false despite is_done()"
+    );
+    let mut guard = 0;
+    while !p.workload_drained(&wl) {
+        p.step(&mut wl);
+        guard += 1;
+        assert!(guard < 1_000_000);
+    }
+    assert!((p.total_instructions() - 50_000_000.0).abs() < 1.0);
+}
+
+#[test]
+fn giant_chunk_spans_many_quanta_with_exact_accounting() {
+    // One chunk worth ~2 s of work: partial-execution slicing must
+    // conserve instructions and misses exactly.
+    let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+    let chunk = Chunk::new(4_000_000_000, 4_000_000, 1_000_000)
+        .with_profile(CostProfile::new(1.0, 8.0));
+    let mut wl = Once(Some(chunk));
+    p.run(&mut wl, |_| {});
+    assert!((p.total_instructions() - 4.0e9).abs() / 4.0e9 < 1e-9);
+    let tor = p
+        .msr_read(simproc::msr::SIM_TOR_INSERT_MISS_LOCAL)
+        .unwrap()
+        + p.msr_read(simproc::msr::SIM_TOR_INSERT_MISS_REMOTE)
+            .unwrap();
+    assert!((tor as f64 - 5.0e6).abs() < 2.0, "misses conserved, got {tor}");
+}
+
+#[test]
+fn frequency_thrash_every_quantum_is_stable() {
+    // An adversarial controller flipping both knobs every quantum must
+    // not break conservation or produce non-finite energy.
+    let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+    struct Steady;
+    impl Workload for Steady {
+        fn next_chunk(&mut self, _c: usize, _t: u64) -> Option<Chunk> {
+            Some(Chunk::new(1_000_000, 30_000, 10_000))
+        }
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+    let mut wl = Steady;
+    for i in 0..2_000u32 {
+        p.step(&mut wl);
+        let cf = 12 + (i % 12);
+        let uf = 12 + ((i * 7) % 19);
+        p.set_core_freq(Freq(cf));
+        p.set_uncore_freq(Freq(uf));
+    }
+    assert!(p.total_energy_joules().is_finite());
+    assert!(p.total_instructions() > 0.0);
+    // Residency spread across many operating points.
+    assert!(p.frequency_residency().len() > 50);
+}
+
+#[test]
+fn daemon_survives_degenerate_single_level_machine() {
+    // Cuttlefish on a machine with one frequency per domain: nothing to
+    // explore; everything resolves instantly and harmlessly.
+    use cuttlefish::daemon::Daemon;
+    use cuttlefish::Config;
+    use simproc::profile::Sample;
+    let m = tiny_machine();
+    let mut d = Daemon::new(Config::default(), m.core.clone(), m.uncore.clone());
+    for _ in 0..100 {
+        let (cf, uf) = d.tick(Sample {
+            tipi: 0.05,
+            jpi: 3.0,
+            instructions: 1_000_000,
+            joules: 3.0,
+            dt_ns: 20_000_000,
+        });
+        assert_eq!(cf, Freq(12));
+        assert_eq!(uf, Freq(12));
+    }
+    let node = d.nodes().next().unwrap();
+    assert_eq!(node.cf_opt(), Some(0));
+    assert_eq!(node.uf_opt(), Some(0));
+}

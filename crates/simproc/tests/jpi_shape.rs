@@ -1,0 +1,210 @@
+//! Shape-calibration tests: the JPI surfaces of the simulated machine
+//! must have their optima where the paper's Table 2 measured them.
+//!
+//! * Compute-bound (UTS-like, TIPI ≈ 0.001): JPI minimal at CF = 2.3 GHz
+//!   and UF ≈ 1.2–1.3 GHz; JPI decreases with CF and increases with UF
+//!   (paper Fig. 3 trend).
+//! * Moderate streaming (SOR-like, TIPI ≈ 0.026): still CFopt = 2.3,
+//!   UFopt ≈ 1.2.
+//! * Memory-bound (Heat-like, TIPI ≈ 0.064): CFopt ≈ 1.2–1.3 GHz,
+//!   UFopt ≈ 2.1–2.3 GHz (interior — not max).
+
+use simproc::engine::{Chunk, SimProcessor, Workload};
+use simproc::freq::{Freq, HASWELL_2650V3};
+use simproc::perf::CostProfile;
+
+struct Uniform {
+    chunk: Chunk,
+    left: Vec<usize>,
+}
+
+impl Workload for Uniform {
+    fn next_chunk(&mut self, core: usize, _t: u64) -> Option<Chunk> {
+        if self.left[core] == 0 {
+            None
+        } else {
+            self.left[core] -= 1;
+            Some(self.chunk.clone())
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.left.iter().all(|&l| l == 0)
+    }
+}
+
+/// Run `chunk` replicated on all cores at fixed frequencies; return
+/// (jpi, seconds).
+fn run_at(chunk: &Chunk, cf: Freq, uf: Freq) -> (f64, f64) {
+    let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+    p.set_core_freq(cf);
+    p.set_uncore_freq(uf);
+    let mut wl = Uniform {
+        chunk: chunk.clone(),
+        left: vec![300; p.n_cores()],
+    };
+    let secs = p.run(&mut wl, |_| {});
+    let jpi = p.total_energy_joules() / p.total_instructions();
+    (jpi, secs)
+}
+
+fn argmin_cf(chunk: &Chunk, uf: Freq) -> Freq {
+    HASWELL_2650V3
+        .core
+        .iter()
+        .min_by(|&a, &b| {
+            run_at(chunk, a, uf).0.partial_cmp(&run_at(chunk, b, uf).0).unwrap()
+        })
+        .unwrap()
+}
+
+fn argmin_uf(chunk: &Chunk, cf: Freq) -> Freq {
+    HASWELL_2650V3
+        .uncore
+        .iter()
+        .min_by(|&a, &b| {
+            run_at(chunk, cf, a).0.partial_cmp(&run_at(chunk, cf, b).0).unwrap()
+        })
+        .unwrap()
+}
+
+fn uts_like() -> Chunk {
+    // TIPI ~ 0.001, branchy irregular code.
+    Chunk::new(1_000_000, 800, 200).with_profile(CostProfile::new(0.9, 4.0))
+}
+
+fn sor_like() -> Chunk {
+    // TIPI ~ 0.026, dependent FP chain, prefetch-covered streaming.
+    Chunk::new(1_000_000, 22_000, 4_000).with_profile(CostProfile::new(2.0, 18.0))
+}
+
+fn heat_like() -> Chunk {
+    // TIPI ~ 0.064, vectorized streaming — bandwidth-saturated.
+    Chunk::new(1_000_000, 56_000, 8_000).with_profile(CostProfile::new(0.55, 12.0))
+}
+
+#[test]
+fn compute_bound_cf_optimum_at_max() {
+    // The paper explores CF with the uncore still at max.
+    assert_eq!(argmin_cf(&uts_like(), Freq(30)), Freq(23));
+}
+
+#[test]
+fn compute_bound_jpi_monotone_decreasing_in_cf() {
+    let chunk = uts_like();
+    let mut prev = f64::INFINITY;
+    for cf in HASWELL_2650V3.core.iter() {
+        let (jpi, _) = run_at(&chunk, cf, Freq(30));
+        assert!(
+            jpi < prev,
+            "compute-bound JPI must fall as CF rises; rose at {cf}"
+        );
+        prev = jpi;
+    }
+}
+
+#[test]
+fn compute_bound_uf_optimum_at_min() {
+    let opt = argmin_uf(&uts_like(), Freq(23));
+    assert!(opt <= Freq(13), "UTS UFopt should be 1.2-1.3 GHz, got {opt}");
+}
+
+#[test]
+fn compute_bound_jpi_rises_with_uf() {
+    // Sampled every third level to stay above quantum-quantization
+    // noise; the trend must be strictly upward.
+    let chunk = uts_like();
+    let mut prev = 0.0;
+    for ratio in (12..=30).step_by(3) {
+        let (jpi, _) = run_at(&chunk, Freq(23), Freq(ratio));
+        assert!(
+            jpi > prev,
+            "compute-bound JPI must rise with UF; fell at {}",
+            Freq(ratio)
+        );
+        prev = jpi;
+    }
+}
+
+#[test]
+fn sor_like_cf_optimum_near_max() {
+    // The true argmin may sit one level below max (the measured curve is
+    // nearly flat at the top — the same situation the paper's Fig. 5(a)
+    // adjacent-bounds rule resolves by picking CFmax). The substrate
+    // requirement is only: optimum at/near the top, steep penalty below.
+    let opt = argmin_cf(&sor_like(), Freq(30));
+    assert!(opt >= Freq(21), "SOR CF optimum should be near max, got {opt}");
+    let (j_min, _) = run_at(&sor_like(), Freq(12), Freq(30));
+    let (j_top, _) = run_at(&sor_like(), Freq(23), Freq(30));
+    assert!(j_min > j_top * 1.1, "CFmin must be clearly worse for SOR");
+}
+
+#[test]
+fn sor_like_uf_optimum_near_min() {
+    let opt = argmin_uf(&sor_like(), Freq(23));
+    assert!(opt <= Freq(14), "SOR UFopt should be near 1.2 GHz, got {opt}");
+}
+
+#[test]
+fn memory_bound_cf_optimum_at_min() {
+    // UF at the Default-governor level for a memory-bound program (3.0).
+    let opt = argmin_cf(&heat_like(), Freq(30));
+    assert!(opt <= Freq(13), "Heat CFopt should be 1.2-1.3 GHz, got {opt}");
+}
+
+#[test]
+fn memory_bound_jpi_increases_with_cf() {
+    let chunk = heat_like();
+    let (low, _) = run_at(&chunk, Freq(12), Freq(30));
+    let (high, _) = run_at(&chunk, Freq(23), Freq(30));
+    assert!(high > low * 1.05, "Heat JPI at CFmax should clearly exceed CFmin");
+}
+
+#[test]
+fn memory_bound_uf_optimum_interior() {
+    let opt = argmin_uf(&heat_like(), Freq(12));
+    assert!(
+        (Freq(20)..=Freq(23)).contains(&opt),
+        "Heat UFopt should sit at the 2.1-2.3 GHz knee, got {opt}"
+    );
+}
+
+#[test]
+fn memory_bound_slowdown_at_tuned_point_is_small() {
+    // (1.2, 2.2) vs the Default operating point (2.3, 3.0): the paper
+    // reports only a few percent slowdown for Heat.
+    let chunk = heat_like();
+    let (_, t_tuned) = run_at(&chunk, Freq(12), Freq(22));
+    let (_, t_default) = run_at(&chunk, Freq(23), Freq(30));
+    let slowdown = t_tuned / t_default - 1.0;
+    assert!(
+        slowdown < 0.12,
+        "memory-bound slowdown at the tuned point should be small, got {slowdown:.3}"
+    );
+}
+
+#[test]
+fn memory_bound_energy_saving_at_tuned_point_is_large() {
+    let chunk = heat_like();
+    let (j_tuned, _) = run_at(&chunk, Freq(12), Freq(22));
+    let (j_default, _) = run_at(&chunk, Freq(23), Freq(30));
+    let saving = 1.0 - j_tuned / j_default;
+    assert!(
+        (0.15..0.40).contains(&saving),
+        "paper reports 22-29% for memory-bound benchmarks, got {saving:.3}"
+    );
+}
+
+#[test]
+fn compute_bound_energy_saving_at_tuned_point_is_moderate() {
+    // Cuttlefish point (2.3, 1.2) vs Default point (2.3, 2.2).
+    let chunk = uts_like();
+    let (j_tuned, t_tuned) = run_at(&chunk, Freq(23), Freq(12));
+    let (j_default, t_default) = run_at(&chunk, Freq(23), Freq(22));
+    let saving = 1.0 - j_tuned / j_default;
+    assert!(
+        (0.04..0.18).contains(&saving),
+        "paper reports 8-10% for compute-bound benchmarks, got {saving:.3}"
+    );
+    let slowdown = t_tuned / t_default - 1.0;
+    assert!(slowdown < 0.05, "compute-bound slowdown should be tiny, got {slowdown:.3}");
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the simulated processor's physical
+//! invariants: conservation, monotonicity, and counter consistency
+//! must hold for any workload and any frequency program.
+
+use proptest::prelude::*;
+use simproc::engine::{Chunk, SimProcessor, Workload};
+use simproc::freq::{Freq, HASWELL_2650V3};
+use simproc::msr;
+use simproc::perf::CostProfile;
+
+/// Workload replaying a fixed list of chunks round-robin across cores.
+struct Replay {
+    chunks: Vec<Chunk>,
+    next: usize,
+}
+
+impl Workload for Replay {
+    fn next_chunk(&mut self, _core: usize, _t: u64) -> Option<Chunk> {
+        if self.next >= self.chunks.len() {
+            return None;
+        }
+        let c = self.chunks[self.next].clone();
+        self.next += 1;
+        Some(c)
+    }
+    fn is_done(&self) -> bool {
+        self.next >= self.chunks.len()
+    }
+}
+
+fn chunk_strategy() -> impl Strategy<Value = Chunk> {
+    (
+        100_000u64..5_000_000,
+        0.0f64..0.2,
+        0.4f64..2.5,
+        2.0f64..24.0,
+    )
+        .prop_map(|(instr, tipi, cpi, mlp)| {
+            let misses = (instr as f64 * tipi) as u64;
+            Chunk::new(instr, misses * 7 / 10, misses * 3 / 10)
+                .with_profile(CostProfile::new(cpi, mlp))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Instructions retired equal instructions submitted; energy and
+    /// time are positive and finite.
+    #[test]
+    fn work_and_energy_conservation(
+        chunks in proptest::collection::vec(chunk_strategy(), 1..60),
+        cf in 12u32..=23,
+        uf in 12u32..=30,
+    ) {
+        let expected: u64 = chunks.iter().map(|c| c.instructions).sum();
+        let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+        p.set_core_freq(Freq(cf));
+        p.set_uncore_freq(Freq(uf));
+        let mut wl = Replay { chunks, next: 0 };
+        let mut guard = 0;
+        while !p.workload_drained(&wl) {
+            p.step(&mut wl);
+            guard += 1;
+            prop_assert!(guard < 10_000_000, "engine stalled");
+        }
+        let measured = p.total_instructions();
+        prop_assert!(
+            (measured - expected as f64).abs() / (expected as f64) < 1e-9,
+            "instructions: {measured} vs {expected}"
+        );
+        prop_assert!(p.total_energy_joules().is_finite() && p.total_energy_joules() > 0.0);
+    }
+
+    /// Lowering the core frequency never makes any workload faster.
+    #[test]
+    fn time_monotone_in_core_frequency(
+        chunks in proptest::collection::vec(chunk_strategy(), 1..30),
+        uf in 12u32..=30,
+    ) {
+        let run = |cf: u32| {
+            let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+            p.set_core_freq(Freq(cf));
+            p.set_uncore_freq(Freq(uf));
+            let mut wl = Replay { chunks: chunks.clone(), next: 0 };
+            while !p.workload_drained(&wl) {
+                p.step(&mut wl);
+            }
+            p.now_ns()
+        };
+        // Quantum rounding allows equality; a *lower* frequency must
+        // never win by more than one quantum.
+        prop_assert!(run(12) + 1_000_000 >= run(23));
+    }
+
+    /// The RAPL MSR tracks ground-truth energy within quantization.
+    #[test]
+    fn rapl_counter_tracks_ground_truth(
+        chunks in proptest::collection::vec(chunk_strategy(), 1..40),
+    ) {
+        let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+        let c0 = p.msr_read(msr::MSR_PKG_ENERGY_STATUS).unwrap();
+        let mut wl = Replay { chunks, next: 0 };
+        while !p.workload_drained(&wl) {
+            p.step(&mut wl);
+        }
+        let c1 = p.msr_read(msr::MSR_PKG_ENERGY_STATUS).unwrap();
+        let via_msr = (c1.wrapping_sub(c0) & 0xffff_ffff) as f64 * msr::JOULES_PER_COUNT;
+        let exact = p.total_energy_joules();
+        prop_assert!(
+            (via_msr - exact).abs() <= 2.0 * msr::JOULES_PER_COUNT,
+            "RAPL {via_msr} vs exact {exact}"
+        );
+    }
+
+    /// Counters are monotone non-decreasing over time.
+    #[test]
+    fn counters_monotone(
+        chunks in proptest::collection::vec(chunk_strategy(), 1..30),
+    ) {
+        let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut wl = Replay { chunks, next: 0 };
+        let mut prev_e = 0.0;
+        let mut prev_i = 0.0;
+        let mut prev_tor = 0u64;
+        while !p.workload_drained(&wl) {
+            p.step(&mut wl);
+            let e = p.total_energy_joules();
+            let i = p.total_instructions();
+            let tor = p.msr_read(msr::SIM_TOR_INSERT_MISS_LOCAL).unwrap();
+            prop_assert!(e >= prev_e && i >= prev_i && tor >= prev_tor);
+            prev_e = e;
+            prev_i = i;
+            prev_tor = tor;
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # tasking — async–finish task DAGs and schedulers over simulated cores
+//!
+//! The Cuttlefish paper evaluates two parallel programming models to
+//! demonstrate that the library is *programming-model oblivious*:
+//!
+//! * **OpenMP** — work-sharing pragmas (static loop partitioning) and
+//!   tasking pragmas (dynamic task parallelism with regular/irregular
+//!   execution DAGs), and
+//! * **HClib** — an async–finish work-stealing runtime.
+//!
+//! This crate is the substitute for both runtimes. Workloads build
+//! [`TaskDag`]s (or region lists) describing their computation; two
+//! schedulers execute them on the simulated cores by implementing
+//! [`simproc::Workload`]:
+//!
+//! * [`WorkStealingScheduler`] — per-core deques, LIFO local pop, FIFO
+//!   random-victim steal: the scheduling discipline of HClib (and of
+//!   OpenMP task pools in practice).
+//! * [`WorkSharingScheduler`] — statically partitioned parallel regions
+//!   with barriers: OpenMP `parallel for` with a static schedule.
+//!
+//! Cuttlefish itself never sees any of this — it observes only the MSR
+//! counter streams the execution produces, which is precisely the
+//! paper's obliviousness claim.
+//!
+//! A third module, [`threaded`], is a *real* (host-thread) async–finish
+//! work-stealing pool with the HClib-style `finish(|scope| scope.spawn(…))`
+//! API. It is not connected to the simulator; it exists to demonstrate
+//! the programming model end-to-end on actual threads (see the
+//! `irregular_tasks` example).
+
+pub mod share;
+pub mod steal;
+pub mod task;
+pub mod threaded;
+
+pub use share::{Region, WorkSharingScheduler};
+pub use steal::WorkStealingScheduler;
+pub use task::{DagBuilder, TaskDag, TaskId};

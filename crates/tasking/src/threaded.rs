@@ -1,0 +1,346 @@
+//! A real async–finish work-stealing thread pool.
+//!
+//! This is the host-thread counterpart of [`crate::steal`]: where that
+//! module *simulates* HClib's scheduling discipline on simulated cores,
+//! this one actually runs it, with the HClib programming style:
+//!
+//! ```
+//! use tasking::threaded::Pool;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let pool = Pool::new(4);
+//! let sum = std::sync::Arc::new(AtomicU64::new(0));
+//! pool.finish(|scope| {
+//!     for i in 0..100u64 {
+//!         let sum = sum.clone();
+//!         scope.spawn(move |_| {
+//!             sum.fetch_add(i, Ordering::Relaxed);
+//!         });
+//!     }
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 4950);
+//! ```
+//!
+//! `finish` returns only when every task spawned inside it — including
+//! tasks spawned transitively by other tasks — has completed, which is
+//! exactly the async–finish quiescence semantics of HClib / X10.
+//!
+//! Built on `crossbeam-deque`: each worker owns a [`Worker`] deque
+//! (LIFO pop), idle workers steal from a global [`Injector`] FIFO and
+//! from random victims' deques. Tasks must be `Send + 'static`; share
+//! state through `Arc` as the example shows.
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce(&Scope<'_>) + Send>;
+
+/// Pending-task accounting for one `finish` scope.
+struct FinishState {
+    pending: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl FinishState {
+    fn new() -> Arc<Self> {
+        Arc::new(FinishState {
+            pending: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn task_spawned(&self) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn task_done(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _g = self.lock.lock().unwrap();
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait_quiescent(&self) {
+        let mut g = self.lock.lock().unwrap();
+        while self.pending.load(Ordering::SeqCst) != 0 {
+            let (g2, _) = self.cv.wait_timeout(g, Duration::from_millis(1)).unwrap();
+            g = g2;
+        }
+    }
+}
+
+struct Shared {
+    injector: Injector<(Job, Arc<FinishState>)>,
+    stealers: Vec<Stealer<(Job, Arc<FinishState>)>>,
+    shutdown: AtomicBool,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+impl Shared {
+    fn notify_work(&self) {
+        let _g = self.idle_lock.lock().unwrap();
+        self.idle_cv.notify_all();
+    }
+}
+
+/// Handle passed to every task; lets it spawn siblings into the same
+/// enclosing `finish`.
+pub struct Scope<'a> {
+    shared: &'a Shared,
+    finish: &'a Arc<FinishState>,
+    local: Option<&'a Worker<(Job, Arc<FinishState>)>>,
+}
+
+impl Scope<'_> {
+    /// Spawn an async task attributed to the enclosing `finish`.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'_>) + Send + 'static,
+    {
+        self.finish.task_spawned();
+        let item = (Box::new(f) as Job, Arc::clone(self.finish));
+        match self.local {
+            // Worker thread: child-first, to the bottom of our deque.
+            Some(w) => w.push(item),
+            // User thread: through the global injector.
+            None => self.shared.injector.push(item),
+        }
+        self.shared.notify_work();
+    }
+}
+
+/// The work-stealing pool.
+pub struct Pool {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spin up `n_threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `n_threads` is zero.
+    pub fn new(n_threads: usize) -> Self {
+        assert!(n_threads > 0, "pool needs at least one thread");
+        let workers: Vec<Worker<(Job, Arc<FinishState>)>> =
+            (0..n_threads).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(Worker::stealer).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let threads = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tasking-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &w, i))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Pool { shared, threads }
+    }
+
+    /// Number of worker threads.
+    pub fn n_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Run `f` with a [`Scope`], then block until every task spawned in
+    /// the scope (transitively) has completed.
+    pub fn finish<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'_>),
+    {
+        let finish = FinishState::new();
+        {
+            let scope = Scope {
+                shared: &self.shared,
+                finish: &finish,
+                local: None,
+            };
+            f(&scope);
+        }
+        finish.wait_quiescent();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.notify_work();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn find_work(
+    shared: &Shared,
+    local: &Worker<(Job, Arc<FinishState>)>,
+    me: usize,
+) -> Option<(Job, Arc<FinishState>)> {
+    if let Some(item) = local.pop() {
+        return Some(item);
+    }
+    // Drain the injector into our deque opportunistically, then steal.
+    loop {
+        match shared.injector.steal_batch_and_pop(local) {
+            crossbeam::deque::Steal::Success(item) => return Some(item),
+            crossbeam::deque::Steal::Retry => continue,
+            crossbeam::deque::Steal::Empty => break,
+        }
+    }
+    for (v, stealer) in shared.stealers.iter().enumerate() {
+        if v == me {
+            continue;
+        }
+        loop {
+            match stealer.steal() {
+                crossbeam::deque::Steal::Success(item) => return Some(item),
+                crossbeam::deque::Steal::Retry => continue,
+                crossbeam::deque::Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &Shared, local: &Worker<(Job, Arc<FinishState>)>, me: usize) {
+    loop {
+        match find_work(shared, local, me) {
+            Some((job, finish)) => {
+                let scope = Scope {
+                    shared,
+                    finish: &finish,
+                    local: Some(local),
+                };
+                job(&scope);
+                finish.task_done();
+            }
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Timed wait sidesteps missed-wakeup races against
+                // lock-free pushes.
+                let g = shared.idle_lock.lock().unwrap();
+                let _ = shared
+                    .idle_cv
+                    .wait_timeout(g, Duration::from_micros(200))
+                    .unwrap();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn flat_finish_completes_all_tasks() {
+        let pool = Pool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        pool.finish(|scope| {
+            for _ in 0..1000 {
+                let c = counter.clone();
+                scope.spawn(move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn nested_spawns_are_awaited() {
+        // Binary tree of depth 10 spawned recursively: finish must wait
+        // for all 2^10 leaves.
+        let pool = Pool::new(4);
+        let leaves = Arc::new(AtomicU64::new(0));
+
+        fn node(scope: &Scope<'_>, depth: u32, leaves: Arc<AtomicU64>) {
+            if depth == 0 {
+                leaves.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            for _ in 0..2 {
+                let l = leaves.clone();
+                scope.spawn(move |s| node(s, depth - 1, l));
+            }
+        }
+
+        pool.finish(|scope| {
+            let l = leaves.clone();
+            scope.spawn(move |s| node(s, 10, l));
+        });
+        assert_eq!(leaves.load(Ordering::Relaxed), 1024);
+    }
+
+    #[test]
+    fn sequential_finishes_are_ordered() {
+        let pool = Pool::new(3);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for round in 0..5u32 {
+            let log = log.clone();
+            pool.finish(move |scope| {
+                for _ in 0..50 {
+                    let log = log.clone();
+                    scope.spawn(move |_| {
+                        log.lock().unwrap().push(round);
+                    });
+                }
+            });
+        }
+        let log = log.lock().unwrap();
+        assert_eq!(log.len(), 250);
+        // Quiescence between finishes => rounds never interleave.
+        let mut sorted = log.clone();
+        sorted.sort_unstable();
+        assert_eq!(*log, sorted);
+    }
+
+    #[test]
+    fn empty_finish_returns() {
+        let pool = Pool::new(2);
+        pool.finish(|_| {});
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = Pool::new(1);
+        let counter = Arc::new(AtomicU64::new(0));
+        pool.finish(|scope| {
+            for _ in 0..100 {
+                let c = counter.clone();
+                scope.spawn(move |s| {
+                    let c2 = c.clone();
+                    s.spawn(move |_| {
+                        c2.fetch_add(1, Ordering::Relaxed);
+                    });
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn pool_drop_joins_threads() {
+        let pool = Pool::new(4);
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,183 @@
+//! Kernel cost models: from per-point arithmetic to chunks.
+//!
+//! Every benchmark kernel is characterized by how many instructions it
+//! retires per grid point (or matrix nonzero) and how many cache lines
+//! it pulls past the LLC per point. The latter comes from first
+//! principles: a kernel streaming one `f64` array touches `8/64 = 1/8`
+//! of a line per point; a Jacobi sweep reading one array and writing
+//! another (read-for-ownership) touches two lines per eight points; a
+//! CG `waxpby` streams three arrays, and so on. These are exactly the
+//! ratios that put the paper's benchmarks in their Table 1 TIPI slabs.
+//!
+//! NUMA: the evaluation machine interleaves allocations across two
+//! sockets (`numactl --interleave`); a fixed fraction of misses is
+//! charged to the remote socket.
+
+use simproc::engine::Chunk;
+use simproc::perf::CostProfile;
+
+/// Fraction of LLC misses served by the remote socket under interleaved
+/// allocation. Interleaving puts half the pages remote, but the L3
+/// snoop filter resolves a share of those locally; 0.3 is a
+/// representative effective value.
+pub const REMOTE_MISS_FRACTION: f64 = 0.3;
+
+/// Cost model of one kernel: per-point instruction and miss rates plus
+/// the pipeline/prefetch profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// Instructions retired per point.
+    pub instr_per_point: f64,
+    /// LLC misses (TOR inserts) per point.
+    pub misses_per_point: f64,
+    /// Pipeline/prefetch profile (base CPI, memory-level parallelism).
+    pub profile: CostProfile,
+}
+
+impl KernelCost {
+    pub const fn new(instr_per_point: f64, misses_per_point: f64, cpi: f64, mlp: f64) -> Self {
+        KernelCost {
+            instr_per_point,
+            misses_per_point,
+            profile: CostProfile::new(cpi, mlp),
+        }
+    }
+
+    /// The TIPI this kernel exhibits while running alone.
+    pub fn tipi(&self) -> f64 {
+        if self.instr_per_point <= 0.0 {
+            0.0
+        } else {
+            self.misses_per_point / self.instr_per_point
+        }
+    }
+
+    /// Materialize a chunk covering `points` grid points.
+    pub fn chunk(&self, points: u64) -> Chunk {
+        let instr = (points as f64 * self.instr_per_point).round() as u64;
+        let misses = points as f64 * self.misses_per_point;
+        let remote = (misses * REMOTE_MISS_FRACTION).round() as u64;
+        let local = (misses * (1.0 - REMOTE_MISS_FRACTION)).round() as u64;
+        Chunk {
+            instructions: instr.max(1),
+            misses_local: local,
+            misses_remote: remote,
+            profile: self.profile,
+        }
+    }
+
+    /// A copy with the miss rate scaled by `factor` (used for phase
+    /// drift: cache warm-up, level-dependent locality, …).
+    pub fn scale_misses(&self, factor: f64) -> Self {
+        KernelCost {
+            misses_per_point: self.misses_per_point * factor,
+            ..*self
+        }
+    }
+}
+
+/// Estimated seconds per point for a kernel at the nominal operating
+/// point (CF 2.3 GHz, UF 2.2 GHz, 20-core bandwidth sharing) — used to
+/// size phases to target durations. The estimate is the max of the
+/// latency bound and the chip bandwidth bound, mirroring the engine's
+/// roofline.
+pub fn est_seconds_per_point(k: &KernelCost, n_cores: usize) -> f64 {
+    let t_miss = 110.0 / 2.2e9 + 52e-9 + REMOTE_MISS_FRACTION * 30e-9;
+    let compute = k.instr_per_point * k.profile.cpi / 2.3e9;
+    let stall = k.misses_per_point * t_miss / k.profile.mlp;
+    let t_bw = n_cores as f64 * k.misses_per_point * 64.0 / 56.0e9;
+    (compute + stall).max(t_bw)
+}
+
+/// Points needed for `core_seconds` of per-core work at nominal speed.
+pub fn points_for_core_seconds(k: &KernelCost, core_seconds: f64, n_cores: usize) -> u64 {
+    let t = est_seconds_per_point(k, n_cores);
+    ((core_seconds / t).round() as u64).max(1)
+}
+
+/// One phase of a phase-structured (work-sharing) mini-application.
+#[derive(Debug, Clone, Copy)]
+pub struct Phase {
+    /// Label, for traces.
+    pub name: &'static str,
+    /// Kernel cost model.
+    pub kernel: KernelCost,
+    /// Target duration in core-seconds (wall seconds × cores busy).
+    pub core_seconds: f64,
+}
+
+impl Phase {
+    pub const fn new(name: &'static str, kernel: KernelCost, core_seconds: f64) -> Self {
+        Phase { name, kernel, core_seconds }
+    }
+
+    /// Materialize this phase as one statically partitioned region with
+    /// `chunks_per_core` chunks per core. `core_seconds` is the total
+    /// across all cores, so the wall time is `core_seconds / n_cores`.
+    pub fn region(&self, n_cores: usize, chunks_per_core: usize) -> tasking::Region {
+        let points = points_for_core_seconds(&self.kernel, self.core_seconds, n_cores);
+        let n_chunks = (n_cores * chunks_per_core) as u64;
+        let per_chunk = (points / n_chunks).max(1);
+        let chunks: Vec<Chunk> = (0..n_chunks).map(|_| self.kernel.chunk(per_chunk)).collect();
+        tasking::Region::statically_partitioned(chunks, n_cores)
+    }
+}
+
+/// Width of the TIPI slabs Cuttlefish quantizes into (paper §3.2).
+pub const TIPI_SLAB: f64 = 0.004;
+
+/// Slab index of a TIPI value (0.004-wide bins).
+pub fn slab_of(tipi: f64) -> u32 {
+    (tipi / TIPI_SLAB).floor() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tipi_from_rates() {
+        // SOR: 5 instructions/point, one line per 8 points.
+        let k = KernelCost::new(5.0, 0.125, 2.0, 18.0);
+        assert!((k.tipi() - 0.025).abs() < 1e-12);
+        assert_eq!(slab_of(k.tipi()), 6, "0.025 sits in slab [0.024, 0.028)");
+    }
+
+    #[test]
+    fn chunk_materialization_splits_remote() {
+        let k = KernelCost::new(4.0, 0.26, 0.55, 12.0);
+        let c = k.chunk(1_000_000);
+        assert_eq!(c.instructions, 4_000_000);
+        let total = c.misses_local + c.misses_remote;
+        assert_eq!(total, 260_000);
+        let rf = c.misses_remote as f64 / total as f64;
+        assert!((rf - REMOTE_MISS_FRACTION).abs() < 1e-3);
+        // The chunk's own TIPI matches the kernel's.
+        assert!((c.tipi() - k.tipi()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scale_misses_changes_only_miss_rate() {
+        let k = KernelCost::new(4.0, 0.26, 0.55, 12.0);
+        let k2 = k.scale_misses(0.5);
+        assert_eq!(k2.instr_per_point, 4.0);
+        assert!((k2.misses_per_point - 0.13).abs() < 1e-12);
+        assert_eq!(k2.profile, k.profile);
+    }
+
+    #[test]
+    fn zero_instruction_chunk_clamped_to_one() {
+        let k = KernelCost::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(k.chunk(100).instructions, 1);
+        assert_eq!(k.tipi(), 0.0);
+    }
+
+    #[test]
+    fn slab_boundaries() {
+        assert_eq!(slab_of(0.0), 0);
+        assert_eq!(slab_of(0.0039), 0);
+        assert_eq!(slab_of(0.004), 1);
+        assert_eq!(slab_of(0.064), 16);
+        assert_eq!(slab_of(0.3319), 82);
+    }
+}

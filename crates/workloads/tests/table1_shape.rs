@@ -1,0 +1,129 @@
+//! Table 1 shape validation: running each benchmark on the simulated
+//! machine under the Default governor must reproduce (at scale) the
+//! paper's execution times and TIPI timelines.
+
+use simproc::freq::HASWELL_2650V3;
+use simproc::governor::DefaultGovernor;
+use simproc::profile::{delta, CounterSnapshot};
+use simproc::SimProcessor;
+use workloads::{openmp_suite, ProgModel, Scale};
+
+const SCALE: f64 = 0.1;
+
+struct RunResult {
+    seconds: f64,
+    /// Distinct TIPI slabs observed at 20 ms sampling.
+    slabs: std::collections::BTreeSet<u32>,
+    tipi_min: f64,
+    tipi_max: f64,
+}
+
+fn run_default(bench: &workloads::Benchmark) -> RunResult {
+    let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+    let mut gov = DefaultGovernor::new();
+    let mut wl = bench.instantiate(ProgModel::OpenMp, proc.n_cores(), 42);
+
+    let mut slabs = std::collections::BTreeSet::new();
+    let mut tipi_min = f64::INFINITY;
+    let mut tipi_max = 0.0f64;
+    let mut last = CounterSnapshot::capture(&proc).unwrap();
+    let mut quantum_count = 0u64;
+
+    let start = proc.now_ns();
+    while !proc.workload_drained(wl.as_mut()) {
+        proc.step(wl.as_mut());
+        gov.on_quantum(&mut proc);
+        quantum_count += 1;
+        if quantum_count % 20 == 0 {
+            // Sample at the paper's Tinv = 20 ms.
+            let now = CounterSnapshot::capture(&proc).unwrap();
+            if let Some(s) = delta(&last, &now) {
+                slabs.insert(workloads::cache::slab_of(s.tipi));
+                tipi_min = tipi_min.min(s.tipi);
+                tipi_max = tipi_max.max(s.tipi);
+            }
+            last = now;
+        }
+    }
+    RunResult {
+        seconds: (proc.now_ns() - start) as f64 * 1e-9,
+        slabs,
+        tipi_min,
+        tipi_max,
+    }
+}
+
+#[test]
+fn durations_and_tipi_ranges_match_table1() {
+    let suite = openmp_suite(Scale(SCALE));
+    let mut failures = Vec::new();
+    for bench in &suite {
+        let r = run_default(bench);
+        let expect = bench.paper_time_s * SCALE;
+        let time_err = (r.seconds - expect) / expect;
+        let (lo, hi) = bench.paper_tipi_range;
+
+        eprintln!(
+            "{:>9}: {:6.2}s (paper×{SCALE}: {:5.2}s, err {:+5.1}%), TIPI [{:.3}, {:.3}] \
+             (paper [{lo:.3}, {hi:.3}]), {} slabs",
+            bench.name,
+            r.seconds,
+            expect,
+            time_err * 100.0,
+            r.tipi_min,
+            r.tipi_max,
+            r.slabs.len()
+        );
+
+        if time_err.abs() > 0.30 {
+            failures.push(format!(
+                "{}: duration off by {:+.0}% ({:.2}s vs {:.2}s)",
+                bench.name,
+                time_err * 100.0,
+                r.seconds,
+                expect
+            ));
+        }
+        // The dominant sampled TIPI span must overlap the paper range
+        // generously: the sampled max within (or near) the paper max.
+        if r.tipi_max > hi * 1.25 + 0.004 {
+            failures.push(format!(
+                "{}: sampled TIPI max {:.4} far above paper {hi:.4}",
+                bench.name, r.tipi_max
+            ));
+        }
+        if r.tipi_max < lo {
+            failures.push(format!(
+                "{}: sampled TIPI max {:.4} below paper range start {lo:.4}",
+                bench.name, r.tipi_max
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "Table 1 mismatches:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn slab_diversity_ordering_matches_table1() {
+    // Table 1: UTS/SOR-irt/SOR-rt have 1 slab; AMG has by far the most
+    // (60); MiniFE/HPCCG in the teens. Exact counts depend on sampling
+    // alignment; the ordering and rough magnitudes are the target.
+    let suite = openmp_suite(Scale(SCALE));
+    let by_name: std::collections::HashMap<String, RunResult> = suite
+        .iter()
+        .map(|b| (b.name.clone(), run_default(b)))
+        .collect();
+
+    let n = |name: &str| by_name[name].slabs.len();
+    assert!(n("UTS") <= 2, "UTS should be ~1 slab, got {}", n("UTS"));
+    assert!(n("SOR-irt") <= 3, "SOR-irt ~1 slab, got {}", n("SOR-irt"));
+    assert!(n("SOR-ws") >= 2, "SOR-ws has extra low slabs, got {}", n("SOR-ws"));
+    assert!(n("Heat-ws") >= 5, "Heat-ws ~11 slabs, got {}", n("Heat-ws"));
+    assert!(n("AMG") >= 15, "AMG has the most slabs, got {}", n("AMG"));
+    assert!(
+        n("AMG") > n("MiniFE") && n("MiniFE") > n("SOR-irt"),
+        "slab ordering AMG > MiniFE > SOR: {} vs {} vs {}",
+        n("AMG"),
+        n("MiniFE"),
+        n("SOR-irt")
+    );
+}

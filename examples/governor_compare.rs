@@ -1,0 +1,74 @@
+//! Watch two governors drive the same phase-changing application.
+//!
+//! AMG cycles through fine (memory-bound) and coarse (cache-resident)
+//! multigrid levels — the hardest case for a tuner. This example
+//! prints a side-by-side per-second view of the Default governor and
+//! Cuttlefish: frequencies, power, and what the daemon has learned.
+//!
+//! Run with: `cargo run --release --example governor_compare`
+
+use cuttlefish::driver::CuttlefishDriver;
+use cuttlefish::Config;
+use simproc::freq::HASWELL_2650V3;
+use simproc::governor::DefaultGovernor;
+use simproc::SimProcessor;
+use workloads::{amg, ProgModel, Scale};
+
+struct Row {
+    t: f64,
+    cf: f64,
+    uf: f64,
+    watts: f64,
+}
+
+fn run(cuttlefish: bool) -> (Vec<Row>, f64, f64) {
+    let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+    let bench = amg::benchmark(Scale(0.25));
+    let mut wl = bench.instantiate(ProgModel::OpenMp, proc.n_cores(), 3);
+    let mut governor = DefaultGovernor::new();
+    let mut driver = cuttlefish.then(|| CuttlefishDriver::new(&proc, Config::default()));
+    let mut rows = Vec::new();
+    let mut q = 0u64;
+    while !proc.workload_drained(wl.as_mut()) {
+        proc.step(wl.as_mut());
+        match &mut driver {
+            Some(d) => d.on_quantum(&mut proc),
+            None => governor.on_quantum(&mut proc),
+        }
+        q += 1;
+        if q % 1000 == 0 {
+            rows.push(Row {
+                t: proc.now_seconds(),
+                cf: proc.core_freq().ghz(),
+                uf: proc.uncore_freq().ghz(),
+                watts: proc.last_quantum().power_watts,
+            });
+        }
+    }
+    (rows, proc.now_seconds(), proc.total_energy_joules())
+}
+
+fn main() {
+    println!("AMG (22 V-cycles, scaled): Default vs Cuttlefish, sampled each second\n");
+    let (def_rows, def_t, def_e) = run(false);
+    let (cf_rows, cf_t, cf_e) = run(true);
+
+    println!(
+        "{:>6}  | {:>6} {:>6} {:>7} | {:>6} {:>6} {:>7}",
+        "t(s)", "CF", "UF", "W", "CF", "UF", "W"
+    );
+    println!("        |        Default          |        Cuttlefish");
+    for i in 0..def_rows.len().min(cf_rows.len()) {
+        let d = &def_rows[i];
+        let c = &cf_rows[i];
+        println!(
+            "{:>6.1}  | {:>5.1}G {:>5.1}G {:>6.1}W | {:>5.1}G {:>5.1}G {:>6.1}W",
+            d.t, d.cf, d.uf, d.watts, c.cf, c.uf, c.watts
+        );
+    }
+    println!(
+        "\nDefault:    {def_t:.1} s, {def_e:.0} J\nCuttlefish: {cf_t:.1} s, {cf_e:.0} J ({:+.1}% energy, {:+.1}% time)",
+        (1.0 - cf_e / def_e) * 100.0,
+        (cf_t / def_t - 1.0) * 100.0
+    );
+}

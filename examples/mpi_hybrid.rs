@@ -1,0 +1,78 @@
+//! MPI+X hybrid execution with per-node Cuttlefish (paper §4.6).
+//!
+//! Four nodes run a bulk-synchronous stencil (MPI across nodes,
+//! work-sharing inside each node). Each node carries its own Cuttlefish
+//! daemon tuning its own package. The example shows both the win (each
+//! node reaches the single-node savings) and the documented limitation:
+//! with one slow node, the fast nodes wait at the barrier — Cuttlefish
+//! does not reclaim that slack by slowing them just-in-time.
+//!
+//! Run with: `cargo run --release --example mpi_hybrid`
+
+use cluster::{BspApp, Cluster, CommModel, NodePolicy};
+use cuttlefish::Config;
+use simproc::engine::Chunk;
+use simproc::perf::CostProfile;
+
+fn stencil_chunks() -> Vec<Chunk> {
+    (0..120)
+        .map(|_| Chunk::new(30_000_000, 1_390_000, 590_000).with_profile(CostProfile::new(0.55, 12.0)))
+        .collect()
+}
+
+fn cuttlefish_cfg() -> Config {
+    Config {
+        warmup_ns: 500_000_000,
+        idle_guard: Some(0.3), // filter barrier-boundary samples
+        ..Config::default()
+    }
+}
+
+fn report(label: &str, app: &BspApp) {
+    let base = Cluster::new(app.n_nodes(), NodePolicy::Default, CommModel::default()).run(app);
+    let mut tuned_cluster = Cluster::new(
+        app.n_nodes(),
+        NodePolicy::Cuttlefish(cuttlefish_cfg()),
+        CommModel::default(),
+    );
+    let tuned = tuned_cluster.run(app);
+    println!("== {label}");
+    println!(
+        "   Default:    {:>6.2} s  {:>6.0} J   (barrier wait {:>5.2} node-s)",
+        base.seconds, base.joules, base.barrier_wait_s
+    );
+    println!(
+        "   Cuttlefish: {:>6.2} s  {:>6.0} J   energy {:+.1}%, time {:+.1}%",
+        tuned.seconds,
+        tuned.joules,
+        (1.0 - tuned.joules / base.joules) * 100.0,
+        (tuned.seconds / base.seconds - 1.0) * 100.0
+    );
+    for (i, rep) in tuned_cluster.reports().iter().enumerate() {
+        for r in rep.iter().filter(|r| r.is_frequent()) {
+            println!(
+                "   node {i}: TIPI {} → CFopt {:?}, UFopt {:?}",
+                r.label,
+                r.cf_opt.map(|f| f.to_string()),
+                r.uf_opt.map(|f| f.to_string())
+            );
+        }
+    }
+}
+
+fn main() {
+    println!("MPI+X: 4 nodes x 20 cores, BSP stencil, 40 supersteps\n");
+    report("balanced ranks", &BspApp::uniform(4, 40, stencil_chunks));
+    println!();
+    report(
+        "rank 0 does 2x work (the §4.6 slack case — no reclamation)",
+        &BspApp::imbalanced(4, 40, 0, 2, stencil_chunks),
+    );
+    println!("\nEach node tunes its own memory access pattern. The imbalanced");
+    println!("case shows two §4.6 effects at once: (1) barrier wait that a");
+    println!("slack-reclaiming runtime (Adagio et al.) would convert to further");
+    println!("savings, and (2) the fast ranks' profilers seeing compute/wait");
+    println!("mixtures and resolving different frequencies than the busy rank —");
+    println!("the measurement ambiguity that makes the paper scope Cuttlefish");
+    println!("to load-balanced node-level regions.");
+}

@@ -1,0 +1,74 @@
+//! Quickstart: tune a steady parallel workload with Cuttlefish.
+//!
+//! Mirrors the paper's two-call usage: wrap the region you want tuned
+//! (here: the whole simulated execution) and let the daemon discover
+//! the memory access pattern and pick frequencies.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cuttlefish::driver::CuttlefishDriver;
+use cuttlefish::Config;
+use simproc::engine::{Chunk, Workload};
+use simproc::freq::HASWELL_2650V3;
+use simproc::perf::CostProfile;
+use simproc::SimProcessor;
+
+/// A steady memory-bound kernel: every core streams chunks with
+/// TIPI ≈ 0.064 (the paper's Heat-like MAP).
+struct Streaming;
+
+impl Workload for Streaming {
+    fn next_chunk(&mut self, _core: usize, _now_ns: u64) -> Option<Chunk> {
+        Some(Chunk::new(1_000_000, 56_000, 8_000).with_profile(CostProfile::new(0.55, 12.0)))
+    }
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+fn main() {
+    let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+    println!("machine: {} ({} cores)", proc.spec().name, proc.n_cores());
+
+    // cuttlefish::start() — the driver owns the daemon and its MSR
+    // session; stop() restores the frequency settings.
+    let mut driver = CuttlefishDriver::new(&proc, Config::default());
+
+    let mut wl = Streaming;
+    let seconds = 15;
+    for quantum in 0..(seconds * 1000) {
+        proc.step(&mut wl);
+        driver.on_quantum(&mut proc);
+        if quantum % 1000 == 999 {
+            println!(
+                "t={:>4.1}s  CF {}  UF {}  power {:5.1} W",
+                proc.now_seconds(),
+                proc.core_freq(),
+                proc.uncore_freq(),
+                proc.last_quantum().power_watts,
+            );
+        }
+    }
+
+    println!("\ndiscovered TIPI ranges:");
+    for r in driver.daemon().report() {
+        println!(
+            "  {} — {:4.1}% of samples, CFopt {:?}, UFopt {:?}",
+            r.label,
+            r.share * 100.0,
+            r.cf_opt.map(|f| f.to_string()),
+            r.uf_opt.map(|f| f.to_string()),
+        );
+    }
+    let jpi = proc.total_energy_joules() / proc.total_instructions();
+    println!("energy per instruction: {:.3} nJ", jpi * 1e9);
+
+    // cuttlefish::stop().
+    driver.stop(&mut proc);
+    proc.step(&mut wl);
+    println!(
+        "after stop(): CF {}  UF {} (restored)",
+        proc.core_freq(),
+        proc.uncore_freq()
+    );
+}

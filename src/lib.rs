@@ -1,0 +1,13 @@
+//! Umbrella crate for the Cuttlefish reproduction workspace.
+//!
+//! This crate re-exports the workspace members so that the integration
+//! tests under `tests/` and the examples under `examples/` can exercise
+//! the whole stack through one dependency. Library users should depend on
+//! the individual crates (`cuttlefish`, `simproc`, `tasking`,
+//! `workloads`) directly.
+
+pub use cluster;
+pub use cuttlefish;
+pub use simproc;
+pub use tasking;
+pub use workloads;

@@ -1,0 +1,195 @@
+//! End-to-end integration tests across the whole stack: workloads →
+//! schedulers → simulated processor → Cuttlefish runtime, checking the
+//! paper's headline claims at reduced scale.
+
+use bench::{run, Setup};
+use cuttlefish::{Config, Policy};
+use workloads::{openmp_suite, Benchmark, ProgModel, Scale};
+
+const SCALE: f64 = 0.2;
+
+fn find<'a>(suite: &'a [Benchmark], name: &str) -> &'a Benchmark {
+    suite.iter().find(|b| b.name == name).expect("benchmark present")
+}
+
+#[test]
+fn cuttlefish_saves_energy_on_memory_bound_benchmarks() {
+    let suite = openmp_suite(Scale(SCALE));
+    for name in ["Heat-irt", "MiniFE", "HPCCG", "AMG"] {
+        let b = find(&suite, name);
+        let base = run(b, Setup::Default, ProgModel::OpenMp, Config::default(), None);
+        let tuned = run(
+            b,
+            Setup::Cuttlefish(Policy::Both),
+            ProgModel::OpenMp,
+            Config::default(),
+            None,
+        );
+        let saving = 1.0 - tuned.joules / base.joules;
+        let slowdown = tuned.seconds / base.seconds - 1.0;
+        assert!(
+            saving > 0.09,
+            "{name}: memory-bound saving should be large, got {:.1}%",
+            saving * 100.0
+        );
+        assert!(
+            slowdown < 0.10,
+            "{name}: slowdown must stay small, got {:.1}%",
+            slowdown * 100.0
+        );
+    }
+}
+
+#[test]
+fn cuttlefish_saves_energy_on_compute_bound_benchmarks() {
+    let suite = openmp_suite(Scale(SCALE));
+    for name in ["UTS", "SOR-irt"] {
+        let b = find(&suite, name);
+        let base = run(b, Setup::Default, ProgModel::OpenMp, Config::default(), None);
+        let tuned = run(
+            b,
+            Setup::Cuttlefish(Policy::Both),
+            ProgModel::OpenMp,
+            Config::default(),
+            None,
+        );
+        let saving = 1.0 - tuned.joules / base.joules;
+        assert!(
+            saving > 0.015,
+            "{name}: compute-bound saving should be positive, got {:.1}%",
+            saving * 100.0
+        );
+    }
+}
+
+#[test]
+fn cuttlefish_core_loses_on_compute_bound_as_in_paper() {
+    // §5.1: "Compared to the Default, Cuttlefish-Core required more
+    // energy in UTS, SOR-irt, SOR-rt and SOR-ws" — because it pins the
+    // uncore at max where the Default's firmware would have lowered it.
+    let suite = openmp_suite(Scale(SCALE));
+    let b = find(&suite, "UTS");
+    let base = run(b, Setup::Default, ProgModel::OpenMp, Config::default(), None);
+    let core_only = run(
+        b,
+        Setup::Cuttlefish(Policy::CoreOnly),
+        ProgModel::OpenMp,
+        Config::default(),
+        None,
+    );
+    assert!(
+        core_only.joules > base.joules,
+        "Cuttlefish-Core must lose energy on UTS: {} vs {} J",
+        core_only.joules,
+        base.joules
+    );
+}
+
+#[test]
+fn policy_ordering_matches_paper_on_memory_bound() {
+    // For memory-bound benchmarks: Both > Uncore-only and Both >
+    // Core-only in energy savings (§5.1).
+    let suite = openmp_suite(Scale(SCALE));
+    let b = find(&suite, "Heat-irt");
+    let base = run(b, Setup::Default, ProgModel::OpenMp, Config::default(), None);
+    let joules = |p: Policy| {
+        run(b, Setup::Cuttlefish(p), ProgModel::OpenMp, Config::default(), None).joules
+    };
+    let both = joules(Policy::Both);
+    let core = joules(Policy::CoreOnly);
+    let uncore = joules(Policy::UncoreOnly);
+    assert!(both < core, "Both beats Core-only: {both} vs {core}");
+    assert!(both < uncore, "Both beats Uncore-only: {both} vs {uncore}");
+    assert!(core < base.joules && uncore < base.joules, "each alone still saves");
+}
+
+#[test]
+fn frequency_assignments_match_table2() {
+    let suite = openmp_suite(Scale(SCALE));
+
+    // Compute-bound: CFopt max, UFopt near min.
+    let o = run(
+        find(&suite, "UTS"),
+        Setup::Cuttlefish(Policy::Both),
+        ProgModel::OpenMp,
+        Config::default(),
+        None,
+    );
+    let frequent: Vec<_> = o.report.iter().filter(|r| r.is_frequent()).collect();
+    assert!(!frequent.is_empty());
+    for r in &frequent {
+        assert_eq!(r.cf_opt.map(|f| f.ghz()), Some(2.3), "UTS CFopt");
+        assert!(r.uf_opt.map(|f| f.ghz()).unwrap_or(9.9) <= 1.4, "UTS UFopt near min");
+    }
+
+    // Memory-bound: CFopt near min, UFopt at the knee.
+    let o = run(
+        find(&suite, "Heat-irt"),
+        Setup::Cuttlefish(Policy::Both),
+        ProgModel::OpenMp,
+        Config::default(),
+        None,
+    );
+    let frequent: Vec<_> = o.report.iter().filter(|r| r.is_frequent()).collect();
+    assert!(!frequent.is_empty());
+    for r in &frequent {
+        if let Some(cf) = r.cf_opt {
+            assert!(cf.ghz() <= 1.4, "Heat CFopt near min, got {cf}");
+        }
+        if let Some(uf) = r.uf_opt {
+            assert!(
+                (2.0..=2.4).contains(&uf.ghz()),
+                "Heat UFopt at the 2.2 GHz knee, got {uf}"
+            );
+        }
+    }
+}
+
+#[test]
+fn obliviousness_openmp_vs_hclib() {
+    // §5.2: the same benchmark under a different programming model
+    // yields similar savings and the same frequency conclusions.
+    let suite = openmp_suite(Scale(SCALE));
+    let b = find(&suite, "Heat-irt");
+    let mut savings = Vec::new();
+    for model in [ProgModel::OpenMp, ProgModel::HClib] {
+        let base = run(b, Setup::Default, model, Config::default(), None);
+        let tuned = run(b, Setup::Cuttlefish(Policy::Both), model, Config::default(), None);
+        savings.push(1.0 - tuned.joules / base.joules);
+        // Frequency conclusions identical across models.
+        let freq = tuned.report.iter().find(|r| r.is_frequent()).expect("frequent range");
+        assert!(freq.cf_opt.map(|f| f.ghz()).unwrap_or(9.9) <= 1.4);
+    }
+    let diff = (savings[0] - savings[1]).abs();
+    assert!(
+        diff < 0.06,
+        "savings across models should be similar: {:.3} vs {:.3}",
+        savings[0],
+        savings[1]
+    );
+}
+
+#[test]
+fn tinv_sensitivity_trend() {
+    // Table 3: larger Tinv → no more saving than smaller Tinv (within
+    // noise), and savings stay positive across the sweep.
+    let suite = openmp_suite(Scale(SCALE));
+    let b = find(&suite, "Heat-irt");
+    let base = run(b, Setup::Default, ProgModel::OpenMp, Config::default(), None);
+    let mut savings = Vec::new();
+    for tinv in [10u64, 40] {
+        let tuned = run(
+            b,
+            Setup::Cuttlefish(Policy::Both),
+            ProgModel::OpenMp,
+            Config::default().with_tinv_ms(tinv),
+            None,
+        );
+        savings.push(1.0 - tuned.joules / base.joules);
+    }
+    assert!(savings.iter().all(|&s| s > 0.05), "savings positive: {savings:?}");
+    assert!(
+        savings[1] <= savings[0] + 0.03,
+        "40ms should not beat 10ms materially: {savings:?}"
+    );
+}
