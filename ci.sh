@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point. Mirrors what a hosted workflow would run; keep this
+# the single source of truth for "is the tree green".
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1 build: release"
+cargo build --release
+
+echo "== workspace tests (strict superset of the tier-1 'cargo test -q')"
+cargo test --workspace -q
+
+echo "== formatting"
+cargo fmt --check
+
+echo "== clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== examples and bench targets compile"
+cargo build --examples
+cargo build -p bench --benches --bins
+
+echo "CI green."

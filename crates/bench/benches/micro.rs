@@ -105,9 +105,8 @@ fn bench_engine(c: &mut Criterion) {
     }
     c.bench_function("engine_quantum_20core", |b| {
         let mut p = SimProcessor::new(HASWELL_2650V3.clone());
-        let mut wl = Steady(
-            Chunk::new(1_000_000, 56_000, 8_000).with_profile(CostProfile::new(0.55, 12.0)),
-        );
+        let mut wl =
+            Steady(Chunk::new(1_000_000, 56_000, 8_000).with_profile(CostProfile::new(0.55, 12.0)));
         b.iter(|| {
             p.step(&mut wl);
             black_box(p.now_ns())

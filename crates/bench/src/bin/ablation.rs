@@ -77,7 +77,15 @@ fn main() {
     let suite = openmp_suite(scale);
     let bases: Vec<_> = suite
         .iter()
-        .map(|b| run(b, Setup::Default, ProgModel::OpenMp, Config::default(), None))
+        .map(|b| {
+            run(
+                b,
+                Setup::Default,
+                ProgModel::OpenMp,
+                Config::default(),
+                None,
+            )
+        })
         .collect();
 
     let mut rows = Vec::new();
@@ -92,7 +100,13 @@ fn main() {
         let mut slows = Vec::new();
         let mut amg_resolved = (0.0, 0.0);
         for (b, base) in suite.iter().zip(&bases) {
-            let o = run(b, Setup::Cuttlefish(Policy::Both), ProgModel::OpenMp, cfg.clone(), None);
+            let o = run(
+                b,
+                Setup::Cuttlefish(Policy::Both),
+                ProgModel::OpenMp,
+                cfg.clone(),
+                None,
+            );
             e_savs.push(saving_pct(base.joules, o.joules));
             slows.push(-(o.seconds / base.seconds - 1.0) * 100.0);
             if b.name == "AMG" {
@@ -114,7 +128,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["variant", "energy savings", "slowdown", "AMG resolved CF/UF"],
+            &[
+                "variant",
+                "energy savings",
+                "slowdown",
+                "AMG resolved CF/UF"
+            ],
             &rows
         )
     );
@@ -141,8 +160,7 @@ fn main() {
                 self.0 == 0
             }
         }
-        let chunk =
-            Chunk::new(2_000_000, 1_600, 400).with_profile(CostProfile::new(0.9, 4.0));
+        let chunk = Chunk::new(2_000_000, 1_600, 400).with_profile(CostProfile::new(0.9, 4.0));
         let run = |cf: Option<Freq>, duty: Option<u32>| {
             let mut p = SimProcessor::new(HASWELL_2650V3.clone());
             if let Some(f) = cf {
@@ -159,8 +177,11 @@ fn main() {
         let dvfs = run(Some(Freq(12)), None);
         let ddcm = run(None, Some(8)); // 2.3·8/16 ≈ 1.15 GHz effective
         let mut rows = Vec::new();
-        for (label, (t, e)) in [("full speed", base), ("DVFS 1.2 GHz", dvfs), ("DDCM 8/16", ddcm)]
-        {
+        for (label, (t, e)) in [
+            ("full speed", base),
+            ("DVFS 1.2 GHz", dvfs),
+            ("DDCM 8/16", ddcm),
+        ] {
             rows.push(vec![
                 label.to_string(),
                 format!("{t:.2}s"),

@@ -25,7 +25,10 @@ fn main() {
         Config::default(),
         None,
     );
-    println!("{name}: {:.2}s {:.0}J, resolved {:?}", o.seconds, o.joules, o.resolved);
+    println!(
+        "{name}: {:.2}s {:.0}J, resolved {:?}",
+        o.seconds, o.joules, o.resolved
+    );
     for r in &o.report {
         println!(
             "  {:>13} {:6.2}% cf={:?} uf={:?} n={}",

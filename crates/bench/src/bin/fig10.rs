@@ -20,8 +20,7 @@ fn main() {
 
     let suite = openmp_suite(scale);
     let mut rows = Vec::new();
-    let mut by_setup: std::collections::BTreeMap<&str, Vec<(f64, f64, f64)>> =
-        Default::default();
+    let mut by_setup: std::collections::BTreeMap<&str, Vec<(f64, f64, f64)>> = Default::default();
 
     for bench_def in &suite {
         let base = run(
@@ -40,7 +39,10 @@ fn main() {
             let e_sav = saving_pct(base.joules, o.joules);
             let slow = (o.seconds / base.seconds - 1.0) * 100.0;
             let edp_sav = saving_pct(base.edp(), o.edp());
-            by_setup.entry(o.setup).or_default().push((e_sav, slow, edp_sav));
+            by_setup
+                .entry(o.setup)
+                .or_default()
+                .push((e_sav, slow, edp_sav));
             rows.push(vec![
                 o.bench.clone(),
                 o.setup.to_string(),

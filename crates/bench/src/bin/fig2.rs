@@ -48,7 +48,10 @@ fn main() {
     let suite = openmp_suite(scale);
 
     for name in wanted {
-        let bench_def = suite.iter().find(|b| b.name == name).expect("known benchmark");
+        let bench_def = suite
+            .iter()
+            .find(|b| b.name == name)
+            .expect("known benchmark");
         let mut trace = Vec::new();
         let _ = run(
             bench_def,
@@ -65,7 +68,10 @@ fn main() {
             continue;
         }
         let r = correlation(&trace);
-        println!("== {name}: {} samples, corr(TIPI, JPI) = {r:+.3}", trace.len());
+        println!(
+            "== {name}: {} samples, corr(TIPI, JPI) = {r:+.3}",
+            trace.len()
+        );
         // Downsample to ~16 display rows.
         let step = (trace.len() / 16).max(1);
         for p in trace.iter().step_by(step) {

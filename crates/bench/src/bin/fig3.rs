@@ -15,42 +15,24 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig3`
 
-use bench::{render_table, TracePoint};
-use simproc::freq::{Freq, HASWELL_2650V3};
-use simproc::profile::{delta, CounterSnapshot};
-use simproc::SimProcessor;
+use bench::{render_table, run, Setup, TracePoint};
+use cuttlefish::Config;
+use simproc::freq::Freq;
 use std::collections::BTreeMap;
 use workloads::cache::slab_of;
 use workloads::{openmp_suite, Benchmark, ProgModel};
 
-/// Run at pinned frequencies, returning the Tinv trace.
+/// Run at pinned frequencies (the `Pinned` controller through the
+/// shared harness), returning the Tinv trace.
 fn run_pinned(bench: &Benchmark, cf: Freq, uf: Freq) -> Vec<TracePoint> {
-    let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
-    proc.set_core_freq(cf);
-    proc.set_uncore_freq(uf);
-    let mut wl = bench.instantiate(ProgModel::OpenMp, proc.n_cores(), 0xC0FFEE);
     let mut points = Vec::new();
-    let mut quanta = 0u64;
-    let mut last = CounterSnapshot::capture(&proc).unwrap();
-    while !proc.workload_drained(wl.as_mut()) {
-        proc.step(wl.as_mut());
-        // Keep the pin (no governor runs).
-        quanta += 1;
-        if quanta.is_multiple_of(20) {
-            let now = CounterSnapshot::capture(&proc).unwrap();
-            if let Some(s) = delta(&last, &now) {
-                points.push(TracePoint {
-                    t_s: proc.now_seconds(),
-                    tipi: s.tipi,
-                    jpi: s.jpi,
-                    cf_ghz: cf.ghz(),
-                    uf_ghz: uf.ghz(),
-                    watts: proc.last_quantum().power_watts,
-                });
-            }
-            last = now;
-        }
-    }
+    run(
+        bench,
+        Setup::Pinned(cf, uf),
+        ProgModel::OpenMp,
+        Config::default(),
+        Some(&mut points),
+    );
     points
 }
 

@@ -10,7 +10,7 @@
 //! Usage: `cargo run --release -p bench --bin residency`
 
 use bench::render_table;
-use cuttlefish::driver::CuttlefishDriver;
+use cuttlefish::controller::NodePolicy;
 use cuttlefish::Config;
 use simproc::freq::HASWELL_2650V3;
 use simproc::SimProcessor;
@@ -23,11 +23,11 @@ fn main() {
     let mut rows = Vec::new();
     for bench_def in &openmp_suite(scale) {
         let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
-        let mut driver = CuttlefishDriver::new(&proc, Config::default());
+        let mut controller = NodePolicy::Cuttlefish(Config::default()).build(&mut proc);
         let mut wl = bench_def.instantiate(ProgModel::OpenMp, proc.n_cores(), 0xC0FFEE);
         while !proc.workload_drained(wl.as_mut()) {
             proc.step(wl.as_mut());
-            driver.on_quantum(&mut proc);
+            controller.on_quantum(&mut proc);
         }
         let total_ns: u64 = proc.frequency_residency().values().sum();
         let mut pairs: Vec<((u32, u32), u64)> = proc
@@ -38,8 +38,7 @@ fn main() {
         pairs.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
         let (top, top_ns) = pairs[0];
         let distinct = pairs.len();
-        let top3: f64 = pairs.iter().take(3).map(|&(_, v)| v as f64).sum::<f64>()
-            / total_ns as f64;
+        let top3: f64 = pairs.iter().take(3).map(|&(_, v)| v as f64).sum::<f64>() / total_ns as f64;
         rows.push(vec![
             bench_def.name.clone(),
             format!("{:.1}/{:.1}", top.0 as f64 / 10.0, top.1 as f64 / 10.0),

@@ -54,15 +54,23 @@ fn main() {
         let mut first = true;
         for r in o.report.iter().filter(|r| r.is_frequent()) {
             rows.push(vec![
-                if first { o.bench.clone() } else { String::new() },
+                if first {
+                    o.bench.clone()
+                } else {
+                    String::new()
+                },
                 if first {
                     format!("{:.0}% / {:.0}%", cf_frac * 100.0, uf_frac * 100.0)
                 } else {
                     String::new()
                 },
                 format!("{} ({:.0}%)", r.label, r.share * 100.0),
-                r.cf_opt.map(|f| format!("{:.1}", f.ghz())).unwrap_or("-".into()),
-                r.uf_opt.map(|f| format!("{:.1}", f.ghz())).unwrap_or("-".into()),
+                r.cf_opt
+                    .map(|f| format!("{:.1}", f.ghz()))
+                    .unwrap_or("-".into()),
+                r.uf_opt
+                    .map(|f| format!("{:.1}", f.ghz()))
+                    .unwrap_or("-".into()),
                 "2.3".into(),
                 format!("{default_uf:.1}"),
             ]);

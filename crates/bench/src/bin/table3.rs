@@ -20,7 +20,15 @@ fn main() {
     // Default runs are Tinv-independent: measure once.
     let bases: Vec<_> = suite
         .iter()
-        .map(|b| run(b, Setup::Default, ProgModel::OpenMp, Config::default(), None))
+        .map(|b| {
+            run(
+                b,
+                Setup::Default,
+                ProgModel::OpenMp,
+                Config::default(),
+                None,
+            )
+        })
         .collect();
 
     let mut rows = Vec::new();
@@ -29,7 +37,13 @@ fn main() {
         let mut e_savs = Vec::new();
         let mut slows = Vec::new();
         for (b, base) in suite.iter().zip(&bases) {
-            let o = run(b, Setup::Cuttlefish(Policy::Both), ProgModel::OpenMp, cfg.clone(), None);
+            let o = run(
+                b,
+                Setup::Cuttlefish(Policy::Both),
+                ProgModel::OpenMp,
+                cfg.clone(),
+                None,
+            );
             e_savs.push(saving_pct(base.joules, o.joules));
             slows.push(-(o.seconds / base.seconds - 1.0) * 100.0);
         }

@@ -6,21 +6,23 @@
 //! assignments. Everything downstream — savings percentages, EDP,
 //! geometric means, trace series — is arithmetic over [`RunOutcome`]s.
 
-use cuttlefish::driver::CuttlefishDriver;
+use cuttlefish::controller::NodePolicy;
 use cuttlefish::{Config, Policy};
-use simproc::freq::HASWELL_2650V3;
-use simproc::governor::DefaultGovernor;
+use simproc::freq::{Freq, HASWELL_2650V3};
 use simproc::profile::{delta, CounterSnapshot};
 use simproc::SimProcessor;
 use workloads::{Benchmark, ProgModel};
 
-/// The four execution configurations of the paper's Figures 10/11.
+/// The execution configurations of the paper: the four Figure 10/11
+/// setups plus the fixed-frequency pins of the Figure 3 sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Setup {
     /// `performance` governor + firmware Auto uncore.
     Default,
     /// A Cuttlefish policy.
     Cuttlefish(Policy),
+    /// Core and uncore pinned at a fixed operating point (§3.2).
+    Pinned(Freq, Freq),
 }
 
 impl Setup {
@@ -39,6 +41,17 @@ impl Setup {
         match self {
             Setup::Default => "Default",
             Setup::Cuttlefish(p) => p.name(),
+            Setup::Pinned(..) => "Pinned",
+        }
+    }
+
+    /// The node policy this setup builds its controller from; `cfg`
+    /// parameterizes the Cuttlefish setups (Tinv, slab width, ...).
+    pub fn node_policy(self, cfg: Config) -> NodePolicy {
+        match self {
+            Setup::Default => NodePolicy::Default,
+            Setup::Cuttlefish(policy) => NodePolicy::Cuttlefish(cfg.with_policy(policy)),
+            Setup::Pinned(cf, uf) => NodePolicy::Pinned { cf, uf },
         }
     }
 }
@@ -56,7 +69,9 @@ pub struct RunOutcome {
     pub joules: f64,
     /// Instructions retired.
     pub instructions: f64,
-    /// Per-TIPI-range report from the Cuttlefish daemon, if one ran.
+    /// Per-TIPI-range report from the controller (the Cuttlefish
+    /// daemon's discovered ranges, or a static controller's synthetic
+    /// whole-run range).
     pub report: Vec<cuttlefish::daemon::NodeReport>,
     /// Fractions of distinct ranges with resolved (CFopt, UFopt).
     pub resolved: (f64, f64),
@@ -96,13 +111,7 @@ pub fn run(
     let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
     let mut wl = bench.instantiate(model, proc.n_cores(), 0xC0FFEE);
 
-    let mut governor = DefaultGovernor::new();
-    let mut driver = match setup {
-        Setup::Default => None,
-        Setup::Cuttlefish(policy) => {
-            Some(CuttlefishDriver::new(&proc, cfg.with_policy(policy)))
-        }
-    };
+    let mut controller = setup.node_policy(cfg).build(&mut proc);
 
     let mut quanta = 0u64;
     let mut last = CounterSnapshot::capture(&proc).expect("counters readable");
@@ -111,10 +120,7 @@ pub fn run(
 
     while !proc.workload_drained(wl.as_mut()) {
         proc.step(wl.as_mut());
-        match &mut driver {
-            Some(d) => d.on_quantum(&mut proc),
-            None => governor.on_quantum(&mut proc),
-        }
+        controller.on_quantum(&mut proc);
         quanta += 1;
         if let Some(points) = trace.as_deref_mut() {
             if quanta.is_multiple_of(20) {
@@ -134,10 +140,8 @@ pub fn run(
         }
     }
 
-    let (report, resolved) = match &driver {
-        Some(d) => (d.daemon().report(), d.daemon().resolved_fractions()),
-        None => (Vec::new(), (0.0, 0.0)),
-    };
+    let report = controller.report();
+    let resolved = controller.resolved_fractions();
 
     RunOutcome {
         bench: bench.name.clone(),
@@ -223,7 +227,10 @@ mod tests {
         assert_eq!(geomean_saving(&[]), 0.0);
         // Negative savings (losses) are handled.
         let g2 = geomean_saving(&[-10.0, 10.0]);
-        assert!(g2.abs() < 0.6, "symmetric gains/losses nearly cancel, got {g2}");
+        assert!(
+            g2.abs() < 0.6,
+            "symmetric gains/losses nearly cancel, got {g2}"
+        );
     }
 
     #[test]
@@ -250,7 +257,13 @@ mod tests {
     fn default_and_cuttlefish_runs_complete() {
         let suite = workloads::openmp_suite(Scale(0.05));
         let uts = &suite[0];
-        let d = run(uts, Setup::Default, ProgModel::OpenMp, Config::default(), None);
+        let d = run(
+            uts,
+            Setup::Default,
+            ProgModel::OpenMp,
+            Config::default(),
+            None,
+        );
         assert!(d.seconds > 0.0 && d.joules > 0.0);
         let c = run(
             uts,

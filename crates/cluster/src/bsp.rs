@@ -67,9 +67,7 @@ impl BspApp {
                         .map(|node| {
                             let mut chunks = make();
                             if node == slow {
-                                let extra: Vec<Chunk> = (1..factor)
-                                    .flat_map(|_| make())
-                                    .collect();
+                                let extra: Vec<Chunk> = (1..factor).flat_map(|_| make()).collect();
                                 chunks.extend(extra);
                             }
                             chunks

@@ -2,31 +2,20 @@
 //! lockstep, each with its own frequency controller.
 
 use crate::bsp::{BspApp, BspOutcome, CommModel};
-use cuttlefish::driver::CuttlefishDriver;
-use cuttlefish::Config;
+use cuttlefish::controller::FrequencyController;
 use simproc::engine::{Chunk, Workload};
 use simproc::freq::HASWELL_2650V3;
-use simproc::governor::DefaultGovernor;
 use simproc::SimProcessor;
 use tasking::{Region, WorkSharingScheduler};
 
-/// Frequency policy per node.
-#[derive(Debug, Clone)]
-pub enum NodePolicy {
-    /// `performance` governor + firmware uncore on every node.
-    Default,
-    /// One Cuttlefish instance per node with this configuration.
-    Cuttlefish(Config),
-}
-
-enum Controller {
-    Default(DefaultGovernor),
-    Cuttlefish(CuttlefishDriver),
-}
+// The per-node frequency policy and the controllers it builds live in
+// `cuttlefish::controller`, shared with the evaluation harness and the
+// examples; `cluster` re-exports the policy for convenience.
+pub use cuttlefish::controller::NodePolicy;
 
 struct Node {
     proc: SimProcessor,
-    ctrl: Controller,
+    ctrl: Box<dyn FrequencyController>,
     busy_s: f64,
 }
 
@@ -55,13 +44,8 @@ impl Cluster {
         assert!(n_nodes > 0);
         let nodes = (0..n_nodes)
             .map(|_| {
-                let proc = SimProcessor::new(HASWELL_2650V3.clone());
-                let ctrl = match &policy {
-                    NodePolicy::Default => Controller::Default(DefaultGovernor::new()),
-                    NodePolicy::Cuttlefish(cfg) => {
-                        Controller::Cuttlefish(CuttlefishDriver::new(&proc, cfg.clone()))
-                    }
-                };
+                let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+                let ctrl = policy.build(&mut proc);
                 Node {
                     proc,
                     ctrl,
@@ -77,23 +61,17 @@ impl Cluster {
         self.nodes.len()
     }
 
-    /// Per-node Cuttlefish reports (empty under the Default policy).
+    /// Per-node controller reports — one uniform path across policies:
+    /// every controller reports what it has learned. Static controllers
+    /// yield one synthetic whole-run range; a Cuttlefish node's report
+    /// is empty until its daemon clears warm-up.
     pub fn reports(&self) -> Vec<Vec<cuttlefish::daemon::NodeReport>> {
-        self.nodes
-            .iter()
-            .map(|n| match &n.ctrl {
-                Controller::Cuttlefish(d) => d.daemon().report(),
-                Controller::Default(_) => Vec::new(),
-            })
-            .collect()
+        self.nodes.iter().map(|n| n.ctrl.report()).collect()
     }
 
     fn step_node(node: &mut Node, wl: &mut dyn Workload) {
         node.proc.step(wl);
-        match &mut node.ctrl {
-            Controller::Default(g) => g.on_quantum(&mut node.proc),
-            Controller::Cuttlefish(d) => d.on_quantum(&mut node.proc),
-        }
+        node.ctrl.on_quantum(&mut node.proc);
     }
 
     /// Execute the app to completion; nodes run their local regions
@@ -132,8 +110,7 @@ impl Cluster {
             }
 
             // Phase 3: the exchange — all nodes busy-idle on the NIC.
-            let comm_quanta =
-                (self.comm.exchange_seconds() / quantum_s).ceil() as u64;
+            let comm_quanta = (self.comm.exchange_seconds() / quantum_s).ceil() as u64;
             for node in self.nodes.iter_mut() {
                 for _ in 0..comm_quanta {
                     Self::step_node(node, &mut Idle);
@@ -164,6 +141,7 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cuttlefish::Config;
     use simproc::perf::CostProfile;
 
     fn heat_chunks() -> Vec<Chunk> {

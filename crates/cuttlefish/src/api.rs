@@ -154,8 +154,7 @@ mod tests {
 
         // A workload thread advancing virtual time in step with real
         // time (1 quantum per wall-clock iteration).
-        let chunk =
-            Chunk::new(1_000_000, 56_000, 8_000).with_profile(CostProfile::new(0.55, 12.0));
+        let chunk = Chunk::new(1_000_000, 56_000, 8_000).with_profile(CostProfile::new(0.55, 12.0));
         for _ in 0..400 {
             {
                 let mut p = proc.lock();

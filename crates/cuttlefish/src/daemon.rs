@@ -218,8 +218,11 @@ impl Daemon {
         }
         let adv: Advance = node.cf.advance();
         if self.cfg.revalidation && (adv.rb_lowered || adv.lb_raised || adv.resolved) {
-            self.list
-                .propagate_cf(slab, adv.rb_lowered || adv.resolved, adv.lb_raised || adv.resolved);
+            self.list.propagate_cf(
+                slab,
+                adv.rb_lowered || adv.resolved,
+                adv.lb_raised || adv.resolved,
+            );
         }
 
         let mut cf_next = adv.next;
@@ -273,14 +276,20 @@ impl Daemon {
         let uf_prev = self.uf_prev;
         let node = self.list.get_mut(slab).expect("present");
         let cf_opt = node.cf_opt().expect("uncore stage implies cf resolved");
-        let uf = node.uf.as_mut().expect("uncore stage implies uf exploration");
+        let uf = node
+            .uf
+            .as_mut()
+            .expect("uncore stage implies uf exploration");
         if !transition {
             uf.record(uf_prev, sample.jpi);
         }
         let adv = uf.advance();
         if self.cfg.revalidation && (adv.rb_lowered || adv.lb_raised || adv.resolved) {
-            self.list
-                .propagate_uf(slab, adv.rb_lowered || adv.resolved, adv.lb_raised || adv.resolved);
+            self.list.propagate_uf(
+                slab,
+                adv.rb_lowered || adv.resolved,
+                adv.lb_raised || adv.resolved,
+            );
         }
         (cf_opt, adv.next)
     }
@@ -417,7 +426,11 @@ mod tests {
         assert_eq!(uf, Freq(30), "Cuttlefish-Core never lowers the uncore");
         assert_eq!(cf, Freq(23));
         let node = d.nodes().next().unwrap();
-        assert_eq!(node.uf_opt(), Some(18), "uncore 'optimum' pinned at max index");
+        assert_eq!(
+            node.uf_opt(),
+            Some(18),
+            "uncore 'optimum' pinned at max index"
+        );
     }
 
     #[test]

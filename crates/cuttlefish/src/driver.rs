@@ -10,7 +10,7 @@
 
 use crate::daemon::Daemon;
 use crate::Config;
-use simproc::msr::{MsrFile, MsrSession, IA32_PERF_CTL, MSR_UNCORE_RATIO_LIMIT};
+use simproc::msr::{Access, MsrError, MsrFile, MsrSession, IA32_PERF_CTL, MSR_UNCORE_RATIO_LIMIT};
 use simproc::profile::{delta, CounterSnapshot};
 use simproc::SimProcessor;
 
@@ -24,16 +24,31 @@ pub struct CuttlefishDriver {
     warmup_quanta: u64,
     last: Option<CounterSnapshot>,
     started: bool,
+    /// First MSR write failure, if any. A denied control register puts
+    /// the driver in a degraded observe-only mode instead of aborting
+    /// the simulation (a misconfigured allow-list on one node must not
+    /// take down a whole cluster run).
+    write_error: Option<MsrError>,
 }
 
 impl CuttlefishDriver {
-    /// Create a driver for `proc` (captures the MSR session baseline).
+    /// Create a driver for `proc` (captures the MSR session baseline)
+    /// with the standard Cuttlefish allow-list.
     pub fn new(proc: &SimProcessor, cfg: Config) -> Self {
+        Self::with_allowlist(proc, cfg, &MsrSession::cuttlefish_allowlist())
+    }
+
+    /// Create a driver whose MSR session is restricted to `allow` —
+    /// the knob a deployment's MSR-SAFE configuration controls. A list
+    /// missing the control registers yields a driver that profiles but
+    /// cannot actuate; the failure is reported through
+    /// [`last_error`](Self::last_error), not a panic.
+    pub fn with_allowlist(proc: &SimProcessor, cfg: Config, allow: &[(u32, Access)]) -> Self {
         let spec = proc.spec();
         let quantum = spec.quantum_ns;
         let quanta_per_tinv = (cfg.tinv_ns / quantum).max(1);
         let warmup_quanta = cfg.warmup_ns / quantum;
-        let session = MsrSession::open(proc.msr_file(), &MsrSession::cuttlefish_allowlist());
+        let session = MsrSession::open(proc.msr_file(), allow);
         let daemon = Daemon::new(cfg, spec.core.clone(), spec.uncore.clone());
         CuttlefishDriver {
             daemon,
@@ -43,6 +58,7 @@ impl CuttlefishDriver {
             warmup_quanta,
             last: None,
             started: false,
+            write_error: None,
         }
     }
 
@@ -51,18 +67,42 @@ impl CuttlefishDriver {
         &self.daemon
     }
 
-    fn write_freqs(&self, proc: &mut SimProcessor, cf: simproc::freq::Freq, uf: simproc::freq::Freq) {
+    /// The first MSR write failure, if the driver is degraded.
+    pub fn last_error(&self) -> Option<&MsrError> {
+        self.write_error.as_ref()
+    }
+
+    fn write_freqs(
+        &self,
+        proc: &mut SimProcessor,
+        cf: simproc::freq::Freq,
+        uf: simproc::freq::Freq,
+    ) -> Result<(), MsrError> {
         let file = proc.msr_file_mut();
         self.session
-            .write(file, IA32_PERF_CTL, MsrFile::encode_perf_ctl(cf.0))
-            .expect("PERF_CTL on allow-list");
-        self.session
-            .write(
-                file,
-                MSR_UNCORE_RATIO_LIMIT,
-                MsrFile::encode_uncore_limit(uf.0, uf.0),
-            )
-            .expect("UNCORE_RATIO_LIMIT on allow-list");
+            .write(file, IA32_PERF_CTL, MsrFile::encode_perf_ctl(cf.0))?;
+        self.session.write(
+            file,
+            MSR_UNCORE_RATIO_LIMIT,
+            MsrFile::encode_uncore_limit(uf.0, uf.0),
+        )?;
+        Ok(())
+    }
+
+    /// Apply a frequency decision; on the first denial, degrade to
+    /// observe-only and remember why.
+    fn apply_freqs(
+        &mut self,
+        proc: &mut SimProcessor,
+        cf: simproc::freq::Freq,
+        uf: simproc::freq::Freq,
+    ) {
+        if self.write_error.is_some() {
+            return;
+        }
+        if let Err(e) = self.write_freqs(proc, cf, uf) {
+            self.write_error = Some(e);
+        }
     }
 
     /// Advance the daemon clock by one engine quantum.
@@ -70,7 +110,7 @@ impl CuttlefishDriver {
         if !self.started {
             // Algorithm 1 line 2: start at max frequencies.
             let (cf, uf) = self.daemon.initial_frequencies();
-            self.write_freqs(proc, cf, uf);
+            self.apply_freqs(proc, cf, uf);
             self.started = true;
         }
         self.quanta_seen += 1;
@@ -87,7 +127,7 @@ impl CuttlefishDriver {
         if let Some(prev) = self.last.replace(now) {
             if let Some(sample) = delta(&prev, &now) {
                 let (cf, uf) = self.daemon.tick(sample);
-                self.write_freqs(proc, cf, uf);
+                self.apply_freqs(proc, cf, uf);
             }
         }
     }
@@ -190,6 +230,34 @@ mod tests {
         driver.stop(&mut proc);
         let mut wl = Steady(memory_chunk());
         proc.step(&mut wl);
+        assert_eq!(proc.core_freq(), Freq(23));
+        assert_eq!(proc.uncore_freq(), Freq(30));
+    }
+
+    #[test]
+    fn denied_control_registers_degrade_instead_of_panicking() {
+        use simproc::msr::{self, MsrError};
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        // Read-only allow-list (a plausible MSR-SAFE misconfiguration):
+        // profiling works, actuation is denied.
+        let allow = [
+            (msr::MSR_PKG_ENERGY_STATUS, Access::Read),
+            (msr::IA32_FIXED_CTR0, Access::Read),
+            (msr::SIM_TOR_INSERT_MISS_LOCAL, Access::Read),
+            (msr::SIM_TOR_INSERT_MISS_REMOTE, Access::Read),
+        ];
+        let mut driver = CuttlefishDriver::with_allowlist(&proc, Config::default(), &allow);
+        let mut wl = Steady(memory_chunk());
+        for _ in 0..5_000 {
+            proc.step(&mut wl);
+            driver.on_quantum(&mut proc); // must not panic
+        }
+        assert_eq!(
+            driver.last_error(),
+            Some(&MsrError::Denied(simproc::msr::IA32_PERF_CTL)),
+            "the denial is surfaced, not swallowed"
+        );
+        // Observe-only: the machine stayed at its boot operating point.
         assert_eq!(proc.core_freq(), Freq(23));
         assert_eq!(proc.uncore_freq(), Freq(30));
     }

@@ -229,7 +229,11 @@ impl Exploration {
                 adv.next = self.rb;
                 adv.resolved = true;
             } else {
-                adv.next = if self.rb - self.lb > 2 { self.rb - 2 } else { self.lb };
+                adv.next = if self.rb - self.lb > 2 {
+                    self.rb - 2
+                } else {
+                    self.lb
+                };
             }
         } else {
             // Moving down hurt: the optimum is bracketed (line 18).

@@ -63,6 +63,7 @@
 
 pub mod api;
 pub mod backend;
+pub mod controller;
 pub mod daemon;
 pub mod driver;
 pub mod explore;
@@ -71,6 +72,7 @@ pub mod node;
 pub mod tipi;
 pub mod ufrange;
 
+pub use controller::{FrequencyController, NodePolicy, Pinned};
 pub use daemon::Daemon;
 pub use tipi::TipiSlab;
 
@@ -189,7 +191,9 @@ mod tests {
 
     #[test]
     fn config_builders() {
-        let c = Config::default().with_tinv_ms(40).with_policy(Policy::CoreOnly);
+        let c = Config::default()
+            .with_tinv_ms(40)
+            .with_policy(Policy::CoreOnly);
         assert_eq!(c.tinv_ns, 40_000_000);
         assert_eq!(c.policy, Policy::CoreOnly);
     }

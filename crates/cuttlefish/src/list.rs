@@ -157,7 +157,10 @@ impl TipiList {
             rb = rb.min(c);
         }
         let lb = lb.min(rb);
-        let node = self.nodes.get_mut(&slab.0).expect("begin_uncore on unknown slab");
+        let node = self
+            .nodes
+            .get_mut(&slab.0)
+            .expect("begin_uncore on unknown slab");
         node.uf = Some(Exploration::new(lb, rb, n_uf, needed));
     }
 
@@ -320,7 +323,11 @@ mod tests {
         resolve_cf(&mut list, TipiSlab(10), 6);
         list.begin_uncore(TipiSlab(10), (0, 4), N_UF, 10);
         let uf = list.get(TipiSlab(10)).unwrap().uf.as_ref().unwrap();
-        assert_eq!(uf.bounds(), (0, 2), "UFRB clamped to right neighbour's UFopt");
+        assert_eq!(
+            uf.bounds(),
+            (0, 2),
+            "UFRB clamped to right neighbour's UFopt"
+        );
     }
 
     #[test]
@@ -332,7 +339,10 @@ mod tests {
         list.insert(TipiSlab(20), N_CF, 10);
         list.insert(TipiSlab(30), N_CF, 10);
 
-        list.get_mut(TipiSlab(20)).unwrap().cf.clamp_bounds(Some(2), Some(4));
+        list.get_mut(TipiSlab(20))
+            .unwrap()
+            .cf
+            .clamp_bounds(Some(2), Some(4));
         list.propagate_cf(TipiSlab(20), true, true);
 
         let right = list.get(TipiSlab(30)).unwrap();
@@ -364,7 +374,11 @@ mod tests {
         list.propagate_uf(TipiSlab(40), false, true);
 
         let n5 = list.get(TipiSlab(50)).unwrap();
-        assert_eq!(n5.uf_opt(), Some(4), "neighbour collapsed to the same optimum");
+        assert_eq!(
+            n5.uf_opt(),
+            Some(4),
+            "neighbour collapsed to the same optimum"
+        );
     }
 
     #[test]
@@ -390,7 +404,10 @@ mod tests {
         assert!(list.check_invariants().is_ok());
         resolve_cf(&mut list, TipiSlab(10), 2);
         // A memory-bound node with a *higher* CFopt violates monotonicity.
-        list.get_mut(TipiSlab(20)).unwrap().cf.clamp_bounds(Some(5), Some(5));
+        list.get_mut(TipiSlab(20))
+            .unwrap()
+            .cf
+            .clamp_bounds(Some(5), Some(5));
         assert!(list.check_invariants().is_err());
     }
 }

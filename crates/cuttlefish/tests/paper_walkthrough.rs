@@ -110,10 +110,10 @@ fn figure5b_interior_bracket_resolves_low() {
     let (core, uncore) = domains();
     let mut d = Daemon::new(cfg(), core, uncore);
     let jpi = |cf: Freq, _uf: Freq| match cf.0 {
-        10 => 12.0,       // A worse than C
-        12 => 8.0,        // C best measured
-        14 => 10.0,       // E
-        16 => 11.0,       // G
+        10 => 12.0, // A worse than C
+        12 => 8.0,  // C best measured
+        14 => 10.0, // E
+        16 => 11.0, // G
         _ => 9.0,
     };
     drive(&mut d, 0.05, 200, &jpi);
@@ -153,9 +153,8 @@ fn figure9b_uf_propagation_collapses_neighbour() {
     let mut d = Daemon::new(cfg(), core, uncore);
 
     // Slab X (0.050): CF minimum at A, UF minimum at E (index 4).
-    let jpi_x = |cf: Freq, uf: Freq| {
-        (cf.0 - 10) as f64 * 0.5 + ((uf.0 as f64) - 14.0).abs() * 0.3 + 1.0
-    };
+    let jpi_x =
+        |cf: Freq, uf: Freq| (cf.0 - 10) as f64 * 0.5 + ((uf.0 as f64) - 14.0).abs() * 0.3 + 1.0;
     drive(&mut d, 0.050, 500, &jpi_x);
     let x = d.list().get(TipiSlab::quantize(0.050, 0.004)).unwrap();
     assert!(x.uf_opt().is_some(), "slab X fully resolved");
@@ -163,9 +162,8 @@ fn figure9b_uf_propagation_collapses_neighbour() {
 
     // Slab Y (0.060, more memory-bound): its UFLB must be ≥ X's UFopt
     // as soon as its uncore exploration opens.
-    let jpi_y = |cf: Freq, uf: Freq| {
-        (cf.0 - 10) as f64 * 0.5 + ((uf.0 as f64) - 14.0).abs() * 0.3 + 2.0
-    };
+    let jpi_y =
+        |cf: Freq, uf: Freq| (cf.0 - 10) as f64 * 0.5 + ((uf.0 as f64) - 14.0).abs() * 0.3 + 2.0;
     drive(&mut d, 0.060, 500, &jpi_y);
     let y = d.list().get(TipiSlab::quantize(0.060, 0.004)).unwrap();
     if let Some(uf) = y.uf.as_ref() {

@@ -414,7 +414,11 @@ impl SimProcessor {
         // Achieved and unconstrained-demand bandwidth this quantum.
         let achieved_bw = (total_ml + total_mr) * LINE_BYTES / quantum_s;
         let demand_bw = achieved_bw * overload;
-        self.overload = if cap > 0.0 { (demand_bw / cap).max(1.0) } else { 1.0 };
+        self.overload = if cap > 0.0 {
+            (demand_bw / cap).max(1.0)
+        } else {
+            1.0
+        };
 
         let traffic = (achieved_bw / self.perf.dram_peak_bw).clamp(0.0, 1.0);
         let watts = self.power.package_watts(self.cf, self.uf, sum_eff, traffic);
@@ -565,8 +569,8 @@ mod tests {
         let before = p.msr_read(crate::msr::MSR_PKG_ENERGY_STATUS).unwrap();
         p.run(&mut wl, |_| {});
         let after = p.msr_read(crate::msr::MSR_PKG_ENERGY_STATUS).unwrap();
-        let via_msr = (after.wrapping_sub(before) & 0xffff_ffff) as f64
-            * crate::msr::JOULES_PER_COUNT;
+        let via_msr =
+            (after.wrapping_sub(before) & 0xffff_ffff) as f64 * crate::msr::JOULES_PER_COUNT;
         let exact = p.total_energy_joules();
         assert!(
             (via_msr - exact).abs() / exact < 1e-3,
@@ -625,7 +629,10 @@ mod tests {
         p.step(&mut Nothing);
         let w = p.last_quantum().power_watts;
         assert!(w > 10.0, "idle power should be a real floor, got {w}");
-        assert!(w < 70.0, "idle power should be well under load power, got {w}");
+        assert!(
+            w < 70.0,
+            "idle power should be well under load power, got {w}"
+        );
     }
 
     #[test]
@@ -654,7 +661,10 @@ mod tests {
         let full = run_with_duty(0);
         let half = run_with_duty(8);
         let ratio = half / full;
-        assert!((ratio - 2.0).abs() < 0.1, "duty 8/16 should double time, got {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 0.1,
+            "duty 8/16 should double time, got {ratio}"
+        );
     }
 
     #[test]

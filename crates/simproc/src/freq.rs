@@ -97,7 +97,12 @@ impl FreqDomain {
     /// Panics if `f` is outside the domain.
     #[inline]
     pub fn index_of(&self, f: Freq) -> usize {
-        assert!(self.contains(f), "{f} outside domain {}..={}", self.min, self.max);
+        assert!(
+            self.contains(f),
+            "{f} outside domain {}..={}",
+            self.min,
+            self.max
+        );
         (f.0 - self.min.0) as usize
     }
 

@@ -454,7 +454,8 @@ mod tests {
     #[test]
     fn perf_ctl_roundtrip() {
         let mut f = file();
-        f.write(IA32_PERF_CTL, MsrFile::encode_perf_ctl(15)).unwrap();
+        f.write(IA32_PERF_CTL, MsrFile::encode_perf_ctl(15))
+            .unwrap();
         assert_eq!(f.requested_core_ratio(), 15);
         assert_eq!(MsrFile::decode_perf_ctl(f.read(IA32_PERF_CTL).unwrap()), 15);
     }
@@ -462,7 +463,8 @@ mod tests {
     #[test]
     fn uncore_limit_roundtrip() {
         let mut f = file();
-        f.write(MSR_UNCORE_RATIO_LIMIT, MsrFile::encode_uncore_limit(18, 18)).unwrap();
+        f.write(MSR_UNCORE_RATIO_LIMIT, MsrFile::encode_uncore_limit(18, 18))
+            .unwrap();
         assert_eq!(f.requested_uncore_ratios(), (18, 18));
     }
 
@@ -474,7 +476,10 @@ mod tests {
         assert_eq!(f.read_core(0, IA32_FIXED_CTR0).unwrap(), 1000);
         assert_eq!(f.read_core(3, IA32_FIXED_CTR0).unwrap(), 500);
         assert_eq!(f.read_core(1, IA32_FIXED_CTR0).unwrap(), 0);
-        assert!(matches!(f.read_core(9, IA32_FIXED_CTR0), Err(MsrError::BadCore(9))));
+        assert!(matches!(
+            f.read_core(9, IA32_FIXED_CTR0),
+            Err(MsrError::BadCore(9))
+        ));
     }
 
     #[test]
@@ -501,7 +506,9 @@ mod tests {
         let mut f = file();
         let s = MsrSession::open(&f, &MsrSession::cuttlefish_allowlist());
         assert!(s.read(&f, MSR_PKG_ENERGY_STATUS).is_ok());
-        assert!(s.write(&mut f, IA32_PERF_CTL, MsrFile::encode_perf_ctl(12)).is_ok());
+        assert!(s
+            .write(&mut f, IA32_PERF_CTL, MsrFile::encode_perf_ctl(12))
+            .is_ok());
         // Reads allowed, writes denied on read-only entries.
         assert!(matches!(
             s.write(&mut f, MSR_PKG_ENERGY_STATUS, 0),
@@ -519,9 +526,14 @@ mod tests {
     fn session_restore_puts_controls_back() {
         let mut f = file();
         let s = MsrSession::open(&f, &MsrSession::cuttlefish_allowlist());
-        s.write(&mut f, IA32_PERF_CTL, MsrFile::encode_perf_ctl(12)).unwrap();
-        s.write(&mut f, MSR_UNCORE_RATIO_LIMIT, MsrFile::encode_uncore_limit(12, 12))
+        s.write(&mut f, IA32_PERF_CTL, MsrFile::encode_perf_ctl(12))
             .unwrap();
+        s.write(
+            &mut f,
+            MSR_UNCORE_RATIO_LIMIT,
+            MsrFile::encode_uncore_limit(12, 12),
+        )
+        .unwrap();
         s.restore(&mut f);
         assert_eq!(f.requested_core_ratio(), 23);
         assert_eq!(f.requested_uncore_ratios(), (30, 30));

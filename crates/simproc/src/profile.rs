@@ -8,8 +8,8 @@
 
 use crate::engine::SimProcessor;
 use crate::msr::{
-    MsrError, IA32_FIXED_CTR0, JOULES_PER_COUNT, MSR_PKG_ENERGY_STATUS,
-    SIM_TOR_INSERT_MISS_LOCAL, SIM_TOR_INSERT_MISS_REMOTE,
+    MsrError, IA32_FIXED_CTR0, JOULES_PER_COUNT, MSR_PKG_ENERGY_STATUS, SIM_TOR_INSERT_MISS_LOCAL,
+    SIM_TOR_INSERT_MISS_REMOTE,
 };
 
 /// Raw counter values captured at one instant.
@@ -64,7 +64,11 @@ pub struct Sample {
 /// Difference of two wrapping counters with `bits` significant bits.
 #[inline]
 pub fn wrapping_delta(now: u64, before: u64, bits: u32) -> u64 {
-    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     now.wrapping_sub(before) & mask
 }
 
@@ -110,7 +114,10 @@ mod tests {
         let a = snap(0, 0, 0, 0, 0);
         let b = snap(16384, 1_000_000, 50_000, 14_000, 20_000_000);
         let s = delta(&a, &b).unwrap();
-        assert!((s.jpi - 1.0 / 1_000_000.0).abs() < 1e-12, "16384 counts = 1 J");
+        assert!(
+            (s.jpi - 1.0 / 1_000_000.0).abs() < 1e-12,
+            "16384 counts = 1 J"
+        );
         assert!((s.tipi - 0.064).abs() < 1e-12);
         assert_eq!(s.dt_ns, 20_000_000);
     }
@@ -166,7 +173,11 @@ mod tests {
         let s = delta(&before, &after).unwrap();
         // Counter reads floor the exact f64 accumulator, so allow for
         // one count of rounding slack.
-        assert!(s.instructions.abs_diff(10_000_000) <= 1, "{}", s.instructions);
+        assert!(
+            s.instructions.abs_diff(10_000_000) <= 1,
+            "{}",
+            s.instructions
+        );
         assert!((s.tipi - 0.064).abs() < 1e-6);
         assert!(s.jpi > 0.0);
     }

@@ -26,7 +26,10 @@ fn run_at(chunk: &Chunk, cf: Freq, uf: Freq) -> (f64, f64) {
     let mut p = SimProcessor::new(HASWELL_2650V3.clone());
     p.set_core_freq(cf);
     p.set_uncore_freq(uf);
-    let mut wl = Uniform { chunk: chunk.clone(), left: vec![60; p.n_cores()] };
+    let mut wl = Uniform {
+        chunk: chunk.clone(),
+        left: vec![60; p.n_cores()],
+    };
     let secs = p.run(&mut wl, |_| {});
     (p.total_energy_joules() / p.total_instructions() * 1e9, secs)
 }

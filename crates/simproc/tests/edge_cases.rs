@@ -52,7 +52,10 @@ fn zero_instruction_chunk_does_not_hang() {
     while !p.workload_drained(&wl) {
         p.step(&mut wl);
         guard += 1;
-        assert!(guard < 100_000, "engine must drain a zero-instruction chunk");
+        assert!(
+            guard < 100_000,
+            "engine must drain a zero-instruction chunk"
+        );
     }
 }
 
@@ -111,17 +114,18 @@ fn giant_chunk_spans_many_quanta_with_exact_accounting() {
     // One chunk worth ~2 s of work: partial-execution slicing must
     // conserve instructions and misses exactly.
     let mut p = SimProcessor::new(HASWELL_2650V3.clone());
-    let chunk = Chunk::new(4_000_000_000, 4_000_000, 1_000_000)
-        .with_profile(CostProfile::new(1.0, 8.0));
+    let chunk =
+        Chunk::new(4_000_000_000, 4_000_000, 1_000_000).with_profile(CostProfile::new(1.0, 8.0));
     let mut wl = Once(Some(chunk));
     p.run(&mut wl, |_| {});
     assert!((p.total_instructions() - 4.0e9).abs() / 4.0e9 < 1e-9);
-    let tor = p
-        .msr_read(simproc::msr::SIM_TOR_INSERT_MISS_LOCAL)
-        .unwrap()
+    let tor = p.msr_read(simproc::msr::SIM_TOR_INSERT_MISS_LOCAL).unwrap()
         + p.msr_read(simproc::msr::SIM_TOR_INSERT_MISS_REMOTE)
             .unwrap();
-    assert!((tor as f64 - 5.0e6).abs() < 2.0, "misses conserved, got {tor}");
+    assert!(
+        (tor as f64 - 5.0e6).abs() < 2.0,
+        "misses conserved, got {tor}"
+    );
 }
 
 #[test]

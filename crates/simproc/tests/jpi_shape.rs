@@ -52,7 +52,10 @@ fn argmin_cf(chunk: &Chunk, uf: Freq) -> Freq {
         .core
         .iter()
         .min_by(|&a, &b| {
-            run_at(chunk, a, uf).0.partial_cmp(&run_at(chunk, b, uf).0).unwrap()
+            run_at(chunk, a, uf)
+                .0
+                .partial_cmp(&run_at(chunk, b, uf).0)
+                .unwrap()
         })
         .unwrap()
 }
@@ -62,7 +65,10 @@ fn argmin_uf(chunk: &Chunk, cf: Freq) -> Freq {
         .uncore
         .iter()
         .min_by(|&a, &b| {
-            run_at(chunk, cf, a).0.partial_cmp(&run_at(chunk, cf, b).0).unwrap()
+            run_at(chunk, cf, a)
+                .0
+                .partial_cmp(&run_at(chunk, cf, b).0)
+                .unwrap()
         })
         .unwrap()
 }
@@ -105,7 +111,10 @@ fn compute_bound_jpi_monotone_decreasing_in_cf() {
 #[test]
 fn compute_bound_uf_optimum_at_min() {
     let opt = argmin_uf(&uts_like(), Freq(23));
-    assert!(opt <= Freq(13), "UTS UFopt should be 1.2-1.3 GHz, got {opt}");
+    assert!(
+        opt <= Freq(13),
+        "UTS UFopt should be 1.2-1.3 GHz, got {opt}"
+    );
 }
 
 #[test]
@@ -132,7 +141,10 @@ fn sor_like_cf_optimum_near_max() {
     // adjacent-bounds rule resolves by picking CFmax). The substrate
     // requirement is only: optimum at/near the top, steep penalty below.
     let opt = argmin_cf(&sor_like(), Freq(30));
-    assert!(opt >= Freq(21), "SOR CF optimum should be near max, got {opt}");
+    assert!(
+        opt >= Freq(21),
+        "SOR CF optimum should be near max, got {opt}"
+    );
     let (j_min, _) = run_at(&sor_like(), Freq(12), Freq(30));
     let (j_top, _) = run_at(&sor_like(), Freq(23), Freq(30));
     assert!(j_min > j_top * 1.1, "CFmin must be clearly worse for SOR");
@@ -141,14 +153,20 @@ fn sor_like_cf_optimum_near_max() {
 #[test]
 fn sor_like_uf_optimum_near_min() {
     let opt = argmin_uf(&sor_like(), Freq(23));
-    assert!(opt <= Freq(14), "SOR UFopt should be near 1.2 GHz, got {opt}");
+    assert!(
+        opt <= Freq(14),
+        "SOR UFopt should be near 1.2 GHz, got {opt}"
+    );
 }
 
 #[test]
 fn memory_bound_cf_optimum_at_min() {
     // UF at the Default-governor level for a memory-bound program (3.0).
     let opt = argmin_cf(&heat_like(), Freq(30));
-    assert!(opt <= Freq(13), "Heat CFopt should be 1.2-1.3 GHz, got {opt}");
+    assert!(
+        opt <= Freq(13),
+        "Heat CFopt should be 1.2-1.3 GHz, got {opt}"
+    );
 }
 
 #[test]
@@ -156,7 +174,10 @@ fn memory_bound_jpi_increases_with_cf() {
     let chunk = heat_like();
     let (low, _) = run_at(&chunk, Freq(12), Freq(30));
     let (high, _) = run_at(&chunk, Freq(23), Freq(30));
-    assert!(high > low * 1.05, "Heat JPI at CFmax should clearly exceed CFmin");
+    assert!(
+        high > low * 1.05,
+        "Heat JPI at CFmax should clearly exceed CFmin"
+    );
 }
 
 #[test]
@@ -206,5 +227,8 @@ fn compute_bound_energy_saving_at_tuned_point_is_moderate() {
         "paper reports 8-10% for compute-bound benchmarks, got {saving:.3}"
     );
     let slowdown = t_tuned / t_default - 1.0;
-    assert!(slowdown < 0.05, "compute-bound slowdown should be tiny, got {slowdown:.3}");
+    assert!(
+        slowdown < 0.05,
+        "compute-bound slowdown should be tiny, got {slowdown:.3}"
+    );
 }

@@ -45,7 +45,9 @@ impl Region {
     /// A serial region: all chunks on core 0 (e.g. a sequential setup
     /// phase between parallel loops).
     pub fn serial(chunks: Vec<Chunk>) -> Self {
-        Region { per_core: vec![chunks] }
+        Region {
+            per_core: vec![chunks],
+        }
     }
 
     /// Number of cores this region addresses.

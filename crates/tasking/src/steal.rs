@@ -313,7 +313,10 @@ mod tests {
         let mut p = SimProcessor::new(HYPOTHETICAL7.clone());
         let mut s = WorkStealingScheduler::new(dag, p.n_cores(), 99);
         p.run(&mut s, |_| {});
-        assert!(s.stats().steals > 0, "fan-out from one deque requires steals");
+        assert!(
+            s.stats().steals > 0,
+            "fan-out from one deque requires steals"
+        );
         assert_eq!(s.completed(), 51);
     }
 

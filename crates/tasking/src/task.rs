@@ -118,8 +118,14 @@ impl DagBuilder {
     /// Panics if either id is unknown or `before == after`.
     pub fn add_dep(&mut self, before: TaskId, after: TaskId) {
         assert!(before != after, "a task cannot depend on itself");
-        assert!((before.0 as usize) < self.chunks.len(), "unknown task {before:?}");
-        assert!((after.0 as usize) < self.chunks.len(), "unknown task {after:?}");
+        assert!(
+            (before.0 as usize) < self.chunks.len(),
+            "unknown task {before:?}"
+        );
+        assert!(
+            (after.0 as usize) < self.chunks.len(),
+            "unknown task {after:?}"
+        );
         self.succs[before.0 as usize].push(after.0);
         self.indeg[after.0 as usize] += 1;
     }

@@ -30,11 +30,11 @@ const CORES: f64 = 20.0;
 /// Per-level description: (base TIPI, share of cycle core-seconds,
 /// instructions per nonzero, CPI, MLP).
 const LEVELS: &[(f64, f64, f64, f64, f64)] = &[
-    (0.1460, 0.52, 3.3, 0.7, 8.0), // level 0 relax (frequent slab #1)
-    (0.1498, 0.24, 3.3, 0.7, 8.0), // level 0 residual (frequent slab #2)
-    (0.172, 0.12, 3.6, 0.75, 7.0), // level 1
-    (0.210, 0.06, 3.8, 0.8, 6.0),  // level 2
-    (0.258, 0.03, 4.0, 0.8, 5.0),  // level 3
+    (0.1460, 0.52, 3.3, 0.7, 8.0),  // level 0 relax (frequent slab #1)
+    (0.1498, 0.24, 3.3, 0.7, 8.0),  // level 0 residual (frequent slab #2)
+    (0.172, 0.12, 3.6, 0.75, 7.0),  // level 1
+    (0.210, 0.06, 3.8, 0.8, 6.0),   // level 2
+    (0.258, 0.03, 4.0, 0.8, 5.0),   // level 3
     (0.298, 0.015, 4.2, 0.85, 5.0), // level 4
     (0.326, 0.008, 4.4, 0.85, 4.0), // level 5 (range top)
     (0.065, 0.007, 3.0, 0.7, 10.0), // coarsest: LLC-resident
@@ -211,16 +211,27 @@ mod tests {
             relax_slabs.insert(slab_of(level_kernel(cycle, 0).tipi()));
             resid_slabs.insert(slab_of(level_kernel(cycle, 1).tipi()));
         }
-        assert!(relax_slabs.contains(&36), "0.144-0.148 present: {relax_slabs:?}");
-        assert!(resid_slabs.contains(&37), "0.148-0.152 present: {resid_slabs:?}");
+        assert!(
+            relax_slabs.contains(&36),
+            "0.144-0.148 present: {relax_slabs:?}"
+        );
+        assert!(
+            resid_slabs.contains(&37),
+            "0.148-0.152 present: {resid_slabs:?}"
+        );
     }
 
     #[test]
     fn level_tipis_span_paper_range() {
         let min = level_kernel(0, 7).tipi();
-        let max = (0..22).map(|c| level_kernel(c, 6).tipi()).fold(0.0, f64::max);
+        let max = (0..22)
+            .map(|c| level_kernel(c, 6).tipi())
+            .fold(0.0, f64::max);
         assert!(min < 0.08, "coarse level near range bottom, got {min}");
-        assert!(max > 0.31 && max < 0.34, "level 5 near range top, got {max}");
+        assert!(
+            max > 0.31 && max < 0.34,
+            "level 5 near range top, got {max}"
+        );
     }
 
     #[test]

@@ -108,7 +108,11 @@ pub struct Phase {
 
 impl Phase {
     pub const fn new(name: &'static str, kernel: KernelCost, core_seconds: f64) -> Self {
-        Phase { name, kernel, core_seconds }
+        Phase {
+            name,
+            kernel,
+            core_seconds,
+        }
     }
 
     /// Materialize this phase as one statically partitioned region with
@@ -118,7 +122,9 @@ impl Phase {
         let points = points_for_core_seconds(&self.kernel, self.core_seconds, n_cores);
         let n_chunks = (n_cores * chunks_per_core) as u64;
         let per_chunk = (points / n_chunks).max(1);
-        let chunks: Vec<Chunk> = (0..n_chunks).map(|_| self.kernel.chunk(per_chunk)).collect();
+        let chunks: Vec<Chunk> = (0..n_chunks)
+            .map(|_| self.kernel.chunk(per_chunk))
+            .collect();
         tasking::Region::statically_partitioned(chunks, n_cores)
     }
 }

@@ -133,7 +133,9 @@ mod tests {
     use super::*;
 
     fn leaves(b: &mut DagBuilder, n: usize) -> Vec<TaskId> {
-        (0..n).map(|_| b.add_task(Chunk::new(1_000_000, 1000, 0))).collect()
+        (0..n)
+            .map(|_| b.add_task(Chunk::new(1_000_000, 1000, 0)))
+            .collect()
     }
 
     fn interior_degrees(dag: &tasking::TaskDag, n_leaves: usize) -> Vec<usize> {
@@ -152,7 +154,10 @@ mod tests {
         spawn_tree(&mut b, &ls, TreeShape::Regular(3), &mut rng);
         let dag = b.build();
         for d in interior_degrees(&dag, 81) {
-            assert!(d <= 3, "regular degree-3 tree must not exceed 3 children, got {d}");
+            assert!(
+                d <= 3,
+                "regular degree-3 tree must not exceed 3 children, got {d}"
+            );
         }
         // Exactly one root.
         assert_eq!(dag.roots().count(), 1);
@@ -166,8 +171,8 @@ mod tests {
         spawn_tree(&mut b, &ls, TreeShape::Irregular, &mut rng);
         let dag = b.build();
         let degrees = interior_degrees(&dag, 200);
-        assert!(degrees.iter().any(|&d| d == 3), "expected some degree-3 nodes");
-        assert!(degrees.iter().any(|&d| d == 5), "expected some degree-5 nodes");
+        assert!(degrees.contains(&3), "expected some degree-3 nodes");
+        assert!(degrees.contains(&5), "expected some degree-5 nodes");
     }
 
     #[test]
@@ -199,7 +204,9 @@ mod tests {
     #[test]
     fn iterative_dag_orders_iterations() {
         let dag = iterative_tree_dag(3, TreeShape::Regular(3), 5, |_, b| {
-            (0..9).map(|_| b.add_task(Chunk::new(100_000, 100, 0))).collect()
+            (0..9)
+                .map(|_| b.add_task(Chunk::new(100_000, 100, 0)))
+                .collect()
         });
         // One root overall: iteration 0's spawn root.
         assert_eq!(dag.roots().count(), 1);
@@ -216,10 +223,14 @@ mod tests {
     #[test]
     fn deterministic_construction() {
         let d1 = iterative_tree_dag(2, TreeShape::Irregular, 11, |_, b| {
-            (0..20).map(|_| b.add_task(Chunk::new(100_000, 100, 0))).collect()
+            (0..20)
+                .map(|_| b.add_task(Chunk::new(100_000, 100, 0)))
+                .collect()
         });
         let d2 = iterative_tree_dag(2, TreeShape::Irregular, 11, |_, b| {
-            (0..20).map(|_| b.add_task(Chunk::new(100_000, 100, 0))).collect()
+            (0..20)
+                .map(|_| b.add_task(Chunk::new(100_000, 100, 0)))
+                .collect()
         });
         assert_eq!(d1.len(), d2.len());
         for i in 0..d1.len() {

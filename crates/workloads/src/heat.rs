@@ -97,8 +97,7 @@ pub fn build(style: Style, scale: Scale, n_cores: usize) -> BuiltWorkload {
                 regions.push(Region::statically_partitioned(sweep_chunks(k), n_cores));
                 let res = ws_residual_kernel(iter);
                 let sample_points = (GRID / 8) * GRID / n_cores as u64;
-                let chunks: Vec<_> =
-                    (0..n_cores).map(|_| res.chunk(sample_points)).collect();
+                let chunks: Vec<_> = (0..n_cores).map(|_| res.chunk(sample_points)).collect();
                 regions.push(Region::statically_partitioned(chunks, n_cores));
             }
             BuiltWorkload::Regions(regions)
@@ -196,12 +195,20 @@ mod tests {
             assert!((0.012..0.052).contains(&t), "residual TIPI {t}");
             slabs.insert(slab_of(t));
         }
-        assert!(slabs.len() >= 6, "residual should walk many slabs, got {}", slabs.len());
+        assert!(
+            slabs.len() >= 6,
+            "residual should walk many slabs, got {}",
+            slabs.len()
+        );
     }
 
     #[test]
     fn builds_for_all_styles() {
-        for style in [Style::IrregularTasks, Style::RegularTasks, Style::WorkSharing] {
+        for style in [
+            Style::IrregularTasks,
+            Style::RegularTasks,
+            Style::WorkSharing,
+        ] {
             let wl = build(style, Scale(0.01), 4);
             match (style, wl) {
                 (Style::WorkSharing, BuiltWorkload::Regions(r)) => assert!(!r.is_empty()),
@@ -228,7 +235,10 @@ mod tests {
         let neighbour = a[(n / 2) * n + n / 2 + 3];
         assert!(neighbour > 0.0, "heat must spread outwards");
         for &v in &a {
-            assert!((0.0..=100.0).contains(&v), "maximum principle violated: {v}");
+            assert!(
+                (0.0..=100.0).contains(&v),
+                "maximum principle violated: {v}"
+            );
         }
     }
 }

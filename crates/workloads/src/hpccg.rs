@@ -68,15 +68,12 @@ pub fn build(scale: Scale, n_cores: usize) -> BuiltWorkload {
         regions.push(ph.region(n_cores, 6));
     }
     for iter in 0..iters {
+        regions
+            .push(Phase::new("hpccg.spmv", spmv_kernel(), iter_core_s * 0.76).region(n_cores, 6));
+        regions
+            .push(Phase::new("hpccg.dot", dot_kernel(iter), iter_core_s * 0.12).region(n_cores, 6));
         regions.push(
-            Phase::new("hpccg.spmv", spmv_kernel(), iter_core_s * 0.76).region(n_cores, 6),
-        );
-        regions.push(
-            Phase::new("hpccg.dot", dot_kernel(iter), iter_core_s * 0.12).region(n_cores, 6),
-        );
-        regions.push(
-            Phase::new("hpccg.waxpby", waxpby_kernel(iter), iter_core_s * 0.12)
-                .region(n_cores, 6),
+            Phase::new("hpccg.waxpby", waxpby_kernel(iter), iter_core_s * 0.12).region(n_cores, 6),
         );
         if iter % 10 == 9 {
             regions.push(
@@ -118,8 +115,7 @@ pub fn stencil27_spmv(x: &[f64], y: &mut [f64], nx: usize, ny: usize, nz: usize)
                             if di == 0 && dj == 0 && dk == 0 {
                                 continue;
                             }
-                            let (ii, jj, kk) =
-                                (i as i64 + di, j as i64 + dj, k as i64 + dk);
+                            let (ii, jj, kk) = (i as i64 + di, j as i64 + dj, k as i64 + dk);
                             if ii < 0
                                 || jj < 0
                                 || kk < 0

@@ -54,7 +54,11 @@ pub fn dot_kernel() -> KernelCost {
 /// Assembly-prologue kernel for step `i` of `n`: miss rate climbs as
 /// the matrix structure grows past the LLC.
 pub fn assembly_kernel(i: usize, n: usize) -> KernelCost {
-    let t = if n <= 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+    let t = if n <= 1 {
+        0.0
+    } else {
+        i as f64 / (n - 1) as f64
+    };
     let tipi = 0.072 + t * 0.072; // 0.072 → 0.144
     let instr = 4.0;
     KernelCost::new(instr, tipi * instr, 0.8, 9.0)
@@ -162,7 +166,11 @@ mod tests {
 
     #[test]
     fn kernel_tipis_hit_paper_slabs() {
-        assert_eq!(slab_of(waxpby_kernel().tipi()), 28, "waxpby in [0.112,0.116)");
+        assert_eq!(
+            slab_of(waxpby_kernel().tipi()),
+            28,
+            "waxpby in [0.112,0.116)"
+        );
         assert_eq!(slab_of(spmv_kernel().tipi()), 37, "spmv in [0.148,0.152)");
         assert_eq!(slab_of(dot_kernel().tipi()), 17, "dot in [0.068,0.072)");
     }
@@ -173,7 +181,11 @@ mod tests {
         for i in 0..20 {
             slabs.insert(slab_of(assembly_kernel(i, 20).tipi()));
         }
-        assert!(slabs.len() >= 8, "assembly should span many slabs, got {}", slabs.len());
+        assert!(
+            slabs.len() >= 8,
+            "assembly should span many slabs, got {}",
+            slabs.len()
+        );
     }
 
     #[test]
@@ -205,7 +217,11 @@ mod tests {
         let mut ax = vec![0.0; n];
         laplacian_spmv(&x, &mut ax);
         for i in 0..n {
-            assert!((ax[i] - rhs[i]).abs() < 1e-6, "residual at {i}: {}", ax[i] - rhs[i]);
+            assert!(
+                (ax[i] - rhs[i]).abs() < 1e-6,
+                "residual at {i}: {}",
+                ax[i] - rhs[i]
+            );
         }
     }
 

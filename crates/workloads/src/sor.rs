@@ -63,7 +63,9 @@ pub fn build(style: Style, scale: Scale, n_cores: usize) -> BuiltWorkload {
                 // granularity feeds the load balancer).
                 let per_core = GRID * GRID / n_cores as u64;
                 regions.push(Region::from_parts(
-                    (0..n_cores).map(|_| vec![sweep_kernel().chunk(per_core)]).collect(),
+                    (0..n_cores)
+                        .map(|_| vec![sweep_kernel().chunk(per_core)])
+                        .collect(),
                 ));
                 // Sampled residual check: every 4th iteration, GRID/4
                 // rows × 4 (batching keeps its runtime share constant
@@ -118,8 +120,7 @@ pub fn sor_sweep(u: &mut [f64], n: usize, omega: f64) -> f64 {
             let mut j = start;
             while j < n - 1 {
                 let idx = i * n + j;
-                let resid =
-                    u[idx - n] + u[idx + n] + u[idx - 1] + u[idx + 1] - 4.0 * u[idx];
+                let resid = u[idx - n] + u[idx + n] + u[idx - 1] + u[idx + 1] - 4.0 * u[idx];
                 let delta = omega * resid / 4.0;
                 u[idx] += delta;
                 max_delta = max_delta.max(delta.abs());
@@ -198,9 +199,7 @@ mod tests {
         // must monotonically shrink the update magnitude and converge.
         let n = 33;
         let mut u = vec![0.0f64; n * n];
-        for j in 0..n {
-            u[j] = 1.0;
-        }
+        u[..n].fill(1.0);
         let mut last = f64::INFINITY;
         let mut converged = false;
         for _ in 0..2000 {

@@ -285,7 +285,6 @@ mod tests {
 
     #[test]
     fn dynamic_uts_matches_pregenerated_tipi() {
-        use simproc::engine::Workload;
         use simproc::freq::HASWELL_2650V3;
         use simproc::msr;
         use simproc::SimProcessor;
@@ -330,7 +329,10 @@ mod tests {
         let sizes: Vec<u64> = (1..=40).map(|r| count_tree(r, 0, 8, 4)).collect();
         let min = *sizes.iter().min().unwrap();
         let max = *sizes.iter().max().unwrap();
-        assert!(max > min.saturating_mul(3), "imbalance: min {min}, max {max}");
+        assert!(
+            max > min.saturating_mul(3),
+            "imbalance: min {min}, max {max}"
+        );
     }
 
     #[test]

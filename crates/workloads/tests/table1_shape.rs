@@ -34,7 +34,7 @@ fn run_default(bench: &workloads::Benchmark) -> RunResult {
         proc.step(wl.as_mut());
         gov.on_quantum(&mut proc);
         quantum_count += 1;
-        if quantum_count % 20 == 0 {
+        if quantum_count.is_multiple_of(20) {
             // Sample at the paper's Tinv = 20 ms.
             let now = CounterSnapshot::capture(&proc).unwrap();
             if let Some(s) = delta(&last, &now) {
@@ -99,7 +99,11 @@ fn durations_and_tipi_ranges_match_table1() {
             ));
         }
     }
-    assert!(failures.is_empty(), "Table 1 mismatches:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "Table 1 mismatches:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]
@@ -116,7 +120,11 @@ fn slab_diversity_ordering_matches_table1() {
     let n = |name: &str| by_name[name].slabs.len();
     assert!(n("UTS") <= 2, "UTS should be ~1 slab, got {}", n("UTS"));
     assert!(n("SOR-irt") <= 3, "SOR-irt ~1 slab, got {}", n("SOR-irt"));
-    assert!(n("SOR-ws") >= 2, "SOR-ws has extra low slabs, got {}", n("SOR-ws"));
+    assert!(
+        n("SOR-ws") >= 2,
+        "SOR-ws has extra low slabs, got {}",
+        n("SOR-ws")
+    );
     assert!(n("Heat-ws") >= 5, "Heat-ws ~11 slabs, got {}", n("Heat-ws"));
     assert!(n("AMG") >= 15, "AMG has the most slabs, got {}", n("AMG"));
     assert!(

@@ -7,10 +7,9 @@
 //!
 //! Run with: `cargo run --release --example governor_compare`
 
-use cuttlefish::driver::CuttlefishDriver;
+use cuttlefish::controller::NodePolicy;
 use cuttlefish::Config;
 use simproc::freq::HASWELL_2650V3;
-use simproc::governor::DefaultGovernor;
 use simproc::SimProcessor;
 use workloads::{amg, ProgModel, Scale};
 
@@ -21,22 +20,18 @@ struct Row {
     watts: f64,
 }
 
-fn run(cuttlefish: bool) -> (Vec<Row>, f64, f64) {
+fn run(policy: NodePolicy) -> (Vec<Row>, f64, f64) {
     let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
     let bench = amg::benchmark(Scale(0.25));
     let mut wl = bench.instantiate(ProgModel::OpenMp, proc.n_cores(), 3);
-    let mut governor = DefaultGovernor::new();
-    let mut driver = cuttlefish.then(|| CuttlefishDriver::new(&proc, Config::default()));
+    let mut controller = policy.build(&mut proc);
     let mut rows = Vec::new();
     let mut q = 0u64;
     while !proc.workload_drained(wl.as_mut()) {
         proc.step(wl.as_mut());
-        match &mut driver {
-            Some(d) => d.on_quantum(&mut proc),
-            None => governor.on_quantum(&mut proc),
-        }
+        controller.on_quantum(&mut proc);
         q += 1;
-        if q % 1000 == 0 {
+        if q.is_multiple_of(1000) {
             rows.push(Row {
                 t: proc.now_seconds(),
                 cf: proc.core_freq().ghz(),
@@ -50,8 +45,8 @@ fn run(cuttlefish: bool) -> (Vec<Row>, f64, f64) {
 
 fn main() {
     println!("AMG (22 V-cycles, scaled): Default vs Cuttlefish, sampled each second\n");
-    let (def_rows, def_t, def_e) = run(false);
-    let (cf_rows, cf_t, cf_e) = run(true);
+    let (def_rows, def_t, def_e) = run(NodePolicy::Default);
+    let (cf_rows, cf_t, cf_e) = run(NodePolicy::Cuttlefish(Config::default()));
 
     println!(
         "{:>6}  | {:>6} {:>6} {:>7} | {:>6} {:>6} {:>7}",

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example irregular_tasks`
 
-use cuttlefish::driver::CuttlefishDriver;
+use cuttlefish::controller::NodePolicy;
 use cuttlefish::Config;
 use simproc::freq::HASWELL_2650V3;
 use simproc::SimProcessor;
@@ -28,7 +28,7 @@ fn count_tree(scope: &Scope<'_>, id: u64, depth: u32, nodes: Arc<AtomicU64>) {
     for slot in 0..4u32 {
         let bits = (h >> (slot * 8)) & 0xff;
         let threshold = 256 * (9 - depth) / 10;
-        if (bits as u32) < threshold as u32 {
+        if (bits as u32) < threshold {
             let nodes = nodes.clone();
             let child = uts::node_hash(id ^ (slot as u64 + 1));
             scope.spawn(move |s| count_tree(s, child, depth + 1, nodes));
@@ -38,7 +38,9 @@ fn count_tree(scope: &Scope<'_>, id: u64, depth: u32, nodes: Arc<AtomicU64>) {
 
 fn main() {
     // Part 1: real threads.
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let pool = Pool::new(threads.min(8));
     let nodes = Arc::new(AtomicU64::new(0));
     let t0 = std::time::Instant::now();
@@ -57,10 +59,10 @@ fn main() {
     let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
     let bench = uts::benchmark(Scale(0.2));
     let mut wl = bench.instantiate(ProgModel::HClib, proc.n_cores(), 11);
-    let mut driver = CuttlefishDriver::new(&proc, Config::default());
+    let mut controller = NodePolicy::Cuttlefish(Config::default()).build(&mut proc);
     while !proc.workload_drained(wl.as_mut()) {
         proc.step(wl.as_mut());
-        driver.on_quantum(&mut proc);
+        controller.on_quantum(&mut proc);
     }
     println!(
         "simulated UTS (work-stealing, 20 cores): {:.1} virtual s, {:.0} J",
@@ -72,7 +74,7 @@ fn main() {
         proc.core_freq(),
         proc.uncore_freq()
     );
-    for r in driver.daemon().report() {
+    for r in controller.report() {
         println!(
             "  TIPI {} ({:.0}% of samples): CFopt {:?}, UFopt {:?}",
             r.label,

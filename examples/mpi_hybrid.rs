@@ -12,11 +12,14 @@
 use cluster::{BspApp, Cluster, CommModel, NodePolicy};
 use cuttlefish::Config;
 use simproc::engine::Chunk;
+use simproc::freq::Freq;
 use simproc::perf::CostProfile;
 
 fn stencil_chunks() -> Vec<Chunk> {
     (0..120)
-        .map(|_| Chunk::new(30_000_000, 1_390_000, 590_000).with_profile(CostProfile::new(0.55, 12.0)))
+        .map(|_| {
+            Chunk::new(30_000_000, 1_390_000, 590_000).with_profile(CostProfile::new(0.55, 12.0))
+        })
         .collect()
 }
 
@@ -47,6 +50,26 @@ fn report(label: &str, app: &BspApp) {
         tuned.joules,
         (1.0 - tuned.joules / base.joules) * 100.0,
         (tuned.seconds / base.seconds - 1.0) * 100.0
+    );
+    // The same cluster driven by a third controller — an oracle pin at
+    // the memory-bound optimum Cuttlefish discovers (Table 2: CF 1.2,
+    // UF 2.2) — shows what the exploration costs relative to knowing
+    // the answer up front.
+    let oracle = Cluster::new(
+        app.n_nodes(),
+        NodePolicy::Pinned {
+            cf: Freq(12),
+            uf: Freq(22),
+        },
+        CommModel::default(),
+    )
+    .run(app);
+    println!(
+        "   Oracle pin: {:>6.2} s  {:>6.0} J   energy {:+.1}%, time {:+.1}%",
+        oracle.seconds,
+        oracle.joules,
+        (1.0 - oracle.joules / base.joules) * 100.0,
+        (oracle.seconds / base.seconds - 1.0) * 100.0
     );
     for (i, rep) in tuned_cluster.reports().iter().enumerate() {
         for r in rep.iter().filter(|r| r.is_frequent()) {

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cuttlefish::driver::CuttlefishDriver;
+use cuttlefish::controller::NodePolicy;
 use cuttlefish::Config;
 use simproc::engine::{Chunk, Workload};
 use simproc::freq::HASWELL_2650V3;
@@ -30,15 +30,16 @@ fn main() {
     let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
     println!("machine: {} ({} cores)", proc.spec().name, proc.n_cores());
 
-    // cuttlefish::start() — the driver owns the daemon and its MSR
-    // session; stop() restores the frequency settings.
-    let mut driver = CuttlefishDriver::new(&proc, Config::default());
+    // cuttlefish::start() — the controller owns the daemon and its MSR
+    // session; stop() restores the frequency settings. Swapping the
+    // policy (Default / Pinned / a future governor) is this one line.
+    let mut controller = NodePolicy::Cuttlefish(Config::default()).build(&mut proc);
 
     let mut wl = Streaming;
     let seconds = 15;
     for quantum in 0..(seconds * 1000) {
         proc.step(&mut wl);
-        driver.on_quantum(&mut proc);
+        controller.on_quantum(&mut proc);
         if quantum % 1000 == 999 {
             println!(
                 "t={:>4.1}s  CF {}  UF {}  power {:5.1} W",
@@ -51,7 +52,7 @@ fn main() {
     }
 
     println!("\ndiscovered TIPI ranges:");
-    for r in driver.daemon().report() {
+    for r in controller.report() {
         println!(
             "  {} — {:4.1}% of samples, CFopt {:?}, UFopt {:?}",
             r.label,
@@ -64,7 +65,7 @@ fn main() {
     println!("energy per instruction: {:.3} nJ", jpi * 1e9);
 
     // cuttlefish::stop().
-    driver.stop(&mut proc);
+    controller.stop(&mut proc);
     proc.step(&mut wl);
     println!(
         "after stop(): CF {}  UF {} (restored)",

@@ -7,40 +7,36 @@
 //!
 //! Run with: `cargo run --release --example stencil_solver`
 
-use cuttlefish::driver::CuttlefishDriver;
+use cuttlefish::controller::NodePolicy;
 use cuttlefish::{Config, Policy};
 use simproc::freq::HASWELL_2650V3;
-use simproc::governor::DefaultGovernor;
 use simproc::SimProcessor;
 use workloads::{heat, ProgModel, Scale, Style};
 
-fn run_one(policy: Option<Policy>) -> (f64, f64) {
+fn run_one(policy: &NodePolicy) -> (f64, f64) {
     let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
     let bench = heat::benchmark(Style::WorkSharing, Scale(0.25));
     let mut wl = bench.instantiate(ProgModel::OpenMp, proc.n_cores(), 7);
 
-    let mut governor = DefaultGovernor::new();
-    let mut driver = policy.map(|p| CuttlefishDriver::new(&proc, Config::default().with_policy(p)));
+    let mut controller = policy.build(&mut proc);
 
     while !proc.workload_drained(wl.as_mut()) {
         proc.step(wl.as_mut());
-        match &mut driver {
-            Some(d) => d.on_quantum(&mut proc),
-            None => governor.on_quantum(&mut proc),
-        }
+        controller.on_quantum(&mut proc);
     }
     (proc.now_seconds(), proc.total_energy_joules())
 }
 
 fn main() {
     println!("Heat diffusion, 32K x 32K grid (scaled), work-sharing, 20 cores\n");
-    let (t0, e0) = run_one(None);
+    let (t0, e0) = run_one(&NodePolicy::Default);
     println!("{:<18} {:>8.2} s {:>8.0} J  (baseline)", "Default", t0, e0);
     for policy in [Policy::Both, Policy::CoreOnly, Policy::UncoreOnly] {
-        let (t, e) = run_one(Some(policy));
+        let node_policy = NodePolicy::Cuttlefish(Config::default().with_policy(policy));
+        let (t, e) = run_one(&node_policy);
         println!(
             "{:<18} {:>8.2} s {:>8.0} J  energy {:+.1}%, time {:+.1}%",
-            policy.name(),
+            node_policy.name(),
             t,
             e,
             (1.0 - e / e0) * 100.0,

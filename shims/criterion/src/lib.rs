@@ -1,0 +1,168 @@
+//! Offline shim for `criterion`: times each benchmark for a fixed
+//! budget and prints mean ns/iter. No statistics, baselines, or plots;
+//! the `--test`/`--quick` flags run every benchmark once (so bench
+//! targets stay cheap to smoke-test).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (accepted for API parity; the
+/// shim always runs setup once per routine call and times only the
+/// routine).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Target measurement time per benchmark.
+const BUDGET: Duration = Duration::from_millis(200);
+
+/// The benchmark harness.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--test" || a == "--quick")
+            || std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            quick: self.quick,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters > 0 {
+            b.total.as_nanos() as f64 / b.iters as f64
+        } else {
+            f64::NAN
+        };
+        println!("{name:<40} {mean_ns:>14.1} ns/iter  ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Passed to the benchmark closure; accumulates timing.
+pub struct Bencher {
+    quick: bool,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        self.total += elapsed;
+        self.iters += iters;
+    }
+
+    /// Time `routine` repeatedly until the budget is spent.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up + calibration: grow the batch until it is measurable.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.record(dt, batch);
+            if self.quick {
+                return;
+            }
+            if self.total >= BUDGET {
+                return;
+            }
+            if dt < Duration::from_millis(10) && batch < u64::MAX / 2 {
+                batch *= 2;
+            }
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; only the routine
+    /// is on the clock.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.record(t0.elapsed(), 1);
+            if self.quick || self.total >= BUDGET {
+                return;
+            }
+        }
+    }
+}
+
+/// Declare a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut b = Bencher {
+            quick: true,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(n, 1);
+        assert_eq!(b.iters, 1);
+    }
+
+    #[test]
+    fn iter_batched_times_routine() {
+        let mut b = Bencher {
+            quick: true,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter_batched(
+            || vec![1, 2, 3],
+            |v| v.into_iter().sum::<i32>(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(b.iters, 1);
+    }
+}

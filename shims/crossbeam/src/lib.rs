@@ -1,0 +1,185 @@
+//! Offline shim for `crossbeam`: the `deque` module's
+//! Worker/Stealer/Injector triple, implemented over `Mutex<VecDeque>`.
+//!
+//! Semantics match crossbeam-deque as the workspace uses it: the owner
+//! pushes and pops LIFO at the bottom of its deque, stealers take FIFO
+//! from the top, and the injector is a shared FIFO whose
+//! `steal_batch_and_pop` moves a batch into the destination worker.
+//! The lock-based implementation trades crossbeam's lock-freedom for
+//! simplicity; contention behaviour differs but the scheduling
+//! discipline (child-first local, FIFO steal) is identical.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    pub enum Steal<T> {
+        /// Nothing to steal.
+        Empty,
+        /// One stolen item.
+        Success(T),
+        /// Lost a race; try again. (The mutex-based shim never returns
+        /// this, but callers match on it.)
+        Retry,
+    }
+
+    fn lock<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        q.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The owner's end of a work-stealing deque.
+    pub struct Worker<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// New deque whose owner pops LIFO (child-first).
+        pub fn new_lifo() -> Self {
+            Worker {
+                q: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Push onto the owner's end (the bottom).
+        pub fn push(&self, item: T) {
+            lock(&self.q).push_back(item);
+        }
+
+        /// Pop from the owner's end (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.q).pop_back()
+        }
+
+        /// A handle other threads use to steal from the top.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                q: Arc::clone(&self.q),
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.q).is_empty()
+        }
+    }
+
+    /// The thieves' end of a worker's deque (FIFO).
+    pub struct Stealer<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                q: Arc::clone(&self.q),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one item from the top of the victim's deque.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.q).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// A shared FIFO queue all workers can inject into and steal from.
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// New empty injector.
+        pub fn new() -> Self {
+            Injector {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push an item onto the global queue.
+        pub fn push(&self, item: T) {
+            lock(&self.q).push_back(item);
+        }
+
+        /// Steal one item.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.q).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steal a batch into `dest`'s deque, returning the first item.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = lock(&self.q);
+            let first = match q.pop_front() {
+                Some(t) => t,
+                None => return Steal::Empty,
+            };
+            let batch = (q.len() / 2).min(16);
+            if batch > 0 {
+                let mut dq = lock(&dest.q);
+                for _ in 0..batch {
+                    match q.pop_front() {
+                        Some(t) => dq.push_back(t),
+                        None => break,
+                    }
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.q).is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn worker_is_lifo_stealer_is_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert!(matches!(s.steal(), Steal::Success(1)));
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+        }
+
+        #[test]
+        fn injector_batch_moves_items() {
+            let inj = Injector::new();
+            let w = Worker::new_lifo();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            // First pop returns 0, and a batch lands in the worker.
+            assert!(matches!(inj.steal_batch_and_pop(&w), Steal::Success(0)));
+            assert!(!w.is_empty());
+            let mut seen = 0;
+            while w.pop().is_some() {
+                seen += 1;
+            }
+            while let Steal::Success(_) = inj.steal() {
+                seen += 1;
+            }
+            assert_eq!(seen, 9, "no items lost");
+        }
+    }
+}

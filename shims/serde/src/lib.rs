@@ -1,0 +1,15 @@
+//! Offline shim for `serde`: marker traits only.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and
+//! model types to keep them serialization-ready, but nothing in the
+//! tree actually drives a serializer, so empty marker traits are a
+//! faithful stand-in. The derive macros (re-exported here exactly like
+//! the real crate's `derive` feature) emit empty impls of these traits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}

@@ -1,0 +1,51 @@
+//! Offline shim for `serde_derive`: the derives emit empty marker-trait
+//! impls (`impl serde::Serialize for T {}`), which is all the workspace
+//! needs — nothing actually serializes, the derives only document
+//! intent and keep the source compatible with the real crate.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the name of the deriving type, panicking on generics (no
+/// type in this workspace derives serde traits generically).
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                for tt2 in iter.by_ref() {
+                    match tt2 {
+                        TokenTree::Ident(name) => return name.to_string(),
+                        _ => continue,
+                    }
+                }
+            }
+        }
+    }
+    panic!("serde shim derive: could not find a struct/enum name");
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = type_name(input.clone());
+    if input
+        .into_iter()
+        .any(|tt| matches!(&tt, TokenTree::Punct(p) if p.as_char() == '<'))
+    {
+        panic!(
+            "serde shim derive: generic types are not supported (deriving {trait_name} for {name})"
+        );
+    }
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}

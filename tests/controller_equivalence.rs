@@ -1,0 +1,228 @@
+//! Proof that the `FrequencyController` refactor is behaviour
+//! preserving: driving a fixed workload through the trait objects
+//! built by `NodePolicy::build` yields bit-identical energy, timing,
+//! and frequency residency to calling the concrete controllers'
+//! inherent `on_quantum` methods — plus policy smoke tests through the
+//! `cluster` path.
+
+use cluster::{BspApp, Cluster, CommModel};
+use cuttlefish::controller::NodePolicy;
+use cuttlefish::driver::CuttlefishDriver;
+use cuttlefish::{Config, Policy};
+use simproc::engine::{Chunk, SimProcessor, Workload};
+use simproc::freq::{Freq, HASWELL_2650V3};
+use simproc::governor::DefaultGovernor;
+use simproc::perf::CostProfile;
+use std::collections::BTreeMap;
+
+/// A phase-changing workload: alternates memory-bound and
+/// compute-bound chunks so the controllers actually move frequencies.
+struct Phased {
+    handed: u64,
+    budget: u64,
+}
+
+impl Phased {
+    fn new(chunks: u64) -> Self {
+        Phased {
+            handed: 0,
+            budget: chunks,
+        }
+    }
+}
+
+impl Workload for Phased {
+    fn next_chunk(&mut self, _core: usize, _now_ns: u64) -> Option<Chunk> {
+        if self.handed >= self.budget {
+            return None;
+        }
+        self.handed += 1;
+        // ~2 virtual seconds per phase at these chunk sizes.
+        let memory_phase = (self.handed / 2_000).is_multiple_of(2);
+        Some(if memory_phase {
+            Chunk::new(1_000_000, 56_000, 8_000).with_profile(CostProfile::new(0.55, 12.0))
+        } else {
+            Chunk::new(1_000_000, 800, 200).with_profile(CostProfile::new(0.9, 4.0))
+        })
+    }
+
+    fn is_done(&self) -> bool {
+        self.handed >= self.budget
+    }
+}
+
+struct Fingerprint {
+    energy_bits: u64,
+    now_ns: u64,
+    instructions_bits: u64,
+    residency: BTreeMap<(u32, u32), u64>,
+}
+
+fn fingerprint(proc: &SimProcessor) -> Fingerprint {
+    Fingerprint {
+        energy_bits: proc.total_energy_joules().to_bits(),
+        now_ns: proc.now_ns(),
+        instructions_bits: proc.total_instructions().to_bits(),
+        residency: proc.frequency_residency().clone(),
+    }
+}
+
+fn assert_identical(direct: &Fingerprint, via_trait: &Fingerprint, label: &str) {
+    assert_eq!(
+        direct.energy_bits, via_trait.energy_bits,
+        "{label}: energy must be bit-identical"
+    );
+    assert_eq!(direct.now_ns, via_trait.now_ns, "{label}: virtual time");
+    assert_eq!(
+        direct.instructions_bits, via_trait.instructions_bits,
+        "{label}: instructions"
+    );
+    assert_eq!(
+        direct.residency, via_trait.residency,
+        "{label}: frequency residency map"
+    );
+}
+
+const CHUNKS: u64 = 160_000; // ~8 virtual seconds across 20 cores
+
+#[test]
+fn default_governor_trait_dispatch_is_bit_identical() {
+    // Direct: the concrete type's inherent on_quantum.
+    let direct = {
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut governor = DefaultGovernor::new();
+        let mut wl = Phased::new(CHUNKS);
+        while !proc.workload_drained(&wl) {
+            proc.step(&mut wl);
+            governor.on_quantum(&mut proc);
+        }
+        fingerprint(&proc)
+    };
+    // Via the factory and dynamic dispatch.
+    let via_trait = {
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut ctrl = NodePolicy::Default.build(&mut proc);
+        let mut wl = Phased::new(CHUNKS);
+        while !proc.workload_drained(&wl) {
+            proc.step(&mut wl);
+            ctrl.on_quantum(&mut proc);
+        }
+        fingerprint(&proc)
+    };
+    assert_identical(&direct, &via_trait, "DefaultGovernor");
+}
+
+#[test]
+fn cuttlefish_driver_trait_dispatch_is_bit_identical() {
+    let direct = {
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut driver = CuttlefishDriver::new(&proc, Config::default());
+        let mut wl = Phased::new(CHUNKS);
+        while !proc.workload_drained(&wl) {
+            proc.step(&mut wl);
+            driver.on_quantum(&mut proc);
+        }
+        (fingerprint(&proc), driver.daemon().report())
+    };
+    let via_trait = {
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut ctrl = NodePolicy::Cuttlefish(Config::default()).build(&mut proc);
+        let mut wl = Phased::new(CHUNKS);
+        while !proc.workload_drained(&wl) {
+            proc.step(&mut wl);
+            ctrl.on_quantum(&mut proc);
+        }
+        (fingerprint(&proc), ctrl.report())
+    };
+    assert_identical(&direct.0, &via_trait.0, "CuttlefishDriver");
+    // The daemon's learned state is identical too.
+    assert_eq!(direct.1.len(), via_trait.1.len(), "same TIPI ranges");
+    for (a, b) in direct.1.iter().zip(&via_trait.1) {
+        assert_eq!(a.slab, b.slab);
+        assert_eq!(a.cf_opt, b.cf_opt);
+        assert_eq!(a.uf_opt, b.uf_opt);
+        assert_eq!(a.occurrences, b.occurrences);
+    }
+}
+
+#[test]
+fn pinned_equals_manual_frequency_pinning() {
+    // The old Figure 3 harness set frequencies by hand before the run;
+    // the Pinned controller must reproduce that exactly.
+    let (cf, uf) = (Freq(18), Freq(21));
+    let direct = {
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        proc.set_core_freq(cf);
+        proc.set_uncore_freq(uf);
+        let mut wl = Phased::new(CHUNKS / 4);
+        while !proc.workload_drained(&wl) {
+            proc.step(&mut wl);
+        }
+        fingerprint(&proc)
+    };
+    let via_trait = {
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut ctrl = NodePolicy::Pinned { cf, uf }.build(&mut proc);
+        let mut wl = Phased::new(CHUNKS / 4);
+        while !proc.workload_drained(&wl) {
+            proc.step(&mut wl);
+            ctrl.on_quantum(&mut proc);
+        }
+        fingerprint(&proc)
+    };
+    assert_identical(&direct, &via_trait, "Pinned");
+}
+
+fn small_bsp_chunks() -> Vec<Chunk> {
+    (0..40)
+        .map(|_| {
+            Chunk::new(30_000_000, 1_390_000, 590_000).with_profile(CostProfile::new(0.55, 12.0))
+        })
+        .collect()
+}
+
+#[test]
+fn core_only_and_uncore_only_smoke_through_cluster() {
+    let app = BspApp::uniform(2, 12, small_bsp_chunks);
+    for policy in [Policy::CoreOnly, Policy::UncoreOnly] {
+        let cfg = Config {
+            warmup_ns: 500_000_000,
+            idle_guard: Some(0.3),
+            ..Config::default()
+        }
+        .with_policy(policy);
+        let mut cluster = Cluster::new(2, NodePolicy::Cuttlefish(cfg), CommModel::default());
+        let outcome = cluster.run(&app);
+        assert!(outcome.seconds > 0.0 && outcome.joules > 0.0);
+        // Uniform report path: every node reports, whatever the policy.
+        let reports = cluster.reports();
+        assert_eq!(reports.len(), 2);
+        for report in &reports {
+            assert!(
+                !report.is_empty(),
+                "{}: node report must not be empty",
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn pinned_cluster_reports_uniformly() {
+    let app = BspApp::uniform(2, 4, small_bsp_chunks);
+    let mut cluster = Cluster::new(
+        2,
+        NodePolicy::Pinned {
+            cf: Freq(12),
+            uf: Freq(22),
+        },
+        CommModel::default(),
+    );
+    let outcome = cluster.run(&app);
+    assert!(outcome.joules > 0.0);
+    for report in cluster.reports() {
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].cf_opt, Some(Freq(12)));
+        assert_eq!(report[0].uf_opt, Some(Freq(22)));
+    }
+}

@@ -9,7 +9,10 @@ use workloads::{openmp_suite, Benchmark, ProgModel, Scale};
 const SCALE: f64 = 0.2;
 
 fn find<'a>(suite: &'a [Benchmark], name: &str) -> &'a Benchmark {
-    suite.iter().find(|b| b.name == name).expect("benchmark present")
+    suite
+        .iter()
+        .find(|b| b.name == name)
+        .expect("benchmark present")
 }
 
 #[test]
@@ -17,7 +20,13 @@ fn cuttlefish_saves_energy_on_memory_bound_benchmarks() {
     let suite = openmp_suite(Scale(SCALE));
     for name in ["Heat-irt", "MiniFE", "HPCCG", "AMG"] {
         let b = find(&suite, name);
-        let base = run(b, Setup::Default, ProgModel::OpenMp, Config::default(), None);
+        let base = run(
+            b,
+            Setup::Default,
+            ProgModel::OpenMp,
+            Config::default(),
+            None,
+        );
         let tuned = run(
             b,
             Setup::Cuttlefish(Policy::Both),
@@ -45,7 +54,13 @@ fn cuttlefish_saves_energy_on_compute_bound_benchmarks() {
     let suite = openmp_suite(Scale(SCALE));
     for name in ["UTS", "SOR-irt"] {
         let b = find(&suite, name);
-        let base = run(b, Setup::Default, ProgModel::OpenMp, Config::default(), None);
+        let base = run(
+            b,
+            Setup::Default,
+            ProgModel::OpenMp,
+            Config::default(),
+            None,
+        );
         let tuned = run(
             b,
             Setup::Cuttlefish(Policy::Both),
@@ -69,7 +84,13 @@ fn cuttlefish_core_loses_on_compute_bound_as_in_paper() {
     // uncore at max where the Default's firmware would have lowered it.
     let suite = openmp_suite(Scale(SCALE));
     let b = find(&suite, "UTS");
-    let base = run(b, Setup::Default, ProgModel::OpenMp, Config::default(), None);
+    let base = run(
+        b,
+        Setup::Default,
+        ProgModel::OpenMp,
+        Config::default(),
+        None,
+    );
     let core_only = run(
         b,
         Setup::Cuttlefish(Policy::CoreOnly),
@@ -91,16 +112,32 @@ fn policy_ordering_matches_paper_on_memory_bound() {
     // Core-only in energy savings (§5.1).
     let suite = openmp_suite(Scale(SCALE));
     let b = find(&suite, "Heat-irt");
-    let base = run(b, Setup::Default, ProgModel::OpenMp, Config::default(), None);
+    let base = run(
+        b,
+        Setup::Default,
+        ProgModel::OpenMp,
+        Config::default(),
+        None,
+    );
     let joules = |p: Policy| {
-        run(b, Setup::Cuttlefish(p), ProgModel::OpenMp, Config::default(), None).joules
+        run(
+            b,
+            Setup::Cuttlefish(p),
+            ProgModel::OpenMp,
+            Config::default(),
+            None,
+        )
+        .joules
     };
     let both = joules(Policy::Both);
     let core = joules(Policy::CoreOnly);
     let uncore = joules(Policy::UncoreOnly);
     assert!(both < core, "Both beats Core-only: {both} vs {core}");
     assert!(both < uncore, "Both beats Uncore-only: {both} vs {uncore}");
-    assert!(core < base.joules && uncore < base.joules, "each alone still saves");
+    assert!(
+        core < base.joules && uncore < base.joules,
+        "each alone still saves"
+    );
 }
 
 #[test]
@@ -119,7 +156,10 @@ fn frequency_assignments_match_table2() {
     assert!(!frequent.is_empty());
     for r in &frequent {
         assert_eq!(r.cf_opt.map(|f| f.ghz()), Some(2.3), "UTS CFopt");
-        assert!(r.uf_opt.map(|f| f.ghz()).unwrap_or(9.9) <= 1.4, "UTS UFopt near min");
+        assert!(
+            r.uf_opt.map(|f| f.ghz()).unwrap_or(9.9) <= 1.4,
+            "UTS UFopt near min"
+        );
     }
 
     // Memory-bound: CFopt near min, UFopt at the knee.
@@ -154,10 +194,20 @@ fn obliviousness_openmp_vs_hclib() {
     let mut savings = Vec::new();
     for model in [ProgModel::OpenMp, ProgModel::HClib] {
         let base = run(b, Setup::Default, model, Config::default(), None);
-        let tuned = run(b, Setup::Cuttlefish(Policy::Both), model, Config::default(), None);
+        let tuned = run(
+            b,
+            Setup::Cuttlefish(Policy::Both),
+            model,
+            Config::default(),
+            None,
+        );
         savings.push(1.0 - tuned.joules / base.joules);
         // Frequency conclusions identical across models.
-        let freq = tuned.report.iter().find(|r| r.is_frequent()).expect("frequent range");
+        let freq = tuned
+            .report
+            .iter()
+            .find(|r| r.is_frequent())
+            .expect("frequent range");
         assert!(freq.cf_opt.map(|f| f.ghz()).unwrap_or(9.9) <= 1.4);
     }
     let diff = (savings[0] - savings[1]).abs();
@@ -175,7 +225,13 @@ fn tinv_sensitivity_trend() {
     // noise), and savings stay positive across the sweep.
     let suite = openmp_suite(Scale(SCALE));
     let b = find(&suite, "Heat-irt");
-    let base = run(b, Setup::Default, ProgModel::OpenMp, Config::default(), None);
+    let base = run(
+        b,
+        Setup::Default,
+        ProgModel::OpenMp,
+        Config::default(),
+        None,
+    );
     let mut savings = Vec::new();
     for tinv in [10u64, 40] {
         let tuned = run(
@@ -187,7 +243,10 @@ fn tinv_sensitivity_trend() {
         );
         savings.push(1.0 - tuned.joules / base.joules);
     }
-    assert!(savings.iter().all(|&s| s > 0.05), "savings positive: {savings:?}");
+    assert!(
+        savings.iter().all(|&s| s > 0.05),
+        "savings positive: {savings:?}"
+    );
     assert!(
         savings[1] <= savings[0] + 0.03,
         "40ms should not beat 10ms materially: {savings:?}"

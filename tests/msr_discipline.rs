@@ -57,7 +57,9 @@ fn session_denies_unlisted_registers() {
     let session = MsrSession::open(proc.msr_file(), &[(msr::IA32_PERF_CTL, Access::ReadWrite)]);
     // Energy counter not on this narrow list: denied even though the
     // device implements it.
-    assert!(session.read(proc.msr_file(), msr::MSR_PKG_ENERGY_STATUS).is_err());
+    assert!(session
+        .read(proc.msr_file(), msr::MSR_PKG_ENERGY_STATUS)
+        .is_err());
 }
 
 #[test]
@@ -105,7 +107,10 @@ fn rapl_wraparound_does_not_break_long_runs() {
         tor_remote: 0,
         t_ns: 20_000_000,
     };
-    assert!(after.energy_counts < before.energy_counts, "counter wrapped");
+    assert!(
+        after.energy_counts < before.energy_counts,
+        "counter wrapped"
+    );
     let s = simproc::profile::delta(&before, &after).expect("sample");
     let expect_jpi = 300.0 / 1e8;
     assert!(
