@@ -1,23 +1,91 @@
 #!/usr/bin/env bash
 # CI entry point. Mirrors what a hosted workflow would run; keep this
-# the single source of truth for "is the tree green".
+# the single source of truth for "is the tree green" — the GitHub
+# workflow (.github/workflows/ci.yml) is a thin caller.
+#
+# Usage: ./ci.sh [--quick]
+#   --quick   PR-time mode: skip the full release workspace build and
+#             the examples/bench compile checks (the test build and the
+#             release bench bins still cover those crates).
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== tier-1 build: release"
-cargo build --release
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *)
+      echo "ci.sh: unknown argument '$arg' (usage: ./ci.sh [--quick])" >&2
+      exit 2
+      ;;
+  esac
+done
 
-echo "== workspace tests (strict superset of the tier-1 'cargo test -q')"
-cargo test --workspace -q
+# Name the failing stage: a bare `set -e` exit says nothing about which
+# cargo invocation died, which made red CI runs needlessly slow to read.
+STAGE="startup"
+stage() {
+  STAGE="$1"
+  echo "== $STAGE"
+}
+trap 'echo "ci.sh: FAILED in stage \"$STAGE\"" >&2' ERR
 
-echo "== formatting"
+# Determinism: never let a CI run silently rewrite Cargo.lock (the
+# registry is offline here, but --locked keeps the invariant explicit
+# and matches what a hosted runner should do).
+LOCKED=--locked
+
+if [[ "$QUICK" -eq 0 ]]; then
+  stage "tier-1 build: release"
+  cargo build --release "$LOCKED"
+fi
+
+stage "workspace tests (strict superset of the tier-1 'cargo test -q')"
+cargo test --workspace -q "$LOCKED"
+
+stage "formatting"
 cargo fmt --check
 
-echo "== clippy (warnings are errors)"
-cargo clippy --workspace --all-targets -- -D warnings
+stage "clippy (warnings are errors)"
+cargo clippy --workspace --all-targets "$LOCKED" -- -D warnings
 
-echo "== examples and bench targets compile"
-cargo build --examples
-cargo build -p bench --benches --bins
+if [[ "$QUICK" -eq 0 ]]; then
+  stage "examples and bench targets compile"
+  cargo build --examples "$LOCKED"
+  cargo build -p bench --benches "$LOCKED"
+fi
+
+stage "bench bins build: release"
+cargo build --release -p bench --bins "$LOCKED"
+
+stage "bench smoke"
+# Every figure/table bin runs its reduced grid and writes a typed JSON
+# artifact; grid_aggregate re-parses each one (schema gate) and emits
+# the BENCH_smoke.json trajectory point at the repo root.
+SMOKE_DIR=target/bench-smoke
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR"
+BINS="fig2 fig3 fig10 fig11 table1 table2 table3 ablation residency debug_report"
+for bin in $BINS; do
+  stage "bench smoke: $bin"
+  cargo run --release -q -p bench "$LOCKED" --bin "$bin" -- \
+    --smoke --json "$SMOKE_DIR/$bin.json" >/dev/null
+done
+stage "bench smoke: validate + aggregate"
+cargo run --release -q -p bench "$LOCKED" --bin grid_aggregate -- \
+  --out BENCH_smoke.json "$SMOKE_DIR"/*.json
+
+stage "bench smoke: trajectory gate"
+# The committed BENCH_smoke.json is the perf-trajectory data point. The
+# metrics are deterministic virtual quantities, so a diff here means
+# the change moved a number — commit the regenerated file alongside the
+# change that moved it (that is how the trajectory accrues points).
+if git -C . rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  if ! git diff --exit-code -- BENCH_smoke.json; then
+    echo "ci.sh: BENCH_smoke.json drifted from the committed trajectory point;" >&2
+    echo "       commit the regenerated file with the change that moved it." >&2
+    false
+  fi
+fi
 
 echo "CI green."

@@ -9,7 +9,10 @@
 //!   §4.5 propagation at AMG-like list sizes;
 //! * `engine_quantum` — one 20-core simulator quantum (the
 //!   reproduction's experiment throughput);
-//! * `scheduler_pull` — work-stealing chunk acquisition.
+//! * `scheduler_pull` — work-stealing chunk acquisition;
+//! * `grid_cell` — one end-to-end scenario-grid cell at tiny scale
+//!   (what each `--shards` worker executes per steal; the setup path
+//!   is shared with every figure/table bin).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use cuttlefish::daemon::Daemon;
@@ -144,12 +147,36 @@ fn bench_scheduler(c: &mut Criterion) {
     });
 }
 
+fn bench_grid_cell(c: &mut Criterion) {
+    use bench::grid::{run_cell, CellSpec};
+    use bench::Setup;
+    use workloads::{openmp_suite, ProgModel, Scale};
+
+    let scale = 0.01;
+    let suite = openmp_suite(Scale(scale));
+    let uts = &suite[0];
+    let cell = CellSpec {
+        bench: uts.name.clone(),
+        model: ProgModel::OpenMp,
+        label: "Default".into(),
+        setup: Setup::Default,
+        config: Config::default(),
+        nodes: 1,
+        rep: 0,
+        trace: false,
+    };
+    c.bench_function("grid_cell_uts_tiny", |b| {
+        b.iter(|| black_box(run_cell(&HASWELL_2650V3, uts, &cell)))
+    });
+}
+
 criterion_group!(
     benches,
     bench_daemon_tick,
     bench_exploration,
     bench_tipi_list,
     bench_engine,
-    bench_scheduler
+    bench_scheduler,
+    bench_grid_cell
 );
 criterion_main!(benches);

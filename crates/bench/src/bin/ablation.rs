@@ -3,17 +3,24 @@
 //! 1. **§4.4/§4.5 optimizations** — neighbour bound inheritance and
 //!    mid-exploration revalidation on/off, measured on AMG (the
 //!    benchmark with the most TIPI ranges, where the optimizations
-//!    matter most) and on the full suite geomean.
-//! 2. **§4.3 exploration strategy** — linear descent in steps of two
+//!    matter most) and on the full suite geomean. This part is the
+//!    scenario grid (`--json` exports it).
+//! 2. **DVFS vs DDCM** at matched slowdown — the related-work actuator
+//!    comparison on a synthetic compute-bound kernel.
+//! 3. **§4.3 exploration strategy** — linear descent in steps of two
 //!    vs the modified binary search the paper argues against: probe
 //!    counts on synthetic JPI curves.
 //!
-//! Usage: `cargo run --release -p bench --bin ablation`
+//! Usage: `cargo run --release -p bench --bin ablation --
+//!         [--smoke] [--shards N] [--json PATH]`
 
-use bench::{geomean_saving, render_table, run, saving_pct, Setup};
+use bench::cli::GridArgs;
+use bench::grid::{compare_to_baseline, geomean_by_setup, GridResult, GridSetup, GridSpec};
+use bench::{render_table, Setup};
 use cuttlefish::explore::Exploration;
 use cuttlefish::{Config, Policy};
-use workloads::{openmp_suite, ProgModel};
+
+const USAGE: &str = "ablation [--smoke] [--shards N] [--json PATH]";
 
 fn config_variant(inherit: bool, reval: bool) -> Config {
     Config {
@@ -21,6 +28,32 @@ fn config_variant(inherit: bool, reval: bool) -> Config {
         revalidation: reval,
         ..Config::default()
     }
+}
+
+/// The §4.4/§4.5 on/off variants, as (label, inherit, reval).
+const VARIANTS: [(&str, bool, bool); 4] = [
+    ("full (paper)", true, true),
+    ("no §4.5 revalidation", true, false),
+    ("no §4.4 inheritance", false, true),
+    ("neither", false, false),
+];
+
+fn spec(args: &GridArgs) -> GridSpec {
+    let mut spec = GridSpec::new("ablation", args.scale());
+    spec.setups = vec![GridSetup::new("Default", Setup::Default)];
+    for (label, inherit, reval) in VARIANTS {
+        spec.setups.push(
+            GridSetup::new(label, Setup::Cuttlefish(Policy::Both))
+                .with_config(config_variant(inherit, reval)),
+        );
+    }
+    if args.smoke {
+        // Heat-ws has enough distinct ranges to exercise inheritance.
+        spec.benchmarks = vec!["SOR-irt".into(), "Heat-ws".into()];
+    } else {
+        spec.use_full_suite();
+    }
+    spec
 }
 
 /// Probes needed by the step-of-two linear descent on a synthetic
@@ -70,58 +103,41 @@ fn binary_probes(min_at: usize) -> usize {
 }
 
 fn main() {
-    let scale = bench::harness_scale();
-    eprintln!("ablation: scale {:.2}", scale.0);
+    let args = GridArgs::parse(USAGE);
+    let spec = spec(&args);
+    eprintln!(
+        "ablation: scale {:.2}, {} cells on {} shards",
+        spec.scale,
+        spec.cells().len(),
+        args.shards
+    );
+    let result = spec.run(args.shards);
+    args.finish(&result);
 
-    // ---- Part 1: §4.4/§4.5 on/off over the suite --------------------
-    let suite = openmp_suite(scale);
-    let bases: Vec<_> = suite
-        .iter()
-        .map(|b| {
-            run(
-                b,
-                Setup::Default,
-                ProgModel::OpenMp,
-                Config::default(),
-                None,
-            )
-        })
-        .collect();
+    render_part1(&result);
+    render_dvfs_vs_ddcm();
+    render_probe_counts();
+}
 
+// ---- Part 1: §4.4/§4.5 on/off over the suite ------------------------
+fn render_part1(result: &GridResult) {
+    let geomeans = geomean_by_setup(&compare_to_baseline(result, "Default"));
     let mut rows = Vec::new();
-    for (label, inherit, reval) in [
-        ("full (paper)", true, true),
-        ("no §4.5 revalidation", true, false),
-        ("no §4.4 inheritance", false, true),
-        ("neither", false, false),
-    ] {
-        let cfg = config_variant(inherit, reval);
-        let mut e_savs = Vec::new();
-        let mut slows = Vec::new();
-        let mut amg_resolved = (0.0, 0.0);
-        for (b, base) in suite.iter().zip(&bases) {
-            let o = run(
-                b,
-                Setup::Cuttlefish(Policy::Both),
-                ProgModel::OpenMp,
-                cfg.clone(),
-                None,
-            );
-            e_savs.push(saving_pct(base.joules, o.joules));
-            slows.push(-(o.seconds / base.seconds - 1.0) * 100.0);
-            if b.name == "AMG" {
-                amg_resolved = o.resolved;
-            }
-        }
+    for (label, _, _) in VARIANTS {
+        let (_, energy, slowdown, _) = geomeans
+            .iter()
+            .find(|(l, ..)| l == label)
+            .expect("variant setup present");
+        let amg_resolved = result
+            .cell("AMG", label)
+            .map(|o| (o.resolved_cf, o.resolved_uf));
         rows.push(vec![
             label.to_string(),
-            format!("{:.1}%", geomean_saving(&e_savs)),
-            format!("{:.1}%", -geomean_saving(&slows)),
-            format!(
-                "{:.0}% / {:.0}%",
-                amg_resolved.0 * 100.0,
-                amg_resolved.1 * 100.0
-            ),
+            format!("{energy:.1}%"),
+            format!("{slowdown:.1}%"),
+            amg_resolved
+                .map(|(cf, uf)| format!("{:.0}% / {:.0}%", cf * 100.0, uf * 100.0))
+                .unwrap_or("-".into()),
         ]);
     }
     println!("§4.4/§4.5 ablation (suite geomeans; AMG = 60-range stress case):");
@@ -137,69 +153,71 @@ fn main() {
             &rows
         )
     );
+}
 
-    // ---- Part 2: DVFS vs DDCM at matched slowdown --------------------
-    // (The related-work comparison: duty-cycle modulation gates the
-    // clock at full voltage, so dynamic energy per instruction does not
-    // drop — DVFS wins at equal performance.)
-    {
-        use simproc::engine::{Chunk, SimProcessor, Workload};
-        use simproc::freq::{Freq, HASWELL_2650V3};
-        use simproc::perf::CostProfile;
-        struct N(usize, Chunk);
-        impl Workload for N {
-            fn next_chunk(&mut self, _c: usize, _t: u64) -> Option<Chunk> {
-                if self.0 == 0 {
-                    None
-                } else {
-                    self.0 -= 1;
-                    Some(self.1.clone())
-                }
-            }
-            fn is_done(&self) -> bool {
-                self.0 == 0
+// ---- Part 2: DVFS vs DDCM at matched slowdown -----------------------
+// (The related-work comparison: duty-cycle modulation gates the clock
+// at full voltage, so dynamic energy per instruction does not drop —
+// DVFS wins at equal performance.)
+fn render_dvfs_vs_ddcm() {
+    use simproc::engine::{Chunk, SimProcessor, Workload};
+    use simproc::freq::{Freq, HASWELL_2650V3};
+    use simproc::perf::CostProfile;
+    struct N(usize, Chunk);
+    impl Workload for N {
+        fn next_chunk(&mut self, _c: usize, _t: u64) -> Option<Chunk> {
+            if self.0 == 0 {
+                None
+            } else {
+                self.0 -= 1;
+                Some(self.1.clone())
             }
         }
-        let chunk = Chunk::new(2_000_000, 1_600, 400).with_profile(CostProfile::new(0.9, 4.0));
-        let run = |cf: Option<Freq>, duty: Option<u32>| {
-            let mut p = SimProcessor::new(HASWELL_2650V3.clone());
-            if let Some(f) = cf {
-                p.set_core_freq(f);
-            }
-            if let Some(d) = duty {
-                p.set_duty_all(d);
-            }
-            let mut wl = N(4000, chunk.clone());
-            let secs = p.run(&mut wl, |_| {});
-            (secs, p.total_energy_joules())
-        };
-        let base = run(None, None);
-        let dvfs = run(Some(Freq(12)), None);
-        let ddcm = run(None, Some(8)); // 2.3·8/16 ≈ 1.15 GHz effective
-        let mut rows = Vec::new();
-        for (label, (t, e)) in [
-            ("full speed", base),
-            ("DVFS 1.2 GHz", dvfs),
-            ("DDCM 8/16", ddcm),
-        ] {
-            rows.push(vec![
-                label.to_string(),
-                format!("{t:.2}s"),
-                format!("{e:.0}J"),
-                format!("{:+.1}%", (1.0 - e / base.1) * 100.0),
-            ]);
+        fn is_done(&self) -> bool {
+            self.0 == 0
         }
-        println!("DVFS vs DDCM on a compute-bound kernel (equal ~2x slowdown):");
-        println!(
-            "{}",
-            render_table(&["actuator", "time", "energy", "vs full speed"], &rows)
-        );
     }
+    let chunk = Chunk::new(2_000_000, 1_600, 400).with_profile(CostProfile::new(0.9, 4.0));
+    let run = |cf: Option<Freq>, duty: Option<u32>| {
+        let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+        if let Some(f) = cf {
+            p.set_core_freq(f);
+        }
+        if let Some(d) = duty {
+            p.set_duty_all(d);
+        }
+        let mut wl = N(4000, chunk.clone());
+        let secs = p.run(&mut wl, |_| {});
+        (secs, p.total_energy_joules())
+    };
+    let base = run(None, None);
+    let dvfs = run(Some(Freq(12)), None);
+    let ddcm = run(None, Some(8)); // 2.3·8/16 ≈ 1.15 GHz effective
+    let mut rows = Vec::new();
+    for (label, (t, e)) in [
+        ("full speed", base),
+        ("DVFS 1.2 GHz", dvfs),
+        ("DDCM 8/16", ddcm),
+    ] {
+        rows.push(vec![
+            label.to_string(),
+            format!("{t:.2}s"),
+            format!("{e:.0}J"),
+            format!("{:+.1}%", (1.0 - e / base.1) * 100.0),
+        ]);
+    }
+    println!("DVFS vs DDCM on a compute-bound kernel (equal ~2x slowdown):");
+    println!(
+        "{}",
+        render_table(&["actuator", "time", "energy", "vs full speed"], &rows)
+    );
+}
 
-    // ---- Part 3: linear-by-two vs modified binary search ------------
-    let mut rows2 = Vec::new();
+// ---- Part 3: linear-by-two vs modified binary search ----------------
+fn render_probe_counts() {
+    let mut rows = Vec::new();
     for min_at in [0usize, 3, 6, 9, 11] {
-        rows2.push(vec![
+        rows.push(vec![
             format!("minimum at level {min_at}"),
             linear_probes(min_at).to_string(),
             binary_probes(min_at).to_string(),
@@ -209,6 +227,6 @@ fn main() {
     println!("(paper: worst case 6 linear vs 8 binary):");
     println!(
         "{}",
-        render_table(&["JPI curve", "linear-by-two", "modified binary"], &rows2)
+        render_table(&["JPI curve", "linear-by-two", "modified binary"], &rows)
     );
 }

@@ -1,42 +1,64 @@
 //! Debug utility: full per-slab report for one benchmark.
-//! Usage: `debug_report <bench-name> [scale]`
+//!
+//! Usage: `cargo run --release -p bench --bin debug_report --
+//!         [<bench-name>] [<scale>] [--smoke] [--shards N] [--json PATH]`
+//!
+//! Defaults to `SOR-ws` at scale 0.3; `--smoke` pins the CI smoke
+//! scale instead of the positional one.
 
-use bench::{run, Setup};
-use cuttlefish::{Config, Policy};
-use workloads::{openmp_suite, ProgModel, Scale};
+use bench::cli::GridArgs;
+use bench::grid::{GridResult, GridSetup, GridSpec};
+use bench::Setup;
+use cuttlefish::Policy;
+
+const USAGE: &str = "debug_report [<bench-name>] [<scale>] [--smoke] [--shards N] [--json PATH]";
+
+fn spec(args: &GridArgs) -> GridSpec {
+    let name = args
+        .positionals()
+        .first()
+        .map(String::as_str)
+        .unwrap_or("SOR-ws");
+    let scale = if args.smoke {
+        args.scale()
+    } else {
+        args.positionals()
+            .get(1)
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(0.3)
+    };
+    let mut spec = GridSpec::new("debug_report", scale);
+    spec.benchmarks = vec![name.to_string()];
+    spec.setups = vec![GridSetup::new(
+        "Cuttlefish",
+        Setup::Cuttlefish(Policy::Both),
+    )];
+    spec
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let name = args.get(1).map(String::as_str).unwrap_or("SOR-ws");
-    let scale = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .map(Scale)
-        .unwrap_or(Scale(0.3));
-    let suite = openmp_suite(scale);
-    let b = suite
-        .iter()
-        .find(|b| b.name == name)
-        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
-    let o = run(
-        b,
-        Setup::Cuttlefish(Policy::Both),
-        ProgModel::OpenMp,
-        Config::default(),
-        None,
-    );
-    println!(
-        "{name}: {:.2}s {:.0}J, resolved {:?}",
-        o.seconds, o.joules, o.resolved
-    );
-    for r in &o.report {
+    let args = GridArgs::parse(USAGE);
+    let spec = spec(&args);
+    let result = spec.run(args.shards);
+    args.finish(&result);
+    render(&result);
+}
+
+fn render(result: &GridResult) {
+    for o in &result.cells {
         println!(
-            "  {:>13} {:6.2}% cf={:?} uf={:?} n={}",
-            r.label,
-            r.share * 100.0,
-            r.cf_opt.map(|f| f.ghz()),
-            r.uf_opt.map(|f| f.ghz()),
-            r.occurrences
+            "{}: {:.2}s {:.0}J, resolved ({}, {})",
+            o.spec.bench, o.seconds, o.joules, o.resolved_cf, o.resolved_uf
         );
+        for r in &o.report {
+            println!(
+                "  {:>13} {:6.2}% cf={:?} uf={:?} n={}",
+                r.label,
+                r.share * 100.0,
+                r.cf_ghz(),
+                r.uf_ghz(),
+                r.occurrences
+            );
+        }
     }
 }

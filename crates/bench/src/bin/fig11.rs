@@ -6,50 +6,56 @@
 //! oblivious — shows as this figure matching Figure 10's results for
 //! the same benchmarks.
 //!
-//! Usage: `cargo run --release -p bench --bin fig11`
+//! Usage: `cargo run --release -p bench --bin fig11 --
+//!         [--smoke] [--shards N] [--json PATH]`
 
-use bench::{geomean_saving, render_table, run, saving_pct, Setup};
-use cuttlefish::Config;
-use workloads::{hclib_suite, ProgModel};
+use bench::cli::GridArgs;
+use bench::grid::{compare_to_baseline, geomean_by_setup, paper_setups, GridResult, GridSpec};
+use bench::render_table;
+use workloads::ProgModel;
+
+const USAGE: &str = "fig11 [--smoke] [--shards N] [--json PATH]";
+
+fn spec(args: &GridArgs) -> GridSpec {
+    let mut spec = GridSpec::new("fig11", args.scale());
+    spec.model = ProgModel::HClib;
+    spec.setups = paper_setups();
+    if args.smoke {
+        spec.benchmarks = vec!["SOR-irt".into(), "Heat-ws".into()];
+    } else {
+        spec.use_full_suite();
+    }
+    spec
+}
 
 fn main() {
-    let scale = bench::harness_scale();
-    eprintln!("fig11: HClib suite at scale {:.2}", scale.0);
+    let args = GridArgs::parse(USAGE);
+    let spec = spec(&args);
+    eprintln!(
+        "fig11: HClib suite at scale {:.2}, {} cells on {} shards",
+        spec.scale,
+        spec.cells().len(),
+        args.shards
+    );
+    let result = spec.run(args.shards);
+    args.finish(&result);
+    render(&result);
+}
 
-    let suite = hclib_suite(scale);
-    let mut rows = Vec::new();
-    let mut by_setup: std::collections::BTreeMap<&str, Vec<(f64, f64, f64)>> = Default::default();
-
-    for bench_def in &suite {
-        let base = run(
-            bench_def,
-            Setup::Default,
-            ProgModel::HClib,
-            Config::default(),
-            None,
-        );
-        for setup in [
-            Setup::Cuttlefish(cuttlefish::Policy::Both),
-            Setup::Cuttlefish(cuttlefish::Policy::CoreOnly),
-            Setup::Cuttlefish(cuttlefish::Policy::UncoreOnly),
-        ] {
-            let o = run(bench_def, setup, ProgModel::HClib, Config::default(), None);
-            let e_sav = saving_pct(base.joules, o.joules);
-            let slow = (o.seconds / base.seconds - 1.0) * 100.0;
-            let edp_sav = saving_pct(base.edp(), o.edp());
-            by_setup
-                .entry(o.setup)
-                .or_default()
-                .push((e_sav, slow, edp_sav));
-            rows.push(vec![
-                o.bench.clone(),
-                o.setup.to_string(),
-                format!("{e_sav:+.1}%"),
-                format!("{slow:+.1}%"),
-                format!("{edp_sav:+.1}%"),
-            ]);
-        }
-    }
+fn render(result: &GridResult) {
+    let comparisons = compare_to_baseline(result, "Default");
+    let rows: Vec<Vec<String>> = comparisons
+        .iter()
+        .map(|c| {
+            vec![
+                c.bench.clone(),
+                c.label.clone(),
+                format!("{:+.1}%", c.energy_saving_pct),
+                format!("{:+.1}%", c.time_degradation_pct),
+                format!("{:+.1}%", c.edp_saving_pct),
+            ]
+        })
+        .collect();
 
     println!(
         "{}",
@@ -60,16 +66,9 @@ fn main() {
     );
     println!("Geometric means (compare with the same benchmarks in fig10 —");
     println!("similarity across programming models is the paper's §5.2 claim):");
-    for (setup, triples) in &by_setup {
-        let e: Vec<f64> = triples.iter().map(|t| t.0).collect();
-        let s: Vec<f64> = triples.iter().map(|t| -t.1).collect();
-        let d: Vec<f64> = triples.iter().map(|t| t.2).collect();
+    for (setup, energy, slowdown, edp) in geomean_by_setup(&comparisons) {
         println!(
-            "  {:>17}: energy {:+5.1}%  slowdown {:+5.1}%  EDP {:+5.1}%",
-            setup,
-            geomean_saving(&e),
-            -geomean_saving(&s),
-            geomean_saving(&d),
+            "  {setup:>17}: energy {energy:+5.1}%  slowdown {slowdown:+5.1}%  EDP {edp:+5.1}%"
         );
     }
 }

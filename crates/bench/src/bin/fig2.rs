@@ -7,11 +7,14 @@
 //! the paper's analysis rests on ("for each benchmark, JPI increases
 //! with the increase in TIPI").
 //!
-//! Usage: `cargo run --release -p bench --bin fig2 [--csv]`
+//! Usage: `cargo run --release -p bench --bin fig2 --
+//!         [--csv] [--smoke] [--shards N] [--json PATH]`
 
-use bench::{run, Setup, TracePoint};
-use cuttlefish::Config;
-use workloads::{openmp_suite, ProgModel};
+use bench::cli::GridArgs;
+use bench::grid::{GridResult, GridSetup, GridSpec};
+use bench::{Setup, TracePoint};
+
+const USAGE: &str = "fig2 [--csv] [--smoke] [--shards N] [--json PATH]";
 
 /// Pearson correlation between TIPI and JPI series.
 fn correlation(points: &[TracePoint]) -> f64 {
@@ -38,36 +41,47 @@ fn correlation(points: &[TracePoint]) -> f64 {
     }
 }
 
-fn main() {
-    let csv = std::env::args().any(|a| a == "--csv");
-    let scale = bench::harness_scale();
-    eprintln!("fig2: timelines at max frequencies, scale {:.2}", scale.0);
-
+fn spec(args: &GridArgs) -> GridSpec {
+    let mut spec = GridSpec::new("fig2", args.scale());
     // The paper plots UTS, SOR-irt, Heat-irt, MiniFE, HPCCG, AMG.
-    let wanted = ["UTS", "SOR-irt", "Heat-irt", "MiniFE", "HPCCG", "AMG"];
-    let suite = openmp_suite(scale);
+    spec.benchmarks = if args.smoke {
+        vec!["UTS".into(), "Heat-irt".into()]
+    } else {
+        ["UTS", "SOR-irt", "Heat-irt", "MiniFE", "HPCCG", "AMG"]
+            .map(String::from)
+            .to_vec()
+    };
+    spec.setups = vec![GridSetup::new("Default", Setup::Default).with_trace()];
+    spec
+}
 
-    for name in wanted {
-        let bench_def = suite
-            .iter()
-            .find(|b| b.name == name)
-            .expect("known benchmark");
-        let mut trace = Vec::new();
-        let _ = run(
-            bench_def,
-            Setup::Default,
-            ProgModel::OpenMp,
-            Config::default(),
-            Some(&mut trace),
-        );
+fn main() {
+    let mut args = GridArgs::parse_with(USAGE, &["--csv"]);
+    let csv = args.take_flag("--csv");
+    let spec = spec(&args);
+    eprintln!(
+        "fig2: timelines at max frequencies, scale {:.2}, {} cells on {} shards",
+        spec.scale,
+        spec.cells().len(),
+        args.shards
+    );
+    let result = spec.run(args.shards);
+    args.finish(&result);
+    render(&result, csv);
+}
+
+fn render(result: &GridResult, csv: bool) {
+    for cell in &result.cells {
+        let name = &cell.spec.bench;
+        let trace = &cell.trace;
         if csv {
             println!("# {name}: t_s,tipi,jpi_nJ");
-            for p in &trace {
+            for p in trace {
                 println!("{:.3},{:.5},{:.4}", p.t_s, p.tipi, p.jpi * 1e9);
             }
             continue;
         }
-        let r = correlation(&trace);
+        let r = correlation(trace);
         println!(
             "== {name}: {} samples, corr(TIPI, JPI) = {r:+.3}",
             trace.len()

@@ -13,33 +13,23 @@
 //! memory-bound benchmarks behave exactly opposite, and even for them
 //! max uncore is not optimal.
 //!
-//! Usage: `cargo run --release -p bench --bin fig3`
+//! Usage: `cargo run --release -p bench --bin fig3 --
+//!         [--smoke] [--shards N] [--json PATH]`
 
-use bench::{render_table, run, Setup, TracePoint};
-use cuttlefish::Config;
+use bench::cli::GridArgs;
+use bench::grid::{CellResult, GridResult, GridSetup, GridSpec};
+use bench::{render_table, Setup};
 use simproc::freq::Freq;
 use std::collections::BTreeMap;
 use workloads::cache::slab_of;
-use workloads::{openmp_suite, Benchmark, ProgModel};
 
-/// Run at pinned frequencies (the `Pinned` controller through the
-/// shared harness), returning the Tinv trace.
-fn run_pinned(bench: &Benchmark, cf: Freq, uf: Freq) -> Vec<TracePoint> {
-    let mut points = Vec::new();
-    run(
-        bench,
-        Setup::Pinned(cf, uf),
-        ProgModel::OpenMp,
-        Config::default(),
-        Some(&mut points),
-    );
-    points
-}
+const USAGE: &str = "fig3 [--smoke] [--shards N] [--json PATH]";
 
-/// Mean JPI over the frequent slabs of a trace, as (label, jpi) pairs.
-fn frequent_jpi(points: &[TracePoint]) -> Vec<(String, f64)> {
+/// Mean JPI over the frequent slabs of a cell's trace, as
+/// (label, jpi) pairs.
+fn frequent_jpi(cell: &CellResult) -> Vec<(String, f64)> {
     let mut by_slab: BTreeMap<u32, (u64, f64)> = BTreeMap::new();
-    for p in points {
+    for p in &cell.trace {
         let e = by_slab.entry(slab_of(p.tipi)).or_default();
         e.0 += 1;
         e.1 += p.jpi;
@@ -55,66 +45,95 @@ fn frequent_jpi(points: &[TracePoint]) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// Panel (a) sweep: core frequency at min/mid/max, uncore at max.
+const CF_POINTS: [Freq; 3] = [Freq(12), Freq(18), Freq(23)];
+/// Panel (b) sweep: uncore frequency at min/mid/max, core at max.
+const UF_POINTS: [Freq; 3] = [Freq(12), Freq(21), Freq(30)];
+
+/// Setup-axis label of one panel-(a) cell (shared by the grid
+/// declaration and the render lookups).
+fn cf_label(cf: Freq) -> String {
+    format!("a:CF={:.1}", cf.ghz())
+}
+
+/// Setup-axis label of one panel-(b) cell.
+fn uf_label(uf: Freq) -> String {
+    format!("b:UF={:.1}", uf.ghz())
+}
+
+/// The two fixed-frequency sweeps as one setup axis: panel (a) sweeps
+/// CF at UF = max, panel (b) sweeps UF at CF = max.
+fn sweep_setups() -> Vec<GridSetup> {
+    let mut setups = Vec::new();
+    for cf in CF_POINTS {
+        setups.push(GridSetup::new(cf_label(cf), Setup::Pinned(cf, Freq(30))));
+    }
+    for uf in UF_POINTS {
+        setups.push(GridSetup::new(uf_label(uf), Setup::Pinned(Freq(23), uf)));
+    }
+    setups.into_iter().map(GridSetup::with_trace).collect()
+}
+
+fn spec(args: &GridArgs) -> GridSpec {
+    let mut spec = GridSpec::new("fig3", args.scale());
+    spec.benchmarks = if args.smoke {
+        vec!["UTS".into(), "Heat-irt".into()]
+    } else {
+        ["UTS", "SOR-irt", "Heat-irt", "MiniFE", "HPCCG", "AMG"]
+            .map(String::from)
+            .to_vec()
+    };
+    spec.setups = sweep_setups();
+    spec
+}
+
+/// One panel's rows: the frequent-range JPIs at the three sweep points,
+/// keyed on the ranges observed at the max-frequency run.
+fn panel_rows(result: &GridResult, bench: &str, labels: [String; 3], rows: &mut Vec<Vec<String>>) {
+    let jpis: Vec<Vec<(String, f64)>> = labels
+        .iter()
+        .map(|l| frequent_jpi(result.cell(bench, l).expect("sweep cell")))
+        .collect();
+    for (label, _) in &jpis[2] {
+        let cells: Vec<String> = jpis
+            .iter()
+            .map(|j| {
+                j.iter()
+                    .find(|(l, _)| l == label)
+                    .map(|(_, v)| format!("{:.3}", v * 1e9))
+                    .unwrap_or("-".into())
+            })
+            .collect();
+        rows.push(vec![
+            bench.to_string(),
+            label.clone(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
+    }
+}
+
 fn main() {
-    let scale = bench::harness_scale();
-    eprintln!("fig3: fixed-frequency JPI sweeps at scale {:.2}", scale.0);
+    let args = GridArgs::parse(USAGE);
+    let spec = spec(&args);
+    eprintln!(
+        "fig3: fixed-frequency JPI sweeps at scale {:.2}, {} cells on {} shards",
+        spec.scale,
+        spec.cells().len(),
+        args.shards
+    );
+    let result = spec.run(args.shards);
+    args.finish(&result);
+    render(&result);
+}
 
-    let wanted = ["UTS", "SOR-irt", "Heat-irt", "MiniFE", "HPCCG", "AMG"];
-    let suite = openmp_suite(scale);
-
-    let cf_points = [Freq(12), Freq(18), Freq(23)];
-    let uf_points = [Freq(12), Freq(21), Freq(30)];
-
+fn render(result: &GridResult) {
     let mut rows_a = Vec::new();
     let mut rows_b = Vec::new();
-    for name in wanted {
-        let bench_def = suite.iter().find(|b| b.name == name).expect("known");
-        // Panel (a): UF = max, CF sweep.
-        let jpis_a: Vec<Vec<(String, f64)>> = cf_points
-            .iter()
-            .map(|&cf| frequent_jpi(&run_pinned(bench_def, cf, Freq(30))))
-            .collect();
-        for (label, _) in &jpis_a[2] {
-            let cells: Vec<String> = jpis_a
-                .iter()
-                .map(|j| {
-                    j.iter()
-                        .find(|(l, _)| l == label)
-                        .map(|(_, v)| format!("{:.3}", v * 1e9))
-                        .unwrap_or("-".into())
-                })
-                .collect();
-            rows_a.push(vec![
-                name.to_string(),
-                label.clone(),
-                cells[0].clone(),
-                cells[1].clone(),
-                cells[2].clone(),
-            ]);
-        }
-        // Panel (b): CF = max, UF sweep.
-        let jpis_b: Vec<Vec<(String, f64)>> = uf_points
-            .iter()
-            .map(|&uf| frequent_jpi(&run_pinned(bench_def, Freq(23), uf)))
-            .collect();
-        for (label, _) in &jpis_b[2] {
-            let cells: Vec<String> = jpis_b
-                .iter()
-                .map(|j| {
-                    j.iter()
-                        .find(|(l, _)| l == label)
-                        .map(|(_, v)| format!("{:.3}", v * 1e9))
-                        .unwrap_or("-".into())
-                })
-                .collect();
-            rows_b.push(vec![
-                name.to_string(),
-                label.clone(),
-                cells[0].clone(),
-                cells[1].clone(),
-                cells[2].clone(),
-            ]);
-        }
+    for bench in result.benches() {
+        panel_rows(result, bench, CF_POINTS.map(cf_label), &mut rows_a);
+        panel_rows(result, bench, UF_POINTS.map(uf_label), &mut rows_b);
     }
 
     println!("Panel (a): UF = 3.0 GHz, JPI (nJ/instr) at CF = 1.2 / 1.8 / 2.3 GHz");

@@ -1,0 +1,113 @@
+//! CI tool: validate grid artifacts and emit the aggregate
+//! `BENCH_smoke.json` trajectory point.
+//!
+//! Reads the per-bin `GridResult` JSON files the "bench smoke" CI
+//! stage produced, re-parses each through the typed decoder (so a bin
+//! emitting a malformed or schema-drifted artifact fails CI), and
+//! writes one aggregate summary: per grid, the cell count plus the
+//! headline deterministic metrics worth tracking over time (virtual
+//! seconds, joules, and — where the grid carries a Default baseline
+//! and a Cuttlefish setup — the geomean energy saving).
+//!
+//! Usage: `grid_aggregate --out BENCH_smoke.json <artifact.json>...`
+//!
+//! This is a pipeline tool, not one of the figure/table bins; it runs
+//! no simulations.
+
+use bench::geomean_saving;
+use bench::grid::GridResult;
+use bench::json::Json;
+use bench::saving_pct;
+
+fn main() {
+    let mut out_path = None;
+    let mut inputs = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }))
+            }
+            "--help" | "-h" => {
+                println!("grid_aggregate --out <aggregate.json> <artifact.json>...");
+                std::process::exit(0);
+            }
+            _ => inputs.push(arg),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| {
+        eprintln!("error: --out is required");
+        std::process::exit(2);
+    });
+    if inputs.is_empty() {
+        eprintln!("error: no artifacts given");
+        std::process::exit(2);
+    }
+    inputs.sort();
+
+    let mut grids = Vec::new();
+    for path in &inputs {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let result = GridResult::from_json_str(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path} is not a valid GridResult artifact: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "validated {path}: grid `{}`, {} cells",
+            result.grid,
+            result.cells.len()
+        );
+        grids.push(summarize(&result));
+    }
+
+    let aggregate = Json::Obj(vec![
+        (
+            "schema".into(),
+            Json::Str("cuttlefish/bench-smoke/v1".into()),
+        ),
+        ("grids".into(), Json::Arr(grids)),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, aggregate.to_pretty()) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote aggregate of {} grids to {out_path}", inputs.len());
+}
+
+/// One trajectory line per grid: deterministic paper metrics only (no
+/// wall-clock — the artifact must be diffable across machines).
+fn summarize(result: &GridResult) -> Json {
+    let seconds: f64 = result.cells.iter().map(|c| c.seconds).sum();
+    let joules: f64 = result.cells.iter().map(|c| c.joules).sum();
+
+    // Geomean Cuttlefish-vs-Default energy saving, where both exist.
+    let mut savings = Vec::new();
+    for bench in result.benches() {
+        if let (Some(base), Some(tuned)) = (
+            result.cell(bench, "Default"),
+            result.cell(bench, "Cuttlefish"),
+        ) {
+            savings.push(saving_pct(base.joules, tuned.joules));
+        }
+    }
+    let saving = if savings.is_empty() {
+        Json::Null
+    } else {
+        Json::Num(geomean_saving(&savings))
+    };
+
+    Json::Obj(vec![
+        ("grid".into(), Json::Str(result.grid.clone())),
+        ("scale".into(), Json::Num(result.scale)),
+        ("cells".into(), Json::Num(result.cells.len() as f64)),
+        ("virtual_seconds".into(), Json::Num(seconds)),
+        ("joules".into(), Json::Num(joules)),
+        ("geomean_energy_saving_pct".into(), saving),
+    ])
+}

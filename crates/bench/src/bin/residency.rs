@@ -7,42 +7,57 @@
 //! run should spend the overwhelming majority of its time at the
 //! optimum despite starting with no prior information.
 //!
-//! Usage: `cargo run --release -p bench --bin residency`
+//! Usage: `cargo run --release -p bench --bin residency --
+//!         [--smoke] [--shards N] [--json PATH]`
 
-use bench::render_table;
-use cuttlefish::controller::NodePolicy;
-use cuttlefish::Config;
-use simproc::freq::HASWELL_2650V3;
-use simproc::SimProcessor;
-use workloads::{openmp_suite, ProgModel};
+use bench::cli::GridArgs;
+use bench::grid::{GridResult, GridSetup, GridSpec};
+use bench::{render_table, Setup};
+use cuttlefish::Policy;
+
+const USAGE: &str = "residency [--smoke] [--shards N] [--json PATH]";
+
+fn spec(args: &GridArgs) -> GridSpec {
+    let mut spec = GridSpec::new("residency", args.scale());
+    spec.setups = vec![GridSetup::new(
+        "Cuttlefish",
+        Setup::Cuttlefish(Policy::Both),
+    )];
+    if args.smoke {
+        spec.benchmarks = vec!["UTS".into(), "Heat-irt".into(), "MiniFE".into()];
+    } else {
+        spec.use_full_suite();
+    }
+    spec
+}
 
 fn main() {
-    let scale = bench::harness_scale();
-    eprintln!("residency: scale {:.2}", scale.0);
+    let args = GridArgs::parse(USAGE);
+    let spec = spec(&args);
+    eprintln!(
+        "residency: scale {:.2}, {} cells on {} shards",
+        spec.scale,
+        spec.cells().len(),
+        args.shards
+    );
+    let result = spec.run(args.shards);
+    args.finish(&result);
+    render(&result);
+}
 
+fn render(result: &GridResult) {
     let mut rows = Vec::new();
-    for bench_def in &openmp_suite(scale) {
-        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
-        let mut controller = NodePolicy::Cuttlefish(Config::default()).build(&mut proc);
-        let mut wl = bench_def.instantiate(ProgModel::OpenMp, proc.n_cores(), 0xC0FFEE);
-        while !proc.workload_drained(wl.as_mut()) {
-            proc.step(wl.as_mut());
-            controller.on_quantum(&mut proc);
-        }
-        let total_ns: u64 = proc.frequency_residency().values().sum();
-        let mut pairs: Vec<((u32, u32), u64)> = proc
-            .frequency_residency()
-            .iter()
-            .map(|(&k, &v)| (k, v))
-            .collect();
-        pairs.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
-        let (top, top_ns) = pairs[0];
+    for o in &result.cells {
+        let total_ns: u64 = o.residency.iter().map(|r| r.ns).sum();
+        let mut pairs = o.residency.clone();
+        pairs.sort_by_key(|r| std::cmp::Reverse(r.ns));
+        let top = &pairs[0];
         let distinct = pairs.len();
-        let top3: f64 = pairs.iter().take(3).map(|&(_, v)| v as f64).sum::<f64>() / total_ns as f64;
+        let top3: f64 = pairs.iter().take(3).map(|r| r.ns as f64).sum::<f64>() / total_ns as f64;
         rows.push(vec![
-            bench_def.name.clone(),
-            format!("{:.1}/{:.1}", top.0 as f64 / 10.0, top.1 as f64 / 10.0),
-            format!("{:.1}%", top_ns as f64 / total_ns as f64 * 100.0),
+            o.spec.bench.clone(),
+            format!("{:.1}/{:.1}", top.cf as f64 / 10.0, top.uf as f64 / 10.0),
+            format!("{:.1}%", top.ns as f64 / total_ns as f64 * 100.0),
             format!("{:.1}%", top3 * 100.0),
             distinct.to_string(),
         ]);

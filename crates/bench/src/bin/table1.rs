@@ -5,30 +5,57 @@
 //! number of distinct TIPI slabs, and number of frequent slabs (>10 %
 //! of `Tinv` samples).
 //!
-//! Usage: `cargo run --release -p bench --bin table1`
+//! Usage: `cargo run --release -p bench --bin table1 --
+//!         [--smoke] [--shards N] [--json PATH]`
 
-use bench::{render_table, run, Setup};
-use cuttlefish::Config;
+use bench::cli::GridArgs;
+use bench::grid::{GridResult, GridSetup, GridSpec};
+use bench::{render_table, Setup};
 use std::collections::BTreeMap;
 use workloads::cache::slab_of;
-use workloads::{openmp_suite, ProgModel};
+use workloads::{openmp_suite, Scale};
+
+const USAGE: &str = "table1 [--smoke] [--shards N] [--json PATH]";
+
+fn spec(args: &GridArgs) -> GridSpec {
+    let mut spec = GridSpec::new("table1", args.scale());
+    spec.setups = vec![GridSetup::new("Default", Setup::Default).with_trace()];
+    if args.smoke {
+        spec.benchmarks = vec!["UTS".into(), "SOR-ws".into(), "Heat-ws".into()];
+    } else {
+        spec.use_full_suite();
+    }
+    spec
+}
 
 fn main() {
-    let scale = bench::harness_scale();
-    eprintln!("table1: OpenMP suite at scale {:.2}", scale.0);
+    let args = GridArgs::parse(USAGE);
+    let spec = spec(&args);
+    eprintln!(
+        "table1: OpenMP suite at scale {:.2}, {} cells on {} shards",
+        spec.scale,
+        spec.cells().len(),
+        args.shards
+    );
+    let result = spec.run(args.shards);
+    args.finish(&result);
+    render(&result);
+}
+
+fn render(result: &GridResult) {
+    // Paper-reported columns come from the suite definitions, keyed by
+    // benchmark name (they are not measurements, so the artifact does
+    // not carry them).
+    let suite = openmp_suite(Scale(result.scale));
 
     let mut rows = Vec::new();
-    for bench_def in &openmp_suite(scale) {
-        let mut trace = Vec::new();
-        let o = run(
-            bench_def,
-            Setup::Default,
-            ProgModel::OpenMp,
-            Config::default(),
-            Some(&mut trace),
-        );
+    for o in &result.cells {
+        let def = suite
+            .iter()
+            .find(|b| b.name == o.spec.bench)
+            .expect("suite benchmark");
         let mut slabs: BTreeMap<u32, u64> = BTreeMap::new();
-        for p in &trace {
+        for p in &o.trace {
             *slabs.entry(slab_of(p.tipi)).or_default() += 1;
         }
         let total: u64 = slabs.values().sum();
@@ -36,17 +63,17 @@ fn main() {
             .values()
             .filter(|&&n| n as f64 > total as f64 * 0.10)
             .count();
-        let tipi_lo = trace.iter().map(|p| p.tipi).fold(f64::INFINITY, f64::min);
-        let tipi_hi = trace.iter().map(|p| p.tipi).fold(0.0, f64::max);
+        let tipi_lo = o.trace.iter().map(|p| p.tipi).fold(f64::INFINITY, f64::min);
+        let tipi_hi = o.trace.iter().map(|p| p.tipi).fold(0.0, f64::max);
         rows.push(vec![
-            o.bench.clone(),
-            bench_def.style.suffix().to_string(),
+            o.spec.bench.clone(),
+            def.style.suffix().to_string(),
             format!("{:.1}", o.seconds),
-            format!("{:.1}", bench_def.paper_time_s * scale.0),
+            format!("{:.1}", def.paper_time_s * result.scale),
             format!("{tipi_lo:.3}-{tipi_hi:.3}"),
             format!(
                 "{:.3}-{:.3}",
-                bench_def.paper_tipi_range.0, bench_def.paper_tipi_range.1
+                def.paper_tipi_range.0, def.paper_tipi_range.1
             ),
             slabs.len().to_string(),
             frequent.to_string(),

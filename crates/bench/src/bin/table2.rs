@@ -6,56 +6,71 @@
 //! Default execution's settings (CF pinned 2.3; firmware uncore 2.2
 //! for compute-bound, 3.0 for memory-bound).
 //!
-//! Usage: `cargo run --release -p bench --bin table2`
+//! Usage: `cargo run --release -p bench --bin table2 --
+//!         [--smoke] [--shards N] [--json PATH]`
 
-use bench::{render_table, run, Setup};
-use cuttlefish::{Config, Policy};
-use workloads::{openmp_suite, ProgModel};
+use bench::cli::GridArgs;
+use bench::grid::{CellResult, GridResult, GridSetup, GridSpec};
+use bench::{render_table, Setup};
+use cuttlefish::Policy;
+
+const USAGE: &str = "table2 [--smoke] [--shards N] [--json PATH]";
+
+fn spec(args: &GridArgs) -> GridSpec {
+    let mut spec = GridSpec::new("table2", args.scale());
+    spec.setups = vec![
+        // Default with a trace: the firmware's settled uncore choice is
+        // read off the timeline.
+        GridSetup::new("Default", Setup::Default).with_trace(),
+        GridSetup::new("Cuttlefish", Setup::Cuttlefish(Policy::Both)),
+    ];
+    if args.smoke {
+        spec.benchmarks = vec!["UTS".into(), "Heat-ws".into(), "MiniFE".into()];
+    } else {
+        spec.use_full_suite();
+    }
+    spec
+}
 
 fn main() {
-    let scale = bench::harness_scale();
-    eprintln!("table2: OpenMP suite at scale {:.2}", scale.0);
+    let args = GridArgs::parse(USAGE);
+    let spec = spec(&args);
+    eprintln!(
+        "table2: OpenMP suite at scale {:.2}, {} cells on {} shards",
+        spec.scale,
+        spec.cells().len(),
+        args.shards
+    );
+    let result = spec.run(args.shards);
+    args.finish(&result);
+    render(&result);
+}
 
-    let suite = openmp_suite(scale);
+/// Modal uncore frequency over the Default run (the firmware's settled
+/// point; the last sample can catch a phase dip).
+fn modal_uf(cell: &CellResult) -> f64 {
+    let mut counts: std::collections::BTreeMap<u32, u32> = Default::default();
+    for p in &cell.trace {
+        *counts.entry((p.uf_ghz * 10.0).round() as u32).or_default() += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(_, n)| n)
+        .map(|(r, _)| f64::from(r) / 10.0)
+        .unwrap_or(f64::NAN)
+}
+
+fn render(result: &GridResult) {
     let mut rows = Vec::new();
-
-    for bench_def in &suite {
-        // Default run to observe the firmware's uncore choice.
-        let mut trace = Vec::new();
-        let _ = run(
-            bench_def,
-            Setup::Default,
-            ProgModel::OpenMp,
-            Config::default(),
-            Some(&mut trace),
-        );
-        // Modal uncore frequency over the run (the firmware's settled
-        // point; the last sample can catch a phase dip).
-        let default_uf = {
-            let mut counts: std::collections::BTreeMap<u32, u32> = Default::default();
-            for p in &trace {
-                *counts.entry((p.uf_ghz * 10.0).round() as u32).or_default() += 1;
-            }
-            counts
-                .into_iter()
-                .max_by_key(|&(_, n)| n)
-                .map(|(r, _)| r as f64 / 10.0)
-                .unwrap_or(f64::NAN)
-        };
-
-        let o = run(
-            bench_def,
-            Setup::Cuttlefish(Policy::Both),
-            ProgModel::OpenMp,
-            Config::default(),
-            None,
-        );
-        let (cf_frac, uf_frac) = o.resolved;
+    for bench in result.benches() {
+        let default_uf = modal_uf(result.cell(bench, "Default").expect("default cell"));
+        let o = result.cell(bench, "Cuttlefish").expect("cuttlefish cell");
+        let (cf_frac, uf_frac) = (o.resolved_cf, o.resolved_uf);
         let mut first = true;
         for r in o.report.iter().filter(|r| r.is_frequent()) {
             rows.push(vec![
                 if first {
-                    o.bench.clone()
+                    o.spec.bench.clone()
                 } else {
                     String::new()
                 },
@@ -65,12 +80,8 @@ fn main() {
                     String::new()
                 },
                 format!("{} ({:.0}%)", r.label, r.share * 100.0),
-                r.cf_opt
-                    .map(|f| format!("{:.1}", f.ghz()))
-                    .unwrap_or("-".into()),
-                r.uf_opt
-                    .map(|f| format!("{:.1}", f.ghz()))
-                    .unwrap_or("-".into()),
+                r.cf_ghz().map(|f| format!("{f:.1}")).unwrap_or("-".into()),
+                r.uf_ghz().map(|f| format!("{f:.1}")).unwrap_or("-".into()),
                 "2.3".into(),
                 format!("{default_uf:.1}"),
             ]);
@@ -78,7 +89,7 @@ fn main() {
         }
         if first {
             rows.push(vec![
-                o.bench.clone(),
+                o.spec.bench.clone(),
                 format!("{:.0}% / {:.0}%", cf_frac * 100.0, uf_frac * 100.0),
                 "(no frequent range)".into(),
                 "-".into(),

@@ -6,51 +6,64 @@
 //! longer, so more time runs at the higher pre-optimum frequencies);
 //! 20 ms is chosen as the default.
 //!
-//! Usage: `cargo run --release -p bench --bin table3`
+//! Usage: `cargo run --release -p bench --bin table3 --
+//!         [--smoke] [--shards N] [--json PATH]`
 
-use bench::{geomean_saving, render_table, run, saving_pct, Setup};
+use bench::cli::GridArgs;
+use bench::grid::{compare_to_baseline, geomean_by_setup, GridResult, GridSetup, GridSpec};
+use bench::{render_table, Setup};
 use cuttlefish::{Config, Policy};
-use workloads::{openmp_suite, ProgModel};
+
+const USAGE: &str = "table3 [--smoke] [--shards N] [--json PATH]";
+
+const TINVS_MS: [u64; 4] = [10, 20, 40, 60];
+
+fn spec(args: &GridArgs) -> GridSpec {
+    let mut spec = GridSpec::new("table3", args.scale());
+    // Default runs are Tinv-independent: one baseline setup, then one
+    // Cuttlefish setup per interval.
+    spec.setups = vec![GridSetup::new("Default", Setup::Default)];
+    for tinv_ms in TINVS_MS {
+        spec.setups.push(
+            GridSetup::new(format!("Tinv={tinv_ms}ms"), Setup::Cuttlefish(Policy::Both))
+                .with_config(Config::default().with_tinv_ms(tinv_ms)),
+        );
+    }
+    if args.smoke {
+        spec.benchmarks = vec!["SOR-ws".into(), "Heat-irt".into()];
+    } else {
+        spec.use_full_suite();
+    }
+    spec
+}
 
 fn main() {
-    let scale = bench::harness_scale();
-    eprintln!("table3: Tinv sensitivity at scale {:.2}", scale.0);
+    let args = GridArgs::parse(USAGE);
+    let spec = spec(&args);
+    eprintln!(
+        "table3: Tinv sensitivity at scale {:.2}, {} cells on {} shards",
+        spec.scale,
+        spec.cells().len(),
+        args.shards
+    );
+    let result = spec.run(args.shards);
+    args.finish(&result);
+    render(&result);
+}
 
-    let suite = openmp_suite(scale);
-    // Default runs are Tinv-independent: measure once.
-    let bases: Vec<_> = suite
-        .iter()
-        .map(|b| {
-            run(
-                b,
-                Setup::Default,
-                ProgModel::OpenMp,
-                Config::default(),
-                None,
-            )
-        })
-        .collect();
-
+fn render(result: &GridResult) {
+    let geomeans = geomean_by_setup(&compare_to_baseline(result, "Default"));
     let mut rows = Vec::new();
-    for tinv_ms in [10u64, 20, 40, 60] {
-        let cfg = Config::default().with_tinv_ms(tinv_ms);
-        let mut e_savs = Vec::new();
-        let mut slows = Vec::new();
-        for (b, base) in suite.iter().zip(&bases) {
-            let o = run(
-                b,
-                Setup::Cuttlefish(Policy::Both),
-                ProgModel::OpenMp,
-                cfg.clone(),
-                None,
-            );
-            e_savs.push(saving_pct(base.joules, o.joules));
-            slows.push(-(o.seconds / base.seconds - 1.0) * 100.0);
-        }
+    for tinv_ms in TINVS_MS {
+        let label = format!("Tinv={tinv_ms}ms");
+        let (_, energy, slowdown, _) = geomeans
+            .iter()
+            .find(|(l, ..)| *l == label)
+            .expect("tinv setup present");
         rows.push(vec![
             format!("{tinv_ms}ms"),
-            format!("{:.1}%", geomean_saving(&e_savs)),
-            format!("{:.1}%", -geomean_saving(&slows)),
+            format!("{energy:.1}%"),
+            format!("{slowdown:.1}%"),
         ]);
     }
 

@@ -1,0 +1,146 @@
+//! Tiny shared argument parser for the figure/table bins.
+//!
+//! Every bin accepts the same three grid flags:
+//!
+//! * `--shards N` — worker threads for the scenario grid (default: all
+//!   available cores);
+//! * `--smoke` — run the bin's reduced smoke grid at a fixed small
+//!   scale (the CI "bench smoke" stage), ignoring `CUTTLEFISH_SCALE`;
+//! * `--json PATH` — additionally write the [`GridResult`] artifact.
+//!
+//! Bin-specific flags (`--csv`, positionals) pass through untouched.
+
+use crate::grid::GridResult;
+
+/// Scale every `--smoke` grid runs at: small enough for PR-time CI,
+/// large enough that daemons resolve optima on the short benchmarks.
+pub const SMOKE_SCALE: f64 = 0.05;
+
+/// Parsed common flags plus pass-through arguments.
+#[derive(Debug, Clone)]
+pub struct GridArgs {
+    /// Worker threads for `GridSpec::run`.
+    pub shards: usize,
+    /// Reduced-grid mode.
+    pub smoke: bool,
+    /// Artifact output path.
+    pub json: Option<std::path::PathBuf>,
+    rest: Vec<String>,
+}
+
+impl GridArgs {
+    /// Parse `std::env::args`; `usage` is printed on `--help` or on a
+    /// malformed flag. Unknown `--flags` are fatal (a typo like
+    /// `--smoek` must not silently run the full paper-scale grid);
+    /// bins with extra flags declare them via [`GridArgs::parse_with`].
+    pub fn parse(usage: &str) -> GridArgs {
+        Self::parse_with(usage, &[])
+    }
+
+    /// [`GridArgs::parse`] with bin-specific boolean flags (e.g.
+    /// `&["--csv"]`) passed through to [`GridArgs::take_flag`].
+    pub fn parse_with(usage: &str, extra_flags: &[&str]) -> GridArgs {
+        let mut shards = default_shards();
+        let mut smoke = false;
+        let mut json = None;
+        let mut rest = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--shards" => {
+                    shards = args
+                        .next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| die(usage, "--shards needs a positive integer"));
+                }
+                "--json" => {
+                    json = Some(std::path::PathBuf::from(
+                        args.next()
+                            .unwrap_or_else(|| die(usage, "--json needs a path")),
+                    ));
+                }
+                "--smoke" => smoke = true,
+                "--help" | "-h" => {
+                    println!("{usage}");
+                    std::process::exit(0);
+                }
+                other if other.starts_with("--") && !extra_flags.contains(&other) => {
+                    die(usage, &format!("unknown flag `{other}`"));
+                }
+                _ => rest.push(arg),
+            }
+        }
+        GridArgs {
+            shards,
+            smoke,
+            json,
+            rest,
+        }
+    }
+
+    /// Consume a bin-specific boolean flag (e.g. `--csv`).
+    pub fn take_flag(&mut self, name: &str) -> bool {
+        match self.rest.iter().position(|a| a == name) {
+            Some(idx) => {
+                self.rest.remove(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remaining positional arguments.
+    pub fn positionals(&self) -> &[String] {
+        &self.rest
+    }
+
+    /// The scale this invocation runs at: `--smoke` pins
+    /// [`SMOKE_SCALE`] (CI artifacts must not depend on the
+    /// environment); otherwise `CUTTLEFISH_SCALE` applies as before.
+    pub fn scale(&self) -> f64 {
+        if self.smoke {
+            SMOKE_SCALE
+        } else {
+            crate::harness_scale().0
+        }
+    }
+
+    /// Write the artifact if `--json` was given. Exits non-zero on I/O
+    /// failure so CI cannot mistake a missing artifact for success.
+    pub fn finish(&self, result: &GridResult) {
+        if let Some(path) = &self.json {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    die_io(path, &e);
+                }
+            }
+            if let Err(e) = std::fs::write(path, result.to_json_string()) {
+                die_io(path, &e);
+            }
+            eprintln!(
+                "{}: wrote {} cells to {}",
+                result.grid,
+                result.cells.len(),
+                path.display()
+            );
+        }
+    }
+}
+
+/// Default shard count: every available core.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn die(usage: &str, msg: &str) -> ! {
+    eprintln!("error: {msg}\n{usage}");
+    std::process::exit(2);
+}
+
+fn die_io(path: &std::path::Path, e: &std::io::Error) -> ! {
+    eprintln!("error: cannot write {}: {e}", path.display());
+    std::process::exit(1);
+}

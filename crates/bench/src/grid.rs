@@ -1,0 +1,933 @@
+//! The scenario grid: declarative benchmark × setup × node-count ×
+//! repetition sweeps, fanned out across worker threads and aggregated
+//! into one machine-readable result.
+//!
+//! The paper's evaluation is a grid — every figure/table is "run these
+//! benchmarks under these setups and compare" — and each run is an
+//! independent, deterministic simulation. [`GridSpec`] captures the
+//! declaration, [`GridSpec::run`] executes the enumerated cells on a
+//! work-stealing pool (the crossbeam shim's `Injector` feeds cell
+//! indices to `--shards` threads), and [`GridResult`] carries the
+//! per-cell measurements in *cell-enumeration order* regardless of
+//! which thread ran what — so the serialized artifact is byte-identical
+//! for any shard count, which is what lets CI diff it over time.
+//!
+//! The figure/table bins in `src/bin/` are each one `GridSpec`
+//! declaration plus a formatting layer over the returned cells; the
+//! same JSON artifacts feed `ci.sh`'s "bench smoke" stage.
+
+use crate::json::{FromJson, Json, JsonError, ToJson};
+use crate::{run_on, Setup, TracePoint, HARNESS_SEED};
+use cluster::{Cluster, CommModel};
+use crossbeam::deque::{Injector, Steal};
+use cuttlefish::{Config, Policy};
+use serde::{Deserialize, Serialize};
+use simproc::freq::{Freq, MachineSpec, HASWELL_2650V3};
+use std::sync::Mutex;
+use workloads::{hclib_suite, openmp_suite, Benchmark, ProgModel, Scale};
+
+/// Artifact format tag embedded in every serialized [`GridResult`].
+pub const SCHEMA: &str = "cuttlefish/grid-result/v1";
+
+/// One entry on a grid's setup axis: an execution [`Setup`] with its
+/// Cuttlefish [`Config`], a display label unique within the grid, and
+/// whether cells under it collect a `Tinv`-rate trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSetup {
+    /// Axis label (`"Default"`, `"Tinv=40ms"`, `"a:CF=1.2"` ...).
+    pub label: String,
+    /// Execution configuration.
+    pub setup: Setup,
+    /// Cuttlefish parameters (ignored by `Default`/`Pinned` setups).
+    pub config: Config,
+    /// Collect the per-`Tinv` trace for cells under this setup
+    /// (single-node cells only; cluster cells have no single timeline).
+    pub trace: bool,
+}
+
+impl GridSetup {
+    /// Setup with the default [`Config`] and no trace.
+    pub fn new(label: impl Into<String>, setup: Setup) -> Self {
+        GridSetup {
+            label: label.into(),
+            setup,
+            config: Config::default(),
+            trace: false,
+        }
+    }
+
+    /// Builder: replace the config.
+    pub fn with_config(mut self, config: Config) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builder: collect traces.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+/// A declarative scenario grid. Cells are the cartesian product
+/// `benchmarks × node_counts × setups × reps`, enumerated in exactly
+/// that nesting order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Grid name (the figure/table this reproduces).
+    pub name: String,
+    /// Workload scale factor (1.0 = paper-length runs).
+    pub scale: f64,
+    /// Machine every cell simulates.
+    pub machine: MachineSpec,
+    /// Programming model (selects the benchmark suite).
+    pub model: ProgModel,
+    /// Benchmark names (resolved against the suite for `model`).
+    pub benchmarks: Vec<String>,
+    /// Setup axis.
+    pub setups: Vec<GridSetup>,
+    /// Node counts; 1 = single package via the evaluation harness,
+    /// >1 = an MPI+X-style cluster with per-node controllers.
+    pub node_counts: Vec<usize>,
+    /// Repetitions per cell (distinct instantiation seeds).
+    pub reps: u32,
+}
+
+impl GridSpec {
+    /// Grid over the paper's Haswell machine, OpenMP model, one node,
+    /// one repetition — the shape of most figure/table bins.
+    pub fn new(name: impl Into<String>, scale: f64) -> Self {
+        GridSpec {
+            name: name.into(),
+            scale,
+            machine: HASWELL_2650V3.clone(),
+            model: ProgModel::OpenMp,
+            benchmarks: Vec::new(),
+            setups: Vec::new(),
+            node_counts: vec![1],
+            reps: 1,
+        }
+    }
+
+    /// Fill the benchmark axis with the entire suite for `model`.
+    pub fn use_full_suite(&mut self) {
+        self.benchmarks = self.suite().iter().map(|b| b.name.clone()).collect();
+    }
+
+    /// The benchmark suite this grid draws from.
+    pub fn suite(&self) -> Vec<Benchmark> {
+        match self.model {
+            ProgModel::OpenMp => openmp_suite(Scale(self.scale)),
+            ProgModel::HClib => hclib_suite(Scale(self.scale)),
+        }
+    }
+
+    /// Enumerate the scenario cells in deterministic order.
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::new();
+        for bench in &self.benchmarks {
+            for &nodes in &self.node_counts {
+                for setup in &self.setups {
+                    for rep in 0..self.reps.max(1) {
+                        cells.push(CellSpec {
+                            bench: bench.clone(),
+                            model: self.model,
+                            label: setup.label.clone(),
+                            setup: setup.setup,
+                            config: setup.config.clone(),
+                            nodes,
+                            rep,
+                            trace: setup.trace && nodes == 1,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Execute every cell across `shards` worker threads and aggregate.
+    ///
+    /// Cells are handed out through a shared work queue, so stragglers
+    /// don't serialize behind a fixed partition; results are reassembled
+    /// in enumeration order, making the aggregate — and its serialized
+    /// bytes — independent of the shard count.
+    pub fn run(&self, shards: usize) -> GridResult {
+        let suite = self.suite();
+        let cells = self.cells();
+        let defs: Vec<&Benchmark> = cells
+            .iter()
+            .map(|cell| {
+                suite
+                    .iter()
+                    .find(|b| b.name == cell.bench)
+                    .unwrap_or_else(|| {
+                        panic!("grid `{}`: unknown benchmark `{}`", self.name, cell.bench)
+                    })
+            })
+            .collect();
+
+        let queue: Injector<usize> = Injector::new();
+        for idx in 0..cells.len() {
+            queue.push(idx);
+        }
+        let workers = shards.clamp(1, cells.len().max(1));
+        let collected: Mutex<Vec<(usize, CellResult)>> =
+            Mutex::new(Vec::with_capacity(cells.len()));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = match queue.steal() {
+                        Steal::Success(idx) => idx,
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    };
+                    let result = run_cell(&self.machine, defs[idx], &cells[idx]);
+                    collected
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((idx, result));
+                });
+            }
+        });
+
+        let mut indexed = collected
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        indexed.sort_by_key(|&(idx, _)| idx);
+        GridResult {
+            grid: self.name.clone(),
+            scale: self.scale,
+            machine: self.machine.name.clone(),
+            cells: indexed.into_iter().map(|(_, r)| r).collect(),
+        }
+    }
+}
+
+/// The paper's four §5 setups in presentation order, Default first —
+/// the setup axis of the headline grids (Figures 10/11).
+pub fn paper_setups() -> Vec<GridSetup> {
+    vec![
+        GridSetup::new("Default", Setup::Default),
+        GridSetup::new("Cuttlefish", Setup::Cuttlefish(Policy::Both)),
+        GridSetup::new("Cuttlefish-Core", Setup::Cuttlefish(Policy::CoreOnly)),
+        GridSetup::new("Cuttlefish-Uncore", Setup::Cuttlefish(Policy::UncoreOnly)),
+    ]
+}
+
+/// Fully-resolved identity of one scenario cell — everything needed to
+/// re-run it, embedded verbatim in the result artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Benchmark name.
+    pub bench: String,
+    /// Programming model.
+    pub model: ProgModel,
+    /// Setup-axis label this cell belongs to.
+    pub label: String,
+    /// Execution configuration.
+    pub setup: Setup,
+    /// Cuttlefish parameters.
+    pub config: Config,
+    /// Node count (1 = single package).
+    pub nodes: usize,
+    /// Repetition index.
+    pub rep: u32,
+    /// Whether the cell collects a trace.
+    pub trace: bool,
+}
+
+impl CellSpec {
+    /// Instantiation seed: rep 0 reproduces the historical
+    /// fixed-seed harness runs exactly.
+    pub fn seed(&self) -> u64 {
+        HARNESS_SEED ^ (u64::from(self.rep) << 32)
+    }
+}
+
+/// One TIPI-range line of a cell's controller report (Table 2 shape).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportEntry {
+    /// Slab index.
+    pub slab: u32,
+    /// Paper-style range label.
+    pub label: String,
+    /// Resolved core optimum, deci-GHz.
+    pub cf: Option<u32>,
+    /// Resolved uncore optimum, deci-GHz.
+    pub uf: Option<u32>,
+    /// `Tinv` samples attributed to the range.
+    pub occurrences: u64,
+    /// Share of all samples.
+    pub share: f64,
+}
+
+impl ReportEntry {
+    /// The paper's "frequently occurring" threshold.
+    pub fn is_frequent(&self) -> bool {
+        self.share > 0.10
+    }
+
+    /// Core optimum in GHz.
+    pub fn cf_ghz(&self) -> Option<f64> {
+        self.cf.map(|f| f as f64 / 10.0)
+    }
+
+    /// Uncore optimum in GHz.
+    pub fn uf_ghz(&self) -> Option<f64> {
+        self.uf.map(|f| f as f64 / 10.0)
+    }
+}
+
+/// Residency at one operating point, summed over nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResidencyEntry {
+    /// Core frequency, deci-GHz.
+    pub cf: u32,
+    /// Uncore frequency, deci-GHz.
+    pub uf: u32,
+    /// Nanoseconds spent at this point.
+    pub ns: u64,
+}
+
+/// Measurements from one executed cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The cell that produced this.
+    pub spec: CellSpec,
+    /// Virtual wall time, seconds (slowest node for clusters).
+    pub seconds: f64,
+    /// Package energy, joules (summed over nodes).
+    pub joules: f64,
+    /// Instructions retired (summed over nodes).
+    pub instructions: f64,
+    /// Fraction of reported ranges with a resolved core optimum
+    /// (averaged over nodes).
+    pub resolved_cf: f64,
+    /// Fraction with a resolved uncore optimum.
+    pub resolved_uf: f64,
+    /// Node 0's controller report.
+    pub report: Vec<ReportEntry>,
+    /// Operating-point residency in ascending `(cf, uf)` order.
+    pub residency: Vec<ResidencyEntry>,
+    /// Per-node energies (length = `spec.nodes`).
+    pub node_joules: Vec<f64>,
+    /// Barrier wait charged across nodes (0 for single-node cells).
+    pub barrier_wait_s: f64,
+    /// `Tinv`-rate trace (empty unless `spec.trace`).
+    pub trace: Vec<TracePoint>,
+}
+
+impl CellResult {
+    /// Energy-delay product, J·s.
+    pub fn edp(&self) -> f64 {
+        self.joules * self.seconds
+    }
+
+    /// Joules per instruction.
+    pub fn jpi(&self) -> f64 {
+        self.joules / self.instructions.max(1.0)
+    }
+}
+
+fn report_entries(report: &[cuttlefish::daemon::NodeReport]) -> Vec<ReportEntry> {
+    report
+        .iter()
+        .map(|r| ReportEntry {
+            slab: r.slab.0,
+            label: r.label.clone(),
+            cf: r.cf_opt.map(|f| f.0),
+            uf: r.uf_opt.map(|f| f.0),
+            occurrences: r.occurrences,
+            share: r.share,
+        })
+        .collect()
+}
+
+/// Execute one cell. Public so overhead microbenchmarks and external
+/// drivers can measure exactly what the grid runner runs per cell.
+pub fn run_cell(machine: &MachineSpec, def: &Benchmark, cell: &CellSpec) -> CellResult {
+    assert!(cell.nodes > 0, "cell must have at least one node");
+    assert!(
+        !(cell.trace && cell.nodes > 1),
+        "traces are only defined for single-node cells (GridSpec::cells \
+         normalizes this; hand-built CellSpecs must too)"
+    );
+    if cell.nodes == 1 {
+        let mut trace = Vec::new();
+        let outcome = run_on(
+            machine,
+            def,
+            cell.setup,
+            cell.model,
+            cell.config.clone(),
+            cell.trace.then_some(&mut trace),
+            cell.seed(),
+        );
+        CellResult {
+            spec: cell.clone(),
+            seconds: outcome.seconds,
+            joules: outcome.joules,
+            instructions: outcome.instructions,
+            resolved_cf: outcome.resolved.0,
+            resolved_uf: outcome.resolved.1,
+            report: report_entries(&outcome.report),
+            residency: outcome
+                .residency
+                .iter()
+                .map(|&((cf, uf), ns)| ResidencyEntry { cf, uf, ns })
+                .collect(),
+            node_joules: vec![outcome.joules],
+            barrier_wait_s: 0.0,
+            trace,
+        }
+    } else {
+        let policy = cell.setup.node_policy(cell.config.clone());
+        let mut cl = Cluster::with_spec(cell.nodes, machine, policy, CommModel::default());
+        let seed = cell.seed();
+        let outcome = cl.run_replicated(|node, n_cores| {
+            // Distinct per-node seeds (node 0 keeps the base seed, so a
+            // 1-node cluster instantiates exactly the single-node run).
+            def.instantiate(
+                cell.model,
+                n_cores,
+                seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )
+        });
+        let reports = cl.reports();
+        let fractions = cl.resolved_fractions();
+        let n_nodes = fractions.len() as f64;
+        CellResult {
+            spec: cell.clone(),
+            seconds: outcome.seconds,
+            joules: outcome.joules,
+            instructions: outcome.instructions,
+            resolved_cf: fractions.iter().map(|f| f.0).sum::<f64>() / n_nodes,
+            resolved_uf: fractions.iter().map(|f| f.1).sum::<f64>() / n_nodes,
+            report: report_entries(&reports[0]),
+            residency: cl
+                .residency()
+                .into_iter()
+                .map(|((cf, uf), ns)| ResidencyEntry { cf, uf, ns })
+                .collect(),
+            node_joules: outcome.node_joules,
+            barrier_wait_s: outcome.barrier_wait_s,
+            trace: Vec::new(),
+        }
+    }
+}
+
+/// Aggregated outcome of a grid run, in cell-enumeration order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridResult {
+    /// The grid's name.
+    pub grid: String,
+    /// Scale the grid ran at.
+    pub scale: f64,
+    /// Machine name.
+    pub machine: String,
+    /// Per-cell measurements.
+    pub cells: Vec<CellResult>,
+}
+
+impl GridResult {
+    /// Benchmark names in first-appearance order.
+    pub fn benches(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for cell in &self.cells {
+            if !names.contains(&cell.spec.bench.as_str()) {
+                names.push(&cell.spec.bench);
+            }
+        }
+        names
+    }
+
+    /// First cell matching `(bench, setup label)`.
+    pub fn cell(&self, bench: &str, label: &str) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.spec.bench == bench && c.spec.label == label)
+    }
+
+    /// All cells of one benchmark, in enumeration order.
+    pub fn cells_for<'a>(&'a self, bench: &'a str) -> impl Iterator<Item = &'a CellResult> + 'a {
+        self.cells.iter().filter(move |c| c.spec.bench == bench)
+    }
+
+    /// Serialize to the deterministic JSON artifact format.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Parse an artifact produced by [`GridResult::to_json_string`].
+    pub fn from_json_str(text: &str) -> Result<GridResult, JsonError> {
+        GridResult::from_json(&Json::parse(text)?)
+    }
+}
+
+/// One benchmark × setup row of a baseline-relative comparison — the
+/// shape of the Figure 10/11 panels and the Table 3 / ablation
+/// geomeans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineComparison {
+    /// Benchmark name.
+    pub bench: String,
+    /// Setup-axis label of the compared cell.
+    pub label: String,
+    /// Energy saving vs the baseline, percent (positive = better).
+    pub energy_saving_pct: f64,
+    /// Execution-time degradation vs the baseline, percent.
+    pub time_degradation_pct: f64,
+    /// EDP saving vs the baseline, percent.
+    pub edp_saving_pct: f64,
+    /// Baseline virtual seconds.
+    pub base_seconds: f64,
+    /// Compared cell's virtual seconds.
+    pub seconds: f64,
+    /// Baseline joules.
+    pub base_joules: f64,
+    /// Compared cell's joules.
+    pub joules: f64,
+}
+
+/// Compare every non-baseline cell against its benchmark's `baseline`
+/// cell, in enumeration order. One definition of the
+/// savings/slowdown/EDP arithmetic, shared by every bin that reports
+/// relative numbers — the paper's figures must not drift apart.
+pub fn compare_to_baseline(result: &GridResult, baseline: &str) -> Vec<BaselineComparison> {
+    let mut out = Vec::new();
+    for bench in result.benches() {
+        let base = result.cell(bench, baseline).unwrap_or_else(|| {
+            panic!(
+                "grid `{}`: benchmark `{bench}` has no `{baseline}` cell",
+                result.grid
+            )
+        });
+        for o in result.cells_for(bench).filter(|c| c.spec.label != baseline) {
+            out.push(BaselineComparison {
+                bench: o.spec.bench.clone(),
+                label: o.spec.label.clone(),
+                energy_saving_pct: crate::saving_pct(base.joules, o.joules),
+                time_degradation_pct: (o.seconds / base.seconds - 1.0) * 100.0,
+                edp_saving_pct: crate::saving_pct(base.edp(), o.edp()),
+                base_seconds: base.seconds,
+                seconds: o.seconds,
+                base_joules: base.joules,
+                joules: o.joules,
+            });
+        }
+    }
+    out
+}
+
+/// Per-setup geomeans over a comparison set: `(label, energy saving %,
+/// slowdown %, EDP saving %)` in label order. Slowdowns are
+/// geomean-composed as negative savings, matching the paper's
+/// reporting.
+pub fn geomean_by_setup(comparisons: &[BaselineComparison]) -> Vec<(String, f64, f64, f64)> {
+    let mut by: std::collections::BTreeMap<&str, Vec<&BaselineComparison>> = Default::default();
+    for c in comparisons {
+        by.entry(&c.label).or_default().push(c);
+    }
+    by.into_iter()
+        .map(|(label, group)| {
+            let e: Vec<f64> = group.iter().map(|c| c.energy_saving_pct).collect();
+            let s: Vec<f64> = group.iter().map(|c| -c.time_degradation_pct).collect();
+            let d: Vec<f64> = group.iter().map(|c| c.edp_saving_pct).collect();
+            (
+                label.to_string(),
+                crate::geomean_saving(&e),
+                -crate::geomean_saving(&s),
+                crate::geomean_saving(&d),
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// JSON encoding (hand-rolled against `bench::json`; the serde derives
+// above are offline-shim markers — see `shims/README.md`).
+// ---------------------------------------------------------------------
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+fn opt_u32(v: Option<u32>) -> Json {
+    v.map_or(Json::Null, |x| Json::Num(f64::from(x)))
+}
+
+fn from_opt_u32(j: &Json) -> Result<Option<u32>, JsonError> {
+    match j {
+        Json::Null => Ok(None),
+        other => Ok(Some(other.as_u64()? as u32)),
+    }
+}
+
+impl ToJson for ProgModel {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                ProgModel::OpenMp => "openmp",
+                ProgModel::HClib => "hclib",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for ProgModel {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_str()? {
+            "openmp" => Ok(ProgModel::OpenMp),
+            "hclib" => Ok(ProgModel::HClib),
+            other => Err(JsonError(format!("unknown programming model `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Policy {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Policy::Both => "both",
+                Policy::CoreOnly => "core-only",
+                Policy::UncoreOnly => "uncore-only",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for Policy {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_str()? {
+            "both" => Ok(Policy::Both),
+            "core-only" => Ok(Policy::CoreOnly),
+            "uncore-only" => Ok(Policy::UncoreOnly),
+            other => Err(JsonError(format!("unknown policy `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Setup {
+    fn to_json(&self) -> Json {
+        match self {
+            Setup::Default => obj(vec![("kind", Json::Str("default".into()))]),
+            Setup::Cuttlefish(policy) => obj(vec![
+                ("kind", Json::Str("cuttlefish".into())),
+                ("policy", policy.to_json()),
+            ]),
+            Setup::Pinned(cf, uf) => obj(vec![
+                ("kind", Json::Str("pinned".into())),
+                ("cf", Json::Num(f64::from(cf.0))),
+                ("uf", Json::Num(f64::from(uf.0))),
+            ]),
+        }
+    }
+}
+
+impl FromJson for Setup {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.field("kind")?.as_str()? {
+            "default" => Ok(Setup::Default),
+            "cuttlefish" => Ok(Setup::Cuttlefish(Policy::from_json(j.field("policy")?)?)),
+            "pinned" => Ok(Setup::Pinned(
+                Freq(j.field("cf")?.as_u64()? as u32),
+                Freq(j.field("uf")?.as_u64()? as u32),
+            )),
+            other => Err(JsonError(format!("unknown setup kind `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Config {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("tinv_ns", Json::Num(self.tinv_ns as f64)),
+            ("warmup_ns", Json::Num(self.warmup_ns as f64)),
+            ("policy", self.policy.to_json()),
+            (
+                "samples_per_freq",
+                Json::Num(f64::from(self.samples_per_freq)),
+            ),
+            ("slab_width", Json::Num(self.slab_width)),
+            ("uf_window_mult", Json::Num(self.uf_window_mult)),
+            (
+                "neighbor_inheritance",
+                Json::Bool(self.neighbor_inheritance),
+            ),
+            ("revalidation", Json::Bool(self.revalidation)),
+            ("idle_guard", self.idle_guard.map_or(Json::Null, Json::Num)),
+        ])
+    }
+}
+
+impl FromJson for Config {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Config {
+            tinv_ns: j.field("tinv_ns")?.as_u64()?,
+            warmup_ns: j.field("warmup_ns")?.as_u64()?,
+            policy: Policy::from_json(j.field("policy")?)?,
+            samples_per_freq: j.field("samples_per_freq")?.as_u64()? as u32,
+            slab_width: j.field("slab_width")?.as_f64()?,
+            uf_window_mult: j.field("uf_window_mult")?.as_f64()?,
+            neighbor_inheritance: j.field("neighbor_inheritance")?.as_bool()?,
+            revalidation: j.field("revalidation")?.as_bool()?,
+            idle_guard: match j.field("idle_guard")? {
+                Json::Null => None,
+                other => Some(other.as_f64()?),
+            },
+        })
+    }
+}
+
+impl ToJson for CellSpec {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("bench", Json::Str(self.bench.clone())),
+            ("model", self.model.to_json()),
+            ("label", Json::Str(self.label.clone())),
+            ("setup", self.setup.to_json()),
+            ("config", self.config.to_json()),
+            ("nodes", Json::Num(self.nodes as f64)),
+            ("rep", Json::Num(f64::from(self.rep))),
+            ("trace", Json::Bool(self.trace)),
+        ])
+    }
+}
+
+impl FromJson for CellSpec {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(CellSpec {
+            bench: j.field("bench")?.as_str()?.to_string(),
+            model: ProgModel::from_json(j.field("model")?)?,
+            label: j.field("label")?.as_str()?.to_string(),
+            setup: Setup::from_json(j.field("setup")?)?,
+            config: Config::from_json(j.field("config")?)?,
+            nodes: j.field("nodes")?.as_u64()? as usize,
+            rep: j.field("rep")?.as_u64()? as u32,
+            trace: j.field("trace")?.as_bool()?,
+        })
+    }
+}
+
+impl ToJson for ReportEntry {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("slab", Json::Num(f64::from(self.slab))),
+            ("label", Json::Str(self.label.clone())),
+            ("cf", opt_u32(self.cf)),
+            ("uf", opt_u32(self.uf)),
+            ("occurrences", Json::Num(self.occurrences as f64)),
+            ("share", Json::Num(self.share)),
+        ])
+    }
+}
+
+impl FromJson for ReportEntry {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(ReportEntry {
+            slab: j.field("slab")?.as_u64()? as u32,
+            label: j.field("label")?.as_str()?.to_string(),
+            cf: from_opt_u32(j.field("cf")?)?,
+            uf: from_opt_u32(j.field("uf")?)?,
+            occurrences: j.field("occurrences")?.as_u64()?,
+            share: j.field("share")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for ResidencyEntry {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("cf", Json::Num(f64::from(self.cf))),
+            ("uf", Json::Num(f64::from(self.uf))),
+            ("ns", Json::Num(self.ns as f64)),
+        ])
+    }
+}
+
+impl FromJson for ResidencyEntry {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(ResidencyEntry {
+            cf: j.field("cf")?.as_u64()? as u32,
+            uf: j.field("uf")?.as_u64()? as u32,
+            ns: j.field("ns")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for TracePoint {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("t_s", Json::Num(self.t_s)),
+            ("tipi", Json::Num(self.tipi)),
+            ("jpi", Json::Num(self.jpi)),
+            ("cf_ghz", Json::Num(self.cf_ghz)),
+            ("uf_ghz", Json::Num(self.uf_ghz)),
+            ("watts", Json::Num(self.watts)),
+        ])
+    }
+}
+
+impl FromJson for TracePoint {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(TracePoint {
+            t_s: j.field("t_s")?.as_f64()?,
+            tipi: j.field("tipi")?.as_f64()?,
+            jpi: j.field("jpi")?.as_f64()?,
+            cf_ghz: j.field("cf_ghz")?.as_f64()?,
+            uf_ghz: j.field("uf_ghz")?.as_f64()?,
+            watts: j.field("watts")?.as_f64()?,
+        })
+    }
+}
+
+fn arr<T: ToJson>(items: &[T]) -> Json {
+    Json::Arr(items.iter().map(ToJson::to_json).collect())
+}
+
+fn from_arr<T: FromJson>(j: &Json) -> Result<Vec<T>, JsonError> {
+    j.as_arr()?.iter().map(T::from_json).collect()
+}
+
+impl ToJson for CellResult {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("spec", self.spec.to_json()),
+            ("seconds", Json::Num(self.seconds)),
+            ("joules", Json::Num(self.joules)),
+            ("instructions", Json::Num(self.instructions)),
+            ("resolved_cf", Json::Num(self.resolved_cf)),
+            ("resolved_uf", Json::Num(self.resolved_uf)),
+            ("report", arr(&self.report)),
+            ("residency", arr(&self.residency)),
+            (
+                "node_joules",
+                Json::Arr(self.node_joules.iter().map(|&v| Json::Num(v)).collect()),
+            ),
+            ("barrier_wait_s", Json::Num(self.barrier_wait_s)),
+            ("trace", arr(&self.trace)),
+        ])
+    }
+}
+
+impl FromJson for CellResult {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(CellResult {
+            spec: CellSpec::from_json(j.field("spec")?)?,
+            seconds: j.field("seconds")?.as_f64()?,
+            joules: j.field("joules")?.as_f64()?,
+            instructions: j.field("instructions")?.as_f64()?,
+            resolved_cf: j.field("resolved_cf")?.as_f64()?,
+            resolved_uf: j.field("resolved_uf")?.as_f64()?,
+            report: from_arr(j.field("report")?)?,
+            residency: from_arr(j.field("residency")?)?,
+            node_joules: j
+                .field("node_joules")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_f64)
+                .collect::<Result<_, _>>()?,
+            barrier_wait_s: j.field("barrier_wait_s")?.as_f64()?,
+            trace: from_arr(j.field("trace")?)?,
+        })
+    }
+}
+
+impl ToJson for GridResult {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("schema", Json::Str(SCHEMA.into())),
+            ("grid", Json::Str(self.grid.clone())),
+            ("scale", Json::Num(self.scale)),
+            ("machine", Json::Str(self.machine.clone())),
+            ("cells", arr(&self.cells)),
+        ])
+    }
+}
+
+impl FromJson for GridResult {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let schema = j.field("schema")?.as_str()?;
+        if schema != SCHEMA {
+            return Err(JsonError(format!(
+                "unsupported artifact schema `{schema}` (expected `{SCHEMA}`)"
+            )));
+        }
+        Ok(GridResult {
+            grid: j.field("grid")?.as_str()?.to_string(),
+            scale: j.field("scale")?.as_f64()?,
+            machine: j.field("machine")?.as_str()?.to_string(),
+            cells: from_arr(j.field("cells")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_order_is_bench_nodes_setup_rep() {
+        let mut spec = GridSpec::new("t", 0.05);
+        spec.benchmarks = vec!["A".into(), "B".into()];
+        spec.setups = vec![
+            GridSetup::new("s0", Setup::Default),
+            GridSetup::new("s1", Setup::Cuttlefish(Policy::Both)),
+        ];
+        spec.node_counts = vec![1, 2];
+        spec.reps = 2;
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2);
+        assert_eq!(
+            (
+                cells[0].bench.as_str(),
+                cells[0].nodes,
+                cells[0].label.as_str(),
+                cells[0].rep
+            ),
+            ("A", 1, "s0", 0)
+        );
+        assert_eq!(cells[1].rep, 1);
+        assert_eq!(cells[2].label, "s1");
+        assert_eq!(cells[4].nodes, 2);
+        assert_eq!(cells[8].bench, "B");
+        // Rep 0 keeps the historical harness seed.
+        assert_eq!(cells[0].seed(), HARNESS_SEED);
+        assert_ne!(cells[1].seed(), HARNESS_SEED);
+    }
+
+    #[test]
+    fn trace_is_disabled_on_cluster_cells() {
+        let mut spec = GridSpec::new("t", 0.05);
+        spec.benchmarks = vec!["A".into()];
+        spec.setups = vec![GridSetup::new("s", Setup::Default).with_trace()];
+        spec.node_counts = vec![1, 2];
+        let cells = spec.cells();
+        assert!(cells[0].trace);
+        assert!(!cells[1].trace);
+    }
+
+    #[test]
+    fn setup_and_config_json_round_trip() {
+        for setup in [
+            Setup::Default,
+            Setup::Cuttlefish(Policy::CoreOnly),
+            Setup::Pinned(Freq(12), Freq(30)),
+        ] {
+            assert_eq!(Setup::from_json(&setup.to_json()).unwrap(), setup);
+        }
+        let cfg = Config {
+            idle_guard: Some(0.3),
+            ..Config::default()
+        };
+        assert_eq!(Config::from_json(&cfg.to_json()).unwrap(), cfg);
+        assert_eq!(
+            Config::from_json(&Config::default().to_json()).unwrap(),
+            Config::default()
+        );
+    }
+}

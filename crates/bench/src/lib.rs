@@ -8,10 +8,18 @@
 
 use cuttlefish::controller::NodePolicy;
 use cuttlefish::{Config, Policy};
-use simproc::freq::{Freq, HASWELL_2650V3};
+use simproc::freq::{Freq, MachineSpec, HASWELL_2650V3};
 use simproc::profile::{delta, CounterSnapshot};
 use simproc::SimProcessor;
 use workloads::{Benchmark, ProgModel};
+
+pub mod cli;
+pub mod grid;
+pub mod json;
+
+/// The benchmark-instantiation seed every harness run uses (reps > 0
+/// fold the repetition index in, so rep 0 reproduces historical runs).
+pub const HARNESS_SEED: u64 = 0xC0FFEE;
 
 /// The execution configurations of the paper: the four Figure 10/11
 /// setups plus the fixed-frequency pins of the Figure 3 sweeps.
@@ -75,6 +83,9 @@ pub struct RunOutcome {
     pub report: Vec<cuttlefish::daemon::NodeReport>,
     /// Fractions of distinct ranges with resolved (CFopt, UFopt).
     pub resolved: (f64, f64),
+    /// Per-operating-point residency, `((core, uncore) deci-GHz, ns)`,
+    /// in ascending key order (the residency/EDP analyses).
+    pub residency: Vec<((u32, u32), u64)>,
 }
 
 impl RunOutcome {
@@ -90,7 +101,7 @@ impl RunOutcome {
 }
 
 /// One (time, tipi, jpi, cf, uf, watts) trace point (Fig. 2 series).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TracePoint {
     pub t_s: f64,
     pub tipi: f64,
@@ -100,16 +111,39 @@ pub struct TracePoint {
     pub watts: f64,
 }
 
-/// Run `bench` under `setup`; optionally collect a `Tinv`-rate trace.
+/// Run `bench` under `setup` on the paper's Haswell machine;
+/// optionally collect a `Tinv`-rate trace.
 pub fn run(
     bench: &Benchmark,
     setup: Setup,
     model: ProgModel,
     cfg: Config,
-    mut trace: Option<&mut Vec<TracePoint>>,
+    trace: Option<&mut Vec<TracePoint>>,
 ) -> RunOutcome {
-    let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
-    let mut wl = bench.instantiate(model, proc.n_cores(), 0xC0FFEE);
+    run_on(
+        &HASWELL_2650V3,
+        bench,
+        setup,
+        model,
+        cfg,
+        trace,
+        HARNESS_SEED,
+    )
+}
+
+/// [`run`], generalized over the machine and instantiation seed — the
+/// single-node cell executor of the scenario grid ([`grid`]).
+pub fn run_on(
+    machine: &MachineSpec,
+    bench: &Benchmark,
+    setup: Setup,
+    model: ProgModel,
+    cfg: Config,
+    mut trace: Option<&mut Vec<TracePoint>>,
+    seed: u64,
+) -> RunOutcome {
+    let mut proc = SimProcessor::new(machine.clone());
+    let mut wl = bench.instantiate(model, proc.n_cores(), seed);
 
     let mut controller = setup.node_policy(cfg).build(&mut proc);
 
@@ -151,6 +185,11 @@ pub fn run(
         instructions: proc.total_instructions(),
         report,
         resolved,
+        residency: proc
+            .frequency_residency()
+            .iter()
+            .map(|(&point, &ns)| (point, ns))
+            .collect(),
     }
 }
 

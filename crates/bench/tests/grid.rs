@@ -1,0 +1,96 @@
+//! Scenario-grid integration tests: the shard-invariance contract the
+//! CI artifacts depend on, and the typed JSON round-trip.
+
+use bench::grid::{GridResult, GridSetup, GridSpec};
+use bench::json::{FromJson, Json};
+use bench::Setup;
+use cuttlefish::Policy;
+
+/// A small but representative grid: two benchmarks, a baseline and a
+/// tuned setup (one traced), single-node and 2-node cluster cells.
+fn tiny_spec() -> GridSpec {
+    let mut spec = GridSpec::new("test-grid", 0.02);
+    spec.benchmarks = vec!["UTS".into(), "SOR-irt".into()];
+    spec.setups = vec![
+        GridSetup::new("Default", Setup::Default).with_trace(),
+        GridSetup::new("Cuttlefish", Setup::Cuttlefish(Policy::Both)),
+    ];
+    spec.node_counts = vec![1, 2];
+    spec
+}
+
+#[test]
+fn shard_count_does_not_change_artifact_bytes() {
+    let spec = tiny_spec();
+    let serial = spec.run(1).to_json_string();
+    let sharded = spec.run(8).to_json_string();
+    assert_eq!(
+        serial, sharded,
+        "GridResult JSON must be byte-identical across shard counts"
+    );
+}
+
+#[test]
+fn grid_result_round_trips_through_json() {
+    let mut spec = tiny_spec();
+    // Round-trip only needs one node count; keep the test fast but
+    // include a rep > 0 so non-default seeds serialize too.
+    spec.node_counts = vec![1];
+    spec.reps = 2;
+    let result = spec.run(4);
+
+    let text = result.to_json_string();
+    let parsed = GridResult::from_json_str(&text).expect("artifact parses back");
+    assert_eq!(parsed, result, "typed round-trip must be lossless");
+    assert_eq!(
+        parsed.to_json_string(),
+        text,
+        "re-serialization must be byte-identical"
+    );
+
+    // Sanity: the artifact carries real measurements.
+    assert_eq!(result.cells.len(), 2 * 2 * 2);
+    for cell in &result.cells {
+        assert!(cell.seconds > 0.0 && cell.joules > 0.0);
+        assert_eq!(cell.node_joules.len(), cell.spec.nodes);
+    }
+    let traced = result.cell("UTS", "Default").unwrap();
+    assert!(!traced.trace.is_empty(), "traced setup must carry a trace");
+}
+
+#[test]
+fn cluster_cells_aggregate_per_node_measurements() {
+    let mut spec = tiny_spec();
+    spec.benchmarks = vec!["UTS".into()];
+    spec.node_counts = vec![2];
+    spec.setups = vec![GridSetup::new("Default", Setup::Default)];
+    let result = spec.run(2);
+    let cell = &result.cells[0];
+    assert_eq!(cell.spec.nodes, 2);
+    assert_eq!(cell.node_joules.len(), 2);
+    let sum: f64 = cell.node_joules.iter().sum();
+    assert!((sum - cell.joules).abs() < 1e-9 * cell.joules.max(1.0));
+    assert!(cell.trace.is_empty(), "cluster cells collect no trace");
+    assert!(!cell.residency.is_empty());
+}
+
+#[test]
+fn malformed_artifacts_are_rejected() {
+    assert!(GridResult::from_json_str("not json").is_err());
+    // Valid JSON, wrong schema tag.
+    let wrong = Json::Obj(vec![
+        ("schema".into(), Json::Str("something/else".into())),
+        ("grid".into(), Json::Str("x".into())),
+    ]);
+    assert!(GridResult::from_json(&wrong).is_err());
+    // Schema ok but cells malformed.
+    let truncated = Json::Obj(vec![
+        ("schema".into(), Json::Str(bench::grid::SCHEMA.into())),
+        ("grid".into(), Json::Str("x".into())),
+        ("scale".into(), Json::Num(1.0)),
+        ("machine".into(), Json::Str("m".into())),
+        ("cells".into(), Json::Arr(vec![Json::Obj(vec![])])),
+    ]);
+    assert!(GridResult::from_json(&truncated).is_err());
+    let _ = truncated.to_pretty();
+}

@@ -96,6 +96,8 @@ pub struct BspOutcome {
     pub seconds: f64,
     /// Total energy across all nodes.
     pub joules: f64,
+    /// Instructions retired across all nodes.
+    pub instructions: f64,
     /// Per-node energies.
     pub node_joules: Vec<f64>,
     /// Per-node busy (non-barrier-wait) seconds.

@@ -4,8 +4,9 @@
 use crate::bsp::{BspApp, BspOutcome, CommModel};
 use cuttlefish::controller::FrequencyController;
 use simproc::engine::{Chunk, Workload};
-use simproc::freq::HASWELL_2650V3;
+use simproc::freq::{MachineSpec, HASWELL_2650V3};
 use simproc::SimProcessor;
+use std::collections::BTreeMap;
 use tasking::{Region, WorkSharingScheduler};
 
 // The per-node frequency policy and the controllers it builds live in
@@ -41,10 +42,23 @@ pub struct Cluster {
 impl Cluster {
     /// Build `n_nodes` Haswell nodes under `policy`.
     pub fn new(n_nodes: usize, policy: NodePolicy, comm: CommModel) -> Self {
+        Self::with_spec(n_nodes, &HASWELL_2650V3, policy, comm)
+    }
+
+    /// Build `n_nodes` nodes of an arbitrary machine under `policy` —
+    /// the per-cell constructor the scenario-grid runner uses: one
+    /// `(MachineSpec, NodePolicy, node count)` triple fully describes
+    /// the cluster, so cells can be built from declarative specs.
+    pub fn with_spec(
+        n_nodes: usize,
+        spec: &MachineSpec,
+        policy: NodePolicy,
+        comm: CommModel,
+    ) -> Self {
         assert!(n_nodes > 0);
         let nodes = (0..n_nodes)
             .map(|_| {
-                let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+                let mut proc = SimProcessor::new(spec.clone());
                 let ctrl = policy.build(&mut proc);
                 Node {
                     proc,
@@ -69,16 +83,112 @@ impl Cluster {
         self.nodes.iter().map(|n| n.ctrl.report()).collect()
     }
 
+    /// Per-node resolved-optimum fractions, through the same
+    /// [`FrequencyController::resolved_fractions`] path single-node
+    /// consumers use (keeps the definition canonical if it ever gains
+    /// e.g. occurrence weighting).
+    pub fn resolved_fractions(&self) -> Vec<(f64, f64)> {
+        self.nodes
+            .iter()
+            .map(|n| n.ctrl.resolved_fractions())
+            .collect()
+    }
+
+    /// Per-operating-point residency summed over all nodes, keyed by
+    /// `(core, uncore)` deci-GHz.
+    pub fn residency(&self) -> BTreeMap<(u32, u32), u64> {
+        let mut merged: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        for node in &self.nodes {
+            for (&point, &ns) in node.proc.frequency_residency() {
+                *merged.entry(point).or_default() += ns;
+            }
+        }
+        merged
+    }
+
     fn step_node(node: &mut Node, wl: &mut dyn Workload) {
         node.proc.step(wl);
         node.ctrl.on_quantum(&mut node.proc);
+    }
+
+    /// Barrier phase: early finishers idle until the slowest node
+    /// arrives (no slack reclamation: §4.6's limitation). Returns the
+    /// total wait charged.
+    fn barrier(&mut self, finish_ns: &[u64]) -> f64 {
+        let barrier_ns = *finish_ns.iter().max().expect("nodes exist");
+        let mut barrier_wait_s = 0.0;
+        for (node, &t) in self.nodes.iter_mut().zip(finish_ns) {
+            let mut wait = barrier_ns.saturating_sub(t);
+            barrier_wait_s += wait as f64 * 1e-9;
+            while wait > 0 {
+                Self::step_node(node, &mut Idle);
+                wait = wait.saturating_sub(node.proc.spec().quantum_ns);
+            }
+        }
+        barrier_wait_s
+    }
+
+    /// Exchange phase: all nodes busy-idle on the NIC for one α–β
+    /// exchange window.
+    fn exchange(&mut self) {
+        let quantum_s = self.nodes[0].proc.spec().quantum_ns as f64 * 1e-9;
+        let comm_quanta = (self.comm.exchange_seconds() / quantum_s).ceil() as u64;
+        for node in self.nodes.iter_mut() {
+            for _ in 0..comm_quanta {
+                Self::step_node(node, &mut Idle);
+            }
+        }
+    }
+
+    fn outcome(&self, barrier_wait_s: f64) -> BspOutcome {
+        let node_joules: Vec<f64> = self
+            .nodes
+            .iter()
+            .map(|n| n.proc.total_energy_joules())
+            .collect();
+        let seconds = self
+            .nodes
+            .iter()
+            .map(|n| n.proc.now_seconds())
+            .fold(0.0, f64::max);
+        BspOutcome {
+            seconds,
+            joules: node_joules.iter().sum(),
+            instructions: self.nodes.iter().map(|n| n.proc.total_instructions()).sum(),
+            node_busy_s: self.nodes.iter().map(|n| n.busy_s).collect(),
+            node_joules,
+            barrier_wait_s,
+        }
+    }
+
+    /// Run one independent workload per node — the scenario-grid shape
+    /// "the same benchmark replicated over N nodes": each node executes
+    /// `make(node, n_cores)` to completion at its own pace, then all
+    /// nodes synchronize at a final barrier and pay one exchange.
+    pub fn run_replicated<F>(&mut self, mut make: F) -> BspOutcome
+    where
+        F: FnMut(usize, usize) -> Box<dyn Workload>,
+    {
+        let mut finish_ns: Vec<u64> = Vec::with_capacity(self.nodes.len());
+        for (idx, node) in self.nodes.iter_mut().enumerate() {
+            let mut wl = make(idx, node.proc.n_cores());
+            let t0 = node.proc.now_ns();
+            while !node.proc.workload_drained(wl.as_mut()) {
+                Self::step_node(node, wl.as_mut());
+            }
+            let t1 = node.proc.now_ns();
+            node.busy_s += (t1 - t0) as f64 * 1e-9;
+            finish_ns.push(t1);
+        }
+        let barrier_wait_s = self.barrier(&finish_ns);
+        self.exchange();
+        self.outcome(barrier_wait_s)
     }
 
     /// Execute the app to completion; nodes run their local regions
     /// work-sharing, synchronize each superstep, then pay the exchange.
     pub fn run(&mut self, app: &BspApp) -> BspOutcome {
         assert_eq!(app.n_nodes(), self.nodes.len(), "app/cluster size mismatch");
-        let quantum_s = self.nodes[0].proc.spec().quantum_ns as f64 * 1e-9;
         let mut barrier_wait_s = 0.0;
 
         for step in &app.steps {
@@ -97,44 +207,12 @@ impl Cluster {
                 finish_ns.push(t1);
             }
 
-            // Phase 2: barrier — early finishers idle until the slowest
-            // node arrives (no slack reclamation: §4.6's limitation).
-            let barrier_ns = *finish_ns.iter().max().expect("nodes exist");
-            for (node, &t) in self.nodes.iter_mut().zip(&finish_ns) {
-                let mut wait = barrier_ns.saturating_sub(t);
-                barrier_wait_s += wait as f64 * 1e-9;
-                while wait > 0 {
-                    Self::step_node(node, &mut Idle);
-                    wait = wait.saturating_sub(node.proc.spec().quantum_ns);
-                }
-            }
-
-            // Phase 3: the exchange — all nodes busy-idle on the NIC.
-            let comm_quanta = (self.comm.exchange_seconds() / quantum_s).ceil() as u64;
-            for node in self.nodes.iter_mut() {
-                for _ in 0..comm_quanta {
-                    Self::step_node(node, &mut Idle);
-                }
-            }
+            // Phases 2–3: barrier, then the exchange.
+            barrier_wait_s += self.barrier(&finish_ns);
+            self.exchange();
         }
 
-        let node_joules: Vec<f64> = self
-            .nodes
-            .iter()
-            .map(|n| n.proc.total_energy_joules())
-            .collect();
-        let seconds = self
-            .nodes
-            .iter()
-            .map(|n| n.proc.now_seconds())
-            .fold(0.0, f64::max);
-        BspOutcome {
-            seconds,
-            joules: node_joules.iter().sum(),
-            node_busy_s: self.nodes.iter().map(|n| n.busy_s).collect(),
-            node_joules,
-            barrier_wait_s,
-        }
+        self.outcome(barrier_wait_s)
     }
 }
 

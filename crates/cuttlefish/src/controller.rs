@@ -14,6 +14,7 @@ use crate::daemon::NodeReport;
 use crate::driver::CuttlefishDriver;
 use crate::tipi::TipiSlab;
 use crate::Config;
+use serde::{Deserialize, Serialize};
 use simproc::freq::Freq;
 use simproc::governor::DefaultGovernor;
 use simproc::SimProcessor;
@@ -164,7 +165,12 @@ impl FrequencyController for Pinned {
 
 /// Frequency policy for a node — the factory input shared by the
 /// evaluation harness, the cluster simulator, and the examples.
-#[derive(Debug, Clone)]
+///
+/// The policy is plain data (`Clone + PartialEq`, serde-ready): the
+/// grid runner in `bench::grid` embeds it in per-cell scenario
+/// descriptors that cross thread boundaries and round-trip through
+/// JSON artifacts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum NodePolicy {
     /// `performance` governor + firmware Auto uncore.
     Default,

@@ -104,7 +104,7 @@ impl Policy {
 }
 
 /// Runtime configuration (paper defaults).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Config {
     /// Profiling interval. 20 ms default (§5.4 picks it as the best
     /// trade-off; RAPL refreshes every 1 ms on Haswell).

@@ -134,7 +134,7 @@ impl FreqDomain {
 }
 
 /// Static description of a simulated machine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MachineSpec {
     /// Human-readable model name.
     pub name: String,
