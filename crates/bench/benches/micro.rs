@@ -164,9 +164,45 @@ fn bench_grid_cell(c: &mut Criterion) {
         nodes: 1,
         rep: 0,
         trace: false,
+        machines: None,
+        bsp: None,
     };
     c.bench_function("grid_cell_uts_tiny", |b| {
         b.iter(|| black_box(run_cell(&HASWELL_2650V3, uts, &cell)))
+    });
+}
+
+fn bench_advance_idle(c: &mut Criterion) {
+    struct Never;
+    impl Workload for Never {
+        fn next_chunk(&mut self, _: usize, _: u64) -> Option<Chunk> {
+            None
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+        fn next_wake_ns(&self, _: u64) -> Option<u64> {
+            None
+        }
+    }
+    // The cluster-barrier hot path before and after the virtual-clock
+    // layer: 1000 idle quanta stepped one by one vs one analytic
+    // advance (numerically identical by construction).
+    c.bench_function("idle_1k_quanta_stepped", |b| {
+        let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+        b.iter(|| {
+            for _ in 0..1000 {
+                p.step(&mut Never);
+            }
+            black_box(p.now_ns())
+        });
+    });
+    c.bench_function("idle_1k_quanta_advanced", |b| {
+        let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+        b.iter(|| {
+            p.advance_idle_quanta(1000);
+            black_box(p.now_ns())
+        });
     });
 }
 
@@ -177,6 +213,7 @@ criterion_group!(
     bench_tipi_list,
     bench_engine,
     bench_scheduler,
-    bench_grid_cell
+    bench_grid_cell,
+    bench_advance_idle
 );
 criterion_main!(benches);

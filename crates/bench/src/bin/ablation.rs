@@ -111,8 +111,8 @@ fn main() {
         spec.cells().len(),
         args.shards
     );
-    let result = spec.run(args.shards);
-    args.finish(&result);
+    let (result, timing) = spec.run_timed(args.shards);
+    args.finish_timed(&result, &timing);
 
     render_part1(&result);
     render_dvfs_vs_ddcm();

@@ -1,0 +1,348 @@
+//! Trajectory diff: compare two `BENCH_smoke.json` aggregate points
+//! with per-metric tolerance bands, exiting nonzero on out-of-band
+//! drift.
+//!
+//! Two modes share one comparison core:
+//!
+//! * default (tolerance) mode — per grid, `cells` and `scale` must
+//!   match exactly, `virtual_seconds` and `joules` may drift within
+//!   `--rel` percent, and the geomean energy saving within
+//!   `--abs-saving` percentage points. The informational CI stage runs
+//!   this against the committed baseline so a reviewer sees *how far*
+//!   a change moved the trajectory, not just that it moved.
+//! * `--exact` — the byte-level drift gate: the `grids` sections must
+//!   serialize identically. The run-dependent `meta` section
+//!   (wall-clock, stepping counters) is ignored in both modes — that
+//!   is what makes it safe to record timing in the committed artifact.
+//!
+//! Usage: `bench_diff [--exact] [--rel PCT] [--abs-saving PT]
+//!         <baseline.json> <candidate.json>`
+//!
+//! Exit codes: 0 in-band, 1 out-of-band drift, 2 usage/IO error.
+
+use bench::json::Json;
+
+struct Tolerance {
+    exact: bool,
+    /// Relative band for virtual_seconds and joules, percent.
+    rel_pct: f64,
+    /// Absolute band for the geomean saving, percentage points.
+    abs_saving_pt: f64,
+}
+
+fn main() {
+    let mut tol = Tolerance {
+        exact: false,
+        rel_pct: 1.0,
+        abs_saving_pt: 1.0,
+    };
+    let mut paths = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--exact" => tol.exact = true,
+            "--rel" => tol.rel_pct = num_arg(&mut args, "--rel"),
+            "--abs-saving" => tol.abs_saving_pt = num_arg(&mut args, "--abs-saving"),
+            "--help" | "-h" => {
+                println!(
+                    "bench_diff [--exact] [--rel PCT] [--abs-saving PT] \
+                     <baseline.json> <candidate.json>"
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => usage_err(&format!("unknown flag `{other}`")),
+            _ => paths.push(arg),
+        }
+    }
+    if paths.len() != 2 {
+        usage_err("expected exactly two aggregate files");
+    }
+    let base = load(&paths[0]);
+    let cand = load(&paths[1]);
+
+    let drifted = diff(&base, &cand, &tol);
+    if drifted {
+        eprintln!(
+            "bench_diff: trajectory drifted out of band ({} vs {})",
+            paths[0], paths[1]
+        );
+        std::process::exit(1);
+    }
+    eprintln!("bench_diff: {} and {} are in-band", paths[0], paths[1]);
+}
+
+fn num_arg(args: &mut impl Iterator<Item = String>, flag: &str) -> f64 {
+    args.next()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v >= 0.0)
+        .unwrap_or_else(|| usage_err(&format!("{flag} needs a non-negative number")))
+}
+
+fn usage_err(msg: &str) -> ! {
+    eprintln!("error: {msg} (see bench_diff --help)");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let j = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    });
+    let schema = j.field("schema").and_then(Json::as_str).unwrap_or_default();
+    if schema != "cuttlefish/bench-smoke/v1" {
+        eprintln!("error: {path}: unsupported aggregate schema `{schema}`");
+        std::process::exit(2);
+    }
+    j
+}
+
+/// Compare the gated (`grids`) sections; returns true on out-of-band
+/// drift. Prints one line per compared grid either way.
+fn diff(base: &Json, cand: &Json, tol: &Tolerance) -> bool {
+    let (base_grids, cand_grids) = match (grids(base), grids(cand)) {
+        (Some(b), Some(c)) => (b, c),
+        _ => {
+            eprintln!("error: aggregate without a `grids` array");
+            std::process::exit(2);
+        }
+    };
+    if tol.exact {
+        // Byte-level gate on the canonical serialization of `grids`
+        // (insertion order and number formatting are deterministic).
+        let b = Json::Arr(base_grids.to_vec()).to_pretty();
+        let c = Json::Arr(cand_grids.to_vec()).to_pretty();
+        if b == c {
+            eprintln!("exact: {} grids byte-identical", base_grids.len());
+            return false;
+        }
+        eprintln!("exact: grids sections differ");
+    }
+
+    let mut drifted = tol.exact; // in exact mode only identity passes
+    let name = |g: &Json| {
+        g.field("grid")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let cand_names: Vec<String> = cand_grids.iter().map(&name).collect();
+    for g in base_grids {
+        if !cand_names.contains(&name(g)) {
+            eprintln!("  {}: removed", name(g));
+            drifted = true;
+        }
+    }
+    for g in cand_grids {
+        let gname = name(g);
+        let Some(b) = base_grids.iter().find(|b| name(b) == gname) else {
+            eprintln!("  {gname}: new grid (no baseline)");
+            drifted = true;
+            continue;
+        };
+        drifted |= diff_grid(&gname, b, g, tol);
+    }
+    drifted
+}
+
+fn grids(j: &Json) -> Option<&[Json]> {
+    j.get("grids").and_then(|g| g.as_arr().ok())
+}
+
+fn num(g: &Json, key: &str) -> Option<f64> {
+    match g.get(key) {
+        Some(Json::Num(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+fn diff_grid(gname: &str, base: &Json, cand: &Json, tol: &Tolerance) -> bool {
+    let mut out_of_band = false;
+    let mut parts = Vec::new();
+
+    for key in ["cells", "scale"] {
+        let (b, c) = (num(base, key), num(cand, key));
+        if b != c {
+            parts.push(format!(
+                "{key} {}→{} (must match)",
+                fmt(b.unwrap_or(f64::NAN)),
+                fmt(c.unwrap_or(f64::NAN))
+            ));
+            out_of_band = true;
+        }
+    }
+    for key in ["virtual_seconds", "joules"] {
+        if let (Some(b), Some(c)) = (num(base, key), num(cand, key)) {
+            let rel = if b == 0.0 {
+                if c == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                ((c - b) / b).abs() * 100.0
+            };
+            if rel > tol.rel_pct {
+                parts.push(format!(
+                    "{key} {:+.3}% (band ±{}%)",
+                    (c - b) / b * 100.0,
+                    tol.rel_pct
+                ));
+                out_of_band = true;
+            }
+        }
+    }
+    let (bs, cs) = (
+        num(base, "geomean_energy_saving_pct"),
+        num(cand, "geomean_energy_saving_pct"),
+    );
+    match (bs, cs) {
+        (Some(b), Some(c)) if (c - b).abs() > tol.abs_saving_pt => {
+            parts.push(format!(
+                "saving {:+.2}pt (band ±{}pt)",
+                c - b,
+                tol.abs_saving_pt
+            ));
+            out_of_band = true;
+        }
+        (Some(_), None) | (None, Some(_)) => {
+            parts.push("saving appeared/disappeared".to_string());
+            out_of_band = true;
+        }
+        _ => {}
+    }
+
+    if parts.is_empty() {
+        eprintln!("  {gname}: in-band");
+    } else {
+        eprintln!("  {gname}: {}", parts.join(", "));
+    }
+    out_of_band
+}
+
+fn fmt(v: f64) -> String {
+    if v.fract() == 0.0 && v.is_finite() {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(name: &str, cells: f64, secs: f64, joules: f64, saving: Option<f64>) -> Json {
+        Json::Obj(vec![
+            ("grid".into(), Json::Str(name.into())),
+            ("scale".into(), Json::Num(0.05)),
+            ("cells".into(), Json::Num(cells)),
+            ("virtual_seconds".into(), Json::Num(secs)),
+            ("joules".into(), Json::Num(joules)),
+            (
+                "geomean_energy_saving_pct".into(),
+                saving.map_or(Json::Null, Json::Num),
+            ),
+        ])
+    }
+
+    fn aggregate(grids: Vec<Json>) -> Json {
+        Json::Obj(vec![
+            (
+                "schema".into(),
+                Json::Str("cuttlefish/bench-smoke/v1".into()),
+            ),
+            ("grids".into(), Json::Arr(grids)),
+        ])
+    }
+
+    fn tol() -> Tolerance {
+        Tolerance {
+            exact: false,
+            rel_pct: 1.0,
+            abs_saving_pt: 1.0,
+        }
+    }
+
+    #[test]
+    fn identical_points_are_in_band() {
+        let a = aggregate(vec![grid("fig10", 12.0, 43.2, 3234.0, Some(-2.8))]);
+        assert!(!diff(&a, &a, &tol()));
+        assert!(!diff(
+            &a,
+            &a,
+            &Tolerance {
+                exact: true,
+                ..tol()
+            }
+        ));
+    }
+
+    #[test]
+    fn small_drift_is_in_band_large_is_not() {
+        let a = aggregate(vec![grid("fig10", 12.0, 100.0, 1000.0, Some(10.0))]);
+        let close = aggregate(vec![grid("fig10", 12.0, 100.5, 1004.0, Some(10.5))]);
+        assert!(!diff(&a, &close, &tol()));
+        let far = aggregate(vec![grid("fig10", 12.0, 103.0, 1000.0, Some(10.0))]);
+        assert!(diff(&a, &far, &tol()));
+        let saving_jump = aggregate(vec![grid("fig10", 12.0, 100.0, 1000.0, Some(12.0))]);
+        assert!(diff(&a, &saving_jump, &tol()));
+    }
+
+    #[test]
+    fn cell_count_changes_always_drift() {
+        let a = aggregate(vec![grid("fig10", 12.0, 100.0, 1000.0, None)]);
+        let b = aggregate(vec![grid("fig10", 14.0, 100.0, 1000.0, None)]);
+        assert!(diff(&a, &b, &tol()));
+    }
+
+    #[test]
+    fn added_and_removed_grids_drift() {
+        let a = aggregate(vec![grid("fig10", 12.0, 100.0, 1000.0, None)]);
+        let b = aggregate(vec![
+            grid("fig10", 12.0, 100.0, 1000.0, None),
+            grid("fig12", 1.0, 1.0, 1.0, None),
+        ]);
+        assert!(diff(&a, &b, &tol()));
+        assert!(diff(&b, &a, &tol()));
+    }
+
+    #[test]
+    fn exact_mode_rejects_any_numeric_drift() {
+        let a = aggregate(vec![grid("fig10", 12.0, 100.0, 1000.0, None)]);
+        let b = aggregate(vec![grid("fig10", 12.0, 100.0000001, 1000.0, None)]);
+        assert!(diff(
+            &a,
+            &b,
+            &Tolerance {
+                exact: true,
+                ..tol()
+            }
+        ));
+        assert!(!diff(&a, &b, &tol()), "but it is inside the 1% band");
+    }
+
+    #[test]
+    fn meta_section_is_ignored() {
+        let g = vec![grid("fig10", 12.0, 100.0, 1000.0, None)];
+        let a = aggregate(g.clone());
+        let mut with_meta = aggregate(g);
+        if let Json::Obj(fields) = &mut with_meta {
+            fields.push((
+                "meta".into(),
+                Json::Obj(vec![("timing".into(), Json::Arr(vec![]))]),
+            ));
+        }
+        assert!(!diff(
+            &a,
+            &with_meta,
+            &Tolerance {
+                exact: true,
+                ..tol()
+            }
+        ));
+    }
+}

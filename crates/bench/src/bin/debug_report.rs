@@ -39,8 +39,8 @@ fn spec(args: &GridArgs) -> GridSpec {
 fn main() {
     let args = GridArgs::parse(USAGE);
     let spec = spec(&args);
-    let result = spec.run(args.shards);
-    args.finish(&result);
+    let (result, timing) = spec.run_timed(args.shards);
+    args.finish_timed(&result, &timing);
     render(&result);
 }
 

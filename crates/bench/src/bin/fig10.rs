@@ -12,8 +12,12 @@
 //! (`CUTTLEFISH_SCALE` scales run length; 1.0 = paper-length runs.)
 
 use bench::cli::GridArgs;
-use bench::grid::{compare_to_baseline, geomean_by_setup, paper_setups, GridResult, GridSpec};
-use bench::render_table;
+use bench::grid::{
+    compare_to_baseline, geomean_by_setup, paper_setups, BspCell, CellSpec, GridResult, GridSpec,
+};
+use bench::{render_table, Setup};
+use cuttlefish::{Config, Policy};
+use workloads::ProgModel;
 
 const USAGE: &str = "fig10 [--smoke] [--shards N] [--json PATH]";
 
@@ -22,6 +26,54 @@ fn spec(args: &GridArgs) -> GridSpec {
     spec.setups = paper_setups();
     if args.smoke {
         spec.benchmarks = vec!["UTS".into(), "SOR-ws".into(), "Heat-irt".into()];
+        // Two MPI+X-style cells: the same benchmark replicated over two
+        // nodes with per-node controllers, synchronizing at the final
+        // barrier (§4.6). Labeled apart from the single-node axis so
+        // the panel comparisons stay single-node-vs-single-node.
+        for (label, setup) in [
+            ("Default-2node", Setup::Default),
+            ("Cuttlefish-2node", Setup::Cuttlefish(Policy::Both)),
+        ] {
+            spec.extra.push(CellSpec {
+                bench: "UTS".into(),
+                model: ProgModel::OpenMp,
+                label: label.into(),
+                setup,
+                config: Config::default(),
+                nodes: 2,
+                rep: 0,
+                trace: false,
+                machines: None,
+                bsp: None,
+            });
+        }
+        // Strong-scaled bulk-synchronous cells: Heat-ws sliced into 96
+        // supersteps over four nodes, each superstep ending in a
+        // barrier plus a 100 ms collective window (1.2 GB at the α–β
+        // defaults). Wall-clock here is dominated by barrier/exchange
+        // idling — the §4.6 regime the virtual-clock engine
+        // fast-forwards (no single-node baseline: these cells exist
+        // for the cluster shape, not the Figure 10 panels).
+        for (label, setup) in [
+            ("Default-mpi", Setup::Default),
+            ("Cuttlefish-mpi", Setup::Cuttlefish(Policy::Both)),
+        ] {
+            spec.extra.push(CellSpec {
+                bench: "Heat-ws".into(),
+                model: ProgModel::OpenMp,
+                label: label.into(),
+                setup,
+                config: Config::default(),
+                nodes: 4,
+                rep: 0,
+                trace: false,
+                machines: None,
+                bsp: Some(BspCell {
+                    supersteps: 96,
+                    comm_bytes: 1.2e9,
+                }),
+            });
+        }
     } else {
         spec.use_full_suite();
     }
@@ -37,8 +89,8 @@ fn main() {
         spec.cells().len(),
         args.shards
     );
-    let result = spec.run(args.shards);
-    args.finish(&result);
+    let (result, timing) = spec.run_timed(args.shards);
+    args.finish_timed(&result, &timing);
     render(&result);
 }
 

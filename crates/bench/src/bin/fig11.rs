@@ -10,8 +10,11 @@
 //!         [--smoke] [--shards N] [--json PATH]`
 
 use bench::cli::GridArgs;
-use bench::grid::{compare_to_baseline, geomean_by_setup, paper_setups, GridResult, GridSpec};
-use bench::render_table;
+use bench::grid::{
+    compare_to_baseline, geomean_by_setup, paper_setups, BspCell, CellSpec, GridResult, GridSpec,
+};
+use bench::{render_table, Setup};
+use cuttlefish::{Config, Policy};
 use workloads::ProgModel;
 
 const USAGE: &str = "fig11 [--smoke] [--shards N] [--json PATH]";
@@ -22,6 +25,39 @@ fn spec(args: &GridArgs) -> GridSpec {
     spec.setups = paper_setups();
     if args.smoke {
         spec.benchmarks = vec!["SOR-irt".into(), "Heat-ws".into()];
+        // One MPI+HClib cell (two work-stealing nodes, final barrier):
+        // the §5.2 obliviousness claim extended to the §4.6 MPI+X shape.
+        spec.extra.push(CellSpec {
+            bench: "Heat-ws".into(),
+            model: ProgModel::HClib,
+            label: "Cuttlefish-2node".into(),
+            setup: Setup::Cuttlefish(Policy::Both),
+            config: Config::default(),
+            nodes: 2,
+            rep: 0,
+            trace: false,
+            machines: None,
+            bsp: None,
+        });
+        // And the barrier-window-dominated bulk-synchronous shape
+        // (per-superstep barrier + 100 ms collective), matching the
+        // fig10 MPI cells so the obliviousness comparison extends to
+        // the cluster path.
+        spec.extra.push(CellSpec {
+            bench: "Heat-ws".into(),
+            model: ProgModel::HClib,
+            label: "Cuttlefish-mpi".into(),
+            setup: Setup::Cuttlefish(Policy::Both),
+            config: Config::default(),
+            nodes: 4,
+            rep: 0,
+            trace: false,
+            machines: None,
+            bsp: Some(BspCell {
+                supersteps: 96,
+                comm_bytes: 1.2e9,
+            }),
+        });
     } else {
         spec.use_full_suite();
     }
@@ -37,8 +73,8 @@ fn main() {
         spec.cells().len(),
         args.shards
     );
-    let result = spec.run(args.shards);
-    args.finish(&result);
+    let (result, timing) = spec.run_timed(args.shards);
+    args.finish_timed(&result, &timing);
     render(&result);
 }
 

@@ -9,6 +9,13 @@
 //! seconds, joules, and — where the grid carries a Default baseline
 //! and a Cuttlefish setup — the geomean energy saving).
 //!
+//! When a `<artifact>.timing` sidecar (written by the bins'
+//! `--json` path) sits next to an input, its per-bin wall-clock and
+//! stepping counters are folded into a top-level `meta.timing`
+//! section. `meta` is machine- and run-dependent by nature, so the
+//! trajectory drift gate (`bench_diff --exact`) ignores it; only the
+//! `grids` section carries gated content.
+//!
 //! Usage: `grid_aggregate --out BENCH_smoke.json <artifact.json>...`
 //!
 //! This is a pipeline tool, not one of the figure/table bins; it runs
@@ -49,6 +56,7 @@ fn main() {
     inputs.sort();
 
     let mut grids = Vec::new();
+    let mut timings = Vec::new();
     for path in &inputs {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("error: cannot read {path}: {e}");
@@ -64,20 +72,67 @@ fn main() {
             result.cells.len()
         );
         grids.push(summarize(&result));
+        if let Some(t) = read_timing_sidecar(path) {
+            timings.push(t);
+        }
     }
 
-    let aggregate = Json::Obj(vec![
+    let mut fields = vec![
         (
-            "schema".into(),
+            "schema".to_string(),
             Json::Str("cuttlefish/bench-smoke/v1".into()),
         ),
-        ("grids".into(), Json::Arr(grids)),
-    ]);
+        ("grids".to_string(), Json::Arr(grids)),
+    ];
+    if !timings.is_empty() {
+        // Run-dependent metadata: excluded from the drift gate.
+        fields.push((
+            "meta".to_string(),
+            Json::Obj(vec![("timing".into(), Json::Arr(timings))]),
+        ));
+    }
+    let aggregate = Json::Obj(fields);
     if let Err(e) = std::fs::write(&out_path, aggregate.to_pretty()) {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
     }
     eprintln!("wrote aggregate of {} grids to {out_path}", inputs.len());
+}
+
+/// Pick up `<artifact>.timing` if the bin wrote one: re-emit the
+/// per-bin wall-clock and stepping counters (and the fast-forward
+/// ratio the virtual-clock engine achieved) for `meta.timing`.
+fn read_timing_sidecar(artifact_path: &str) -> Option<Json> {
+    let text = std::fs::read_to_string(format!("{artifact_path}.timing")).ok()?;
+    let j = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: {artifact_path}.timing is unreadable: {e}");
+            std::process::exit(1);
+        }
+    };
+    let schema = j.field("schema").and_then(Json::as_str).unwrap_or_default();
+    if schema != bench::grid::TIMING_SCHEMA {
+        eprintln!(
+            "error: {artifact_path}.timing: unsupported timing schema `{schema}` \
+             (expected `{}`)",
+            bench::grid::TIMING_SCHEMA
+        );
+        std::process::exit(1);
+    }
+    let field = |k: &str| {
+        j.field(k).cloned().unwrap_or_else(|e| {
+            eprintln!("error: {artifact_path}.timing: {e}");
+            std::process::exit(1);
+        })
+    };
+    Some(Json::Obj(vec![
+        ("grid".into(), field("grid")),
+        ("wall_ms".into(), field("wall_ms")),
+        ("stepped_quanta".into(), field("stepped_quanta")),
+        ("total_quanta".into(), field("total_quanta")),
+        ("fast_forward".into(), field("fast_forward")),
+    ]))
 }
 
 /// One trajectory line per grid: deterministic paper metrics only (no

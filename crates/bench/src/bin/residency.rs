@@ -11,9 +11,11 @@
 //!         [--smoke] [--shards N] [--json PATH]`
 
 use bench::cli::GridArgs;
-use bench::grid::{GridResult, GridSetup, GridSpec};
+use bench::grid::{straggler_spec, BspCell, CellSpec, GridResult, GridSetup, GridSpec};
 use bench::{render_table, Setup};
-use cuttlefish::Policy;
+use cuttlefish::{Config, Policy};
+use simproc::freq::HASWELL_2650V3;
+use workloads::ProgModel;
 
 const USAGE: &str = "residency [--smoke] [--shards N] [--json PATH]";
 
@@ -25,6 +27,29 @@ fn spec(args: &GridArgs) -> GridSpec {
     )];
     if args.smoke {
         spec.benchmarks = vec!["UTS".into(), "Heat-irt".into(), "MiniFE".into()];
+        // The §4.6 straggler shape with slow *hardware*: three paper
+        // nodes plus one de-rated node per heterogeneous spec, running
+        // a bulk-synchronous Heat decomposition. Every superstep the
+        // fast nodes idle to the straggler's barrier — the path the
+        // virtual-clock engine fast-forwards; each node's own daemon
+        // still tunes its own package.
+        let mut machines = vec![HASWELL_2650V3.clone(); 3];
+        machines.push(straggler_spec());
+        spec.extra.push(CellSpec {
+            bench: "Heat-ws".into(),
+            model: ProgModel::OpenMp,
+            label: "Cuttlefish-straggler".into(),
+            setup: Setup::Cuttlefish(Policy::Both),
+            config: Config::default(),
+            nodes: 4,
+            rep: 0,
+            trace: false,
+            machines: Some(machines),
+            bsp: Some(BspCell {
+                supersteps: 96,
+                comm_bytes: 240.0e6,
+            }),
+        });
     } else {
         spec.use_full_suite();
     }
@@ -40,8 +65,8 @@ fn main() {
         spec.cells().len(),
         args.shards
     );
-    let result = spec.run(args.shards);
-    args.finish(&result);
+    let (result, timing) = spec.run_timed(args.shards);
+    args.finish_timed(&result, &timing);
     render(&result);
 }
 

@@ -10,7 +10,8 @@
 //!
 //! Bin-specific flags (`--csv`, positionals) pass through untouched.
 
-use crate::grid::GridResult;
+use crate::grid::{GridResult, GridTiming};
+use crate::json::ToJson;
 
 /// Scale every `--smoke` grid runs at: small enough for PR-time CI,
 /// large enough that daemons resolve optima on the short benchmarks.
@@ -124,6 +125,26 @@ impl GridArgs {
                 result.cells.len(),
                 path.display()
             );
+        }
+    }
+
+    /// [`finish`](GridArgs::finish), plus the run's timing: prints the
+    /// before/after stepping-rate line (under the pure quantum loop
+    /// every virtual quantum was an engine step; the line shows how
+    /// many still are) and, next to a `--json` artifact, writes a
+    /// `<artifact>.timing` sidecar the aggregate step folds into
+    /// `BENCH_smoke.json` metadata. Timing never enters the artifact
+    /// itself — those bytes stay deterministic.
+    pub fn finish_timed(&self, result: &GridResult, timing: &GridTiming) {
+        self.finish(result);
+        eprintln!("{}", timing.stepping_summary());
+        if let Some(path) = &self.json {
+            let mut sidecar = path.as_os_str().to_owned();
+            sidecar.push(".timing");
+            let sidecar = std::path::PathBuf::from(sidecar);
+            if let Err(e) = std::fs::write(&sidecar, timing.to_json().to_pretty()) {
+                die_io(&sidecar, &e);
+            }
         }
     }
 }

@@ -22,9 +22,10 @@ use cluster::{Cluster, CommModel};
 use crossbeam::deque::{Injector, Steal};
 use cuttlefish::{Config, Policy};
 use serde::{Deserialize, Serialize};
-use simproc::freq::{Freq, MachineSpec, HASWELL_2650V3};
+use simproc::freq::{Freq, FreqDomain, MachineSpec, HASWELL_2650V3};
 use std::sync::Mutex;
-use workloads::{hclib_suite, openmp_suite, Benchmark, ProgModel, Scale};
+use std::time::Instant;
+use workloads::{hclib_suite, openmp_suite, Benchmark, BuiltWorkload, ProgModel, Scale};
 
 /// Artifact format tag embedded in every serialized [`GridResult`].
 pub const SCHEMA: &str = "cuttlefish/grid-result/v1";
@@ -91,6 +92,11 @@ pub struct GridSpec {
     pub node_counts: Vec<usize>,
     /// Repetitions per cell (distinct instantiation seeds).
     pub reps: u32,
+    /// Hand-built cells appended after the cartesian enumeration —
+    /// shapes the axes cannot express, like heterogeneous straggler
+    /// clusters (`CellSpec::machines`). Benchmarks must still resolve
+    /// against this grid's suite.
+    pub extra: Vec<CellSpec>,
 }
 
 impl GridSpec {
@@ -106,6 +112,7 @@ impl GridSpec {
             setups: Vec::new(),
             node_counts: vec![1],
             reps: 1,
+            extra: Vec::new(),
         }
     }
 
@@ -122,7 +129,8 @@ impl GridSpec {
         }
     }
 
-    /// Enumerate the scenario cells in deterministic order.
+    /// Enumerate the scenario cells in deterministic order (the
+    /// cartesian axes, then any [`extra`](GridSpec::extra) cells).
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut cells = Vec::new();
         for bench in &self.benchmarks {
@@ -138,11 +146,14 @@ impl GridSpec {
                             nodes,
                             rep,
                             trace: setup.trace && nodes == 1,
+                            machines: None,
+                            bsp: None,
                         });
                     }
                 }
             }
         }
+        cells.extend(self.extra.iter().cloned());
         cells
     }
 
@@ -153,6 +164,16 @@ impl GridSpec {
     /// in enumeration order, making the aggregate — and its serialized
     /// bytes — independent of the shard count.
     pub fn run(&self, shards: usize) -> GridResult {
+        self.run_timed(shards).0
+    }
+
+    /// [`run`](GridSpec::run), additionally reporting per-cell
+    /// wall-clock and stepping counters. Timing lives *outside*
+    /// [`GridResult`] by design: the artifact's bytes stay deterministic
+    /// and shard-invariant, while the timing travels in the
+    /// `.timing` sidecar / `BENCH_smoke.json` metadata the drift gate
+    /// ignores.
+    pub fn run_timed(&self, shards: usize) -> (GridResult, GridTiming) {
         let suite = self.suite();
         let cells = self.cells();
         let defs: Vec<&Benchmark> = cells
@@ -172,9 +193,10 @@ impl GridSpec {
             queue.push(idx);
         }
         let workers = shards.clamp(1, cells.len().max(1));
-        let collected: Mutex<Vec<(usize, CellResult)>> =
+        let collected: Mutex<Vec<(usize, CellResult, CellTiming)>> =
             Mutex::new(Vec::with_capacity(cells.len()));
 
+        let wall = Instant::now();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -183,25 +205,35 @@ impl GridSpec {
                         Steal::Empty => break,
                         Steal::Retry => continue,
                     };
-                    let result = run_cell(&self.machine, defs[idx], &cells[idx]);
+                    let (result, timing) = run_cell_timed(&self.machine, defs[idx], &cells[idx]);
                     collected
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .push((idx, result));
+                        .push((idx, result, timing));
                 });
             }
         });
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
 
         let mut indexed = collected
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        indexed.sort_by_key(|&(idx, _)| idx);
-        GridResult {
-            grid: self.name.clone(),
-            scale: self.scale,
-            machine: self.machine.name.clone(),
-            cells: indexed.into_iter().map(|(_, r)| r).collect(),
-        }
+        indexed.sort_by_key(|&(idx, ..)| idx);
+        let (cells, timings): (Vec<CellResult>, Vec<CellTiming>) =
+            indexed.into_iter().map(|(_, r, t)| (r, t)).unzip();
+        (
+            GridResult {
+                grid: self.name.clone(),
+                scale: self.scale,
+                machine: self.machine.name.clone(),
+                cells,
+            },
+            GridTiming {
+                grid: self.name.clone(),
+                wall_ms,
+                cells: timings,
+            },
+        )
     }
 }
 
@@ -236,6 +268,31 @@ pub struct CellSpec {
     pub rep: u32,
     /// Whether the cell collects a trace.
     pub trace: bool,
+    /// Per-node machine overrides for heterogeneous clusters (length
+    /// must equal `nodes`; requires `nodes > 1`). `None` — the normal
+    /// case — runs every node on the grid's uniform machine, and the
+    /// serialized cell is byte-identical to the pre-heterogeneity
+    /// format (the key is omitted entirely).
+    pub machines: Option<Vec<MachineSpec>>,
+    /// Bulk-synchronous decomposition for multi-node cells. `None` —
+    /// the normal case, serialized with the key omitted — replicates
+    /// the whole benchmark on every node with one final barrier;
+    /// `Some` strong-scales the benchmark's chunks across the nodes in
+    /// superstep rounds, each ending in a barrier and an α–β exchange
+    /// (the paper's §4.6 MPI+X execution shape, whose wall-clock is
+    /// dominated by barrier/exchange windows).
+    pub bsp: Option<BspCell>,
+}
+
+/// Parameters of a strong-scaled BSP cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BspCell {
+    /// Superstep count the chunk stream is sliced into (chronological
+    /// slices, so warm-up-dependent chunk costs keep their order).
+    pub supersteps: u32,
+    /// Bytes exchanged per node per superstep (α and bandwidth keep
+    /// the [`CommModel`] defaults).
+    pub comm_bytes: f64,
 }
 
 impl CellSpec {
@@ -331,6 +388,90 @@ impl CellResult {
     }
 }
 
+/// Wall-clock and stepping counters for one executed cell. Kept apart
+/// from [`CellResult`]: timing is machine- and run-dependent, so it
+/// must never enter the deterministic artifact bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellTiming {
+    /// Host wall-clock the cell took, milliseconds.
+    pub wall_ms: f64,
+    /// Quanta the engine executed one step at a time (all nodes).
+    pub stepped_quanta: u64,
+    /// Total virtual quanta elapsed (all nodes); the gap to
+    /// `stepped_quanta` was fast-forwarded by the virtual-clock layer.
+    pub total_quanta: u64,
+}
+
+impl CellTiming {
+    /// Stepping-work reduction factor (≥ 1; 1 = nothing skipped).
+    pub fn fast_forward_factor(&self) -> f64 {
+        fast_forward_factor(self.stepped_quanta, self.total_quanta)
+    }
+}
+
+/// `total / stepped`, guarded against an all-skipped run — the one
+/// definition of the stepping-reduction ratio every consumer shares.
+fn fast_forward_factor(stepped: u64, total: u64) -> f64 {
+    total as f64 / stepped.max(1) as f64
+}
+
+/// Per-cell timings of one grid run, in cell-enumeration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridTiming {
+    /// The grid's name.
+    pub grid: String,
+    /// End-to-end wall-clock of the grid run, milliseconds.
+    pub wall_ms: f64,
+    /// Per-cell timings.
+    pub cells: Vec<CellTiming>,
+}
+
+impl GridTiming {
+    /// Quanta stepped individually, summed over cells.
+    pub fn stepped_quanta(&self) -> u64 {
+        self.cells.iter().map(|c| c.stepped_quanta).sum()
+    }
+
+    /// Total virtual quanta, summed over cells.
+    pub fn total_quanta(&self) -> u64 {
+        self.cells.iter().map(|c| c.total_quanta).sum()
+    }
+
+    /// Stepping-work reduction factor over the whole grid run.
+    pub fn fast_forward_factor(&self) -> f64 {
+        fast_forward_factor(self.stepped_quanta(), self.total_quanta())
+    }
+
+    /// One-line before/after stepping summary: under the pure quantum
+    /// loop every virtual quantum was an engine step; now only
+    /// `stepped` of them are.
+    pub fn stepping_summary(&self) -> String {
+        let stepped = self.stepped_quanta();
+        let total = self.total_quanta();
+        format!(
+            "{}: stepped {stepped} of {total} quanta ({:.2}x fast-forward), {:.1} ms wall, \
+             {:.2} Mquanta/s",
+            self.grid,
+            self.fast_forward_factor(),
+            self.wall_ms,
+            total as f64 / 1e3 / self.wall_ms.max(1e-9),
+        )
+    }
+}
+
+/// A de-rated straggler node for heterogeneous smoke cells: a quarter
+/// of the paper machine's cores with tighter frequency ceilings —
+/// the "one slow node" hardware of the §4.6 imbalance discussion.
+pub fn straggler_spec() -> MachineSpec {
+    MachineSpec {
+        name: "de-rated straggler (5 cores, 1.2-1.6/1.2-2.2 GHz)".to_string(),
+        n_cores: 5,
+        core: FreqDomain::new(Freq(12), Freq(16)),
+        uncore: FreqDomain::new(Freq(12), Freq(22)),
+        quantum_ns: HASWELL_2650V3.quantum_ns,
+    }
+}
+
 fn report_entries(report: &[cuttlefish::daemon::NodeReport]) -> Vec<ReportEntry> {
     report
         .iter()
@@ -348,12 +489,75 @@ fn report_entries(report: &[cuttlefish::daemon::NodeReport]) -> Vec<ReportEntry>
 /// Execute one cell. Public so overhead microbenchmarks and external
 /// drivers can measure exactly what the grid runner runs per cell.
 pub fn run_cell(machine: &MachineSpec, def: &Benchmark, cell: &CellSpec) -> CellResult {
+    run_cell_timed(machine, def, cell).0
+}
+
+/// [`run_cell`] plus its wall-clock and stepping counters.
+pub fn run_cell_timed(
+    machine: &MachineSpec,
+    def: &Benchmark,
+    cell: &CellSpec,
+) -> (CellResult, CellTiming) {
+    let wall = Instant::now();
+    let (result, stepped_quanta, total_quanta) = run_cell_inner(machine, def, cell);
+    (
+        result,
+        CellTiming {
+            wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+            stepped_quanta,
+            total_quanta,
+        },
+    )
+}
+
+/// Strong-scale a work-sharing benchmark into a bulk-synchronous app:
+/// the chunk stream is cut into `supersteps` chronological slices and
+/// each slice is dealt round-robin across the nodes, so every node
+/// computes `1/nodes` of each superstep, synchronizes at the barrier,
+/// and pays the exchange — the §4.6 MPI+X execution shape.
+fn bsp_app(
+    machine: &MachineSpec,
+    def: &Benchmark,
+    nodes: usize,
+    supersteps: u32,
+) -> cluster::BspApp {
+    let chunks = match def.build(machine.n_cores) {
+        BuiltWorkload::Regions(regions) => regions
+            .into_iter()
+            .flat_map(|r| r.into_chunks())
+            .collect::<Vec<_>>(),
+        BuiltWorkload::Dag(_) => panic!(
+            "BSP cells need a work-sharing benchmark (`{}` builds a task DAG)",
+            def.name
+        ),
+    };
+    let supersteps = (supersteps.max(1) as usize).min(chunks.len().max(1));
+    let per_step = chunks.len().div_ceil(supersteps);
+    let mut steps = vec![vec![Vec::new(); nodes]; supersteps];
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        let step = i / per_step;
+        steps[step][(i % per_step) % nodes].push(chunk);
+    }
+    cluster::BspApp { steps }
+}
+
+fn run_cell_inner(
+    machine: &MachineSpec,
+    def: &Benchmark,
+    cell: &CellSpec,
+) -> (CellResult, u64, u64) {
     assert!(cell.nodes > 0, "cell must have at least one node");
     assert!(
         !(cell.trace && cell.nodes > 1),
         "traces are only defined for single-node cells (GridSpec::cells \
          normalizes this; hand-built CellSpecs must too)"
     );
+    if let Some(machines) = &cell.machines {
+        assert!(
+            cell.nodes > 1 && machines.len() == cell.nodes,
+            "heterogeneous cells need one machine per node of a multi-node cell"
+        );
+    }
     if cell.nodes == 1 {
         let mut trace = Vec::new();
         let outcome = run_on(
@@ -365,7 +569,7 @@ pub fn run_cell(machine: &MachineSpec, def: &Benchmark, cell: &CellSpec) -> Cell
             cell.trace.then_some(&mut trace),
             cell.seed(),
         );
-        CellResult {
+        let cell_result = CellResult {
             spec: cell.clone(),
             seconds: outcome.seconds,
             joules: outcome.joules,
@@ -381,24 +585,46 @@ pub fn run_cell(machine: &MachineSpec, def: &Benchmark, cell: &CellSpec) -> Cell
             node_joules: vec![outcome.joules],
             barrier_wait_s: 0.0,
             trace,
-        }
+        };
+        (cell_result, outcome.stepped_quanta, outcome.total_quanta)
     } else {
         let policy = cell.setup.node_policy(cell.config.clone());
-        let mut cl = Cluster::with_spec(cell.nodes, machine, policy, CommModel::default());
-        let seed = cell.seed();
-        let outcome = cl.run_replicated(|node, n_cores| {
-            // Distinct per-node seeds (node 0 keeps the base seed, so a
-            // 1-node cluster instantiates exactly the single-node run).
-            def.instantiate(
-                cell.model,
-                n_cores,
-                seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            )
-        });
+        let comm = match &cell.bsp {
+            Some(bsp) => CommModel {
+                bytes: bsp.comm_bytes,
+                ..CommModel::default()
+            },
+            None => CommModel::default(),
+        };
+        let mut cl = match &cell.machines {
+            Some(machines) => Cluster::with_nodes(
+                machines
+                    .iter()
+                    .map(|m| (m.clone(), policy.clone()))
+                    .collect(),
+                comm,
+            ),
+            None => Cluster::with_spec(cell.nodes, machine, policy, comm),
+        };
+        let outcome = if let Some(bsp) = &cell.bsp {
+            cl.run(&bsp_app(machine, def, cell.nodes, bsp.supersteps))
+        } else {
+            let seed = cell.seed();
+            cl.run_replicated(|node, n_cores| {
+                // Distinct per-node seeds (node 0 keeps the base seed,
+                // so a 1-node cluster instantiates exactly the
+                // single-node run).
+                def.instantiate(
+                    cell.model,
+                    n_cores,
+                    seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+            })
+        };
         let reports = cl.reports();
         let fractions = cl.resolved_fractions();
         let n_nodes = fractions.len() as f64;
-        CellResult {
+        let cell_result = CellResult {
             spec: cell.clone(),
             seconds: outcome.seconds,
             joules: outcome.joules,
@@ -414,7 +640,8 @@ pub fn run_cell(machine: &MachineSpec, def: &Benchmark, cell: &CellSpec) -> Cell
             node_joules: outcome.node_joules,
             barrier_wait_s: outcome.barrier_wait_s,
             trace: Vec::new(),
-        }
+        };
+        (cell_result, outcome.stepped_quanta, outcome.total_quanta)
     }
 }
 
@@ -495,16 +722,29 @@ pub struct BaselineComparison {
 /// cell, in enumeration order. One definition of the
 /// savings/slowdown/EDP arithmetic, shared by every bin that reports
 /// relative numbers — the paper's figures must not drift apart.
+///
+/// Only cells sharing the baseline's cluster shape (same node count,
+/// machines, and BSP decomposition) are compared — a 2-node extra's
+/// total joules against a single-node baseline is not a saving.
+/// Benchmarks without a `baseline` cell (cluster-shape extras outside
+/// the panel comparison) are skipped entirely.
+///
+/// # Panics
+/// Panics when nothing was comparable even though non-baseline cells
+/// exist — the signature of a misspelled baseline label.
 pub fn compare_to_baseline(result: &GridResult, baseline: &str) -> Vec<BaselineComparison> {
     let mut out = Vec::new();
     for bench in result.benches() {
-        let base = result.cell(bench, baseline).unwrap_or_else(|| {
-            panic!(
-                "grid `{}`: benchmark `{bench}` has no `{baseline}` cell",
-                result.grid
-            )
-        });
-        for o in result.cells_for(bench).filter(|c| c.spec.label != baseline) {
+        let Some(base) = result.cell(bench, baseline) else {
+            continue;
+        };
+        let comparable = |c: &&CellResult| {
+            c.spec.label != baseline
+                && c.spec.nodes == base.spec.nodes
+                && c.spec.machines == base.spec.machines
+                && c.spec.bsp == base.spec.bsp
+        };
+        for o in result.cells_for(bench).filter(comparable) {
             out.push(BaselineComparison {
                 bench: o.spec.bench.clone(),
                 label: o.spec.label.clone(),
@@ -518,6 +758,12 @@ pub fn compare_to_baseline(result: &GridResult, baseline: &str) -> Vec<BaselineC
             });
         }
     }
+    assert!(
+        !out.is_empty() || result.cells.iter().all(|c| c.spec.label == baseline),
+        "grid `{}`: no cell shares a benchmark and cluster shape with a \
+         `{baseline}` baseline — misspelled baseline label?",
+        result.grid
+    );
     out
 }
 
@@ -683,9 +929,55 @@ impl FromJson for Config {
     }
 }
 
-impl ToJson for CellSpec {
+impl ToJson for FreqDomain {
     fn to_json(&self) -> Json {
         obj(vec![
+            ("min", Json::Num(f64::from(self.min().0))),
+            ("max", Json::Num(f64::from(self.max().0))),
+        ])
+    }
+}
+
+impl FromJson for FreqDomain {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let min = j.field("min")?.as_u64()? as u32;
+        let max = j.field("max")?.as_u64()? as u32;
+        if min == 0 || min > max {
+            return Err(JsonError(format!("invalid frequency domain {min}..{max}")));
+        }
+        Ok(FreqDomain::new(Freq(min), Freq(max)))
+    }
+}
+
+impl ToJson for MachineSpec {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("n_cores", Json::Num(self.n_cores as f64)),
+            ("core", self.core.to_json()),
+            ("uncore", self.uncore.to_json()),
+            ("quantum_ns", Json::Num(self.quantum_ns as f64)),
+        ])
+    }
+}
+
+impl FromJson for MachineSpec {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let spec = MachineSpec {
+            name: j.field("name")?.as_str()?.to_string(),
+            n_cores: j.field("n_cores")?.as_u64()? as usize,
+            core: FreqDomain::from_json(j.field("core")?)?,
+            uncore: FreqDomain::from_json(j.field("uncore")?)?,
+            quantum_ns: j.field("quantum_ns")?.as_u64()?,
+        };
+        spec.validate().map_err(JsonError)?;
+        Ok(spec)
+    }
+}
+
+impl ToJson for CellSpec {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
             ("bench", Json::Str(self.bench.clone())),
             ("model", self.model.to_json()),
             ("label", Json::Str(self.label.clone())),
@@ -694,7 +986,16 @@ impl ToJson for CellSpec {
             ("nodes", Json::Num(self.nodes as f64)),
             ("rep", Json::Num(f64::from(self.rep))),
             ("trace", Json::Bool(self.trace)),
-        ])
+        ];
+        // Only heterogeneous / BSP cells carry these keys: plain cells
+        // keep their historical byte-exact encoding.
+        if let Some(machines) = &self.machines {
+            fields.push(("machines", arr(machines)));
+        }
+        if let Some(bsp) = &self.bsp {
+            fields.push(("bsp", bsp.to_json()));
+        }
+        obj(fields)
     }
 }
 
@@ -709,6 +1010,32 @@ impl FromJson for CellSpec {
             nodes: j.field("nodes")?.as_u64()? as usize,
             rep: j.field("rep")?.as_u64()? as u32,
             trace: j.field("trace")?.as_bool()?,
+            machines: match j.get("machines") {
+                Some(m) => Some(from_arr(m)?),
+                None => None,
+            },
+            bsp: match j.get("bsp") {
+                Some(b) => Some(BspCell::from_json(b)?),
+                None => None,
+            },
+        })
+    }
+}
+
+impl ToJson for BspCell {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("supersteps", Json::Num(f64::from(self.supersteps))),
+            ("comm_bytes", Json::Num(self.comm_bytes)),
+        ])
+    }
+}
+
+impl FromJson for BspCell {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(BspCell {
+            supersteps: j.field("supersteps")?.as_u64()? as u32,
+            comm_bytes: j.field("comm_bytes")?.as_f64()?,
         })
     }
 }
@@ -844,6 +1171,33 @@ impl ToJson for GridResult {
             ("grid", Json::Str(self.grid.clone())),
             ("scale", Json::Num(self.scale)),
             ("machine", Json::Str(self.machine.clone())),
+            ("cells", arr(&self.cells)),
+        ])
+    }
+}
+
+impl ToJson for CellTiming {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("wall_ms", Json::Num(self.wall_ms)),
+            ("stepped_quanta", Json::Num(self.stepped_quanta as f64)),
+            ("total_quanta", Json::Num(self.total_quanta as f64)),
+        ])
+    }
+}
+
+/// Sidecar format tag for `.timing` files.
+pub const TIMING_SCHEMA: &str = "cuttlefish/grid-timing/v1";
+
+impl ToJson for GridTiming {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("schema", Json::Str(TIMING_SCHEMA.into())),
+            ("grid", Json::Str(self.grid.clone())),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            ("stepped_quanta", Json::Num(self.stepped_quanta() as f64)),
+            ("total_quanta", Json::Num(self.total_quanta() as f64)),
+            ("fast_forward", Json::Num(self.fast_forward_factor())),
             ("cells", arr(&self.cells)),
         ])
     }

@@ -86,6 +86,11 @@ pub struct RunOutcome {
     /// Per-operating-point residency, `((core, uncore) deci-GHz, ns)`,
     /// in ascending key order (the residency/EDP analyses).
     pub residency: Vec<((u32, u32), u64)>,
+    /// Quanta the engine executed one step at a time.
+    pub stepped_quanta: u64,
+    /// Total virtual quanta elapsed (stepped + fast-forwarded) — the
+    /// per-cell stepping-rate data the CI smoke stage reports.
+    pub total_quanta: u64,
 }
 
 impl RunOutcome {
@@ -139,7 +144,7 @@ pub fn run_on(
     setup: Setup,
     model: ProgModel,
     cfg: Config,
-    mut trace: Option<&mut Vec<TracePoint>>,
+    trace: Option<&mut Vec<TracePoint>>,
     seed: u64,
 ) -> RunOutcome {
     let mut proc = SimProcessor::new(machine.clone());
@@ -147,16 +152,19 @@ pub fn run_on(
 
     let mut controller = setup.node_policy(cfg).build(&mut proc);
 
-    let mut quanta = 0u64;
-    let mut last = CounterSnapshot::capture(&proc).expect("counters readable");
     let start_e = proc.total_energy_joules();
     let start_t = proc.now_ns();
 
-    while !proc.workload_drained(wl.as_mut()) {
-        proc.step(wl.as_mut());
-        controller.on_quantum(&mut proc);
-        quanta += 1;
-        if let Some(points) = trace.as_deref_mut() {
+    if let Some(points) = trace {
+        // Traced runs sample counters on a fixed 20-quantum cadence, so
+        // they step every quantum; untraced runs go through the
+        // event-driven loop (identical numerics, fast-forwarded idle).
+        let mut quanta = 0u64;
+        let mut last = CounterSnapshot::capture(&proc).expect("counters readable");
+        while !proc.workload_drained(wl.as_mut()) {
+            proc.step(wl.as_mut());
+            controller.on_quantum(&mut proc);
+            quanta += 1;
             if quanta.is_multiple_of(20) {
                 let now = CounterSnapshot::capture(&proc).expect("counters readable");
                 if let Some(s) = delta(&last, &now) {
@@ -172,6 +180,8 @@ pub fn run_on(
                 last = now;
             }
         }
+    } else {
+        cuttlefish::controller::drive(&mut proc, wl.as_mut(), controller.as_mut());
     }
 
     let report = controller.report();
@@ -190,6 +200,8 @@ pub fn run_on(
             .iter()
             .map(|(&point, &ns)| (point, ns))
             .collect(),
+        stepped_quanta: proc.stepped_quanta(),
+        total_quanta: proc.total_quanta(),
     }
 }
 

@@ -1,10 +1,13 @@
 //! Scenario-grid integration tests: the shard-invariance contract the
-//! CI artifacts depend on, and the typed JSON round-trip.
+//! CI artifacts depend on, the typed JSON round-trip, and the
+//! heterogeneous / bulk-synchronous cell shapes.
 
-use bench::grid::{GridResult, GridSetup, GridSpec};
-use bench::json::{FromJson, Json};
+use bench::grid::{straggler_spec, BspCell, CellSpec, GridResult, GridSetup, GridSpec};
+use bench::json::{FromJson, Json, ToJson};
 use bench::Setup;
-use cuttlefish::Policy;
+use cuttlefish::{Config, Policy};
+use simproc::freq::HASWELL_2650V3;
+use workloads::ProgModel;
 
 /// A small but representative grid: two benchmarks, a baseline and a
 /// tuned setup (one traced), single-node and 2-node cluster cells.
@@ -72,6 +75,90 @@ fn cluster_cells_aggregate_per_node_measurements() {
     assert!((sum - cell.joules).abs() < 1e-9 * cell.joules.max(1.0));
     assert!(cell.trace.is_empty(), "cluster cells collect no trace");
     assert!(!cell.residency.is_empty());
+}
+
+/// A heterogeneous BSP cell the cartesian axes cannot express: one
+/// paper node plus one straggler, bulk-synchronous supersteps.
+fn straggler_cell() -> CellSpec {
+    CellSpec {
+        bench: "Heat-ws".into(),
+        model: ProgModel::OpenMp,
+        label: "Cuttlefish-straggler".into(),
+        setup: Setup::Cuttlefish(Policy::Both),
+        config: Config::default(),
+        nodes: 2,
+        rep: 0,
+        trace: false,
+        machines: Some(vec![HASWELL_2650V3.clone(), straggler_spec()]),
+        bsp: Some(BspCell {
+            supersteps: 8,
+            comm_bytes: 24.0e6,
+        }),
+    }
+}
+
+#[test]
+fn extra_cells_append_after_the_cartesian_axes() {
+    let mut spec = tiny_spec();
+    spec.extra.push(straggler_cell());
+    let cells = spec.cells();
+    assert_eq!(cells.len(), 2 * 2 * 2 + 1);
+    let last = cells.last().unwrap();
+    assert_eq!(last.label, "Cuttlefish-straggler");
+    assert_eq!(last.machines.as_ref().unwrap().len(), 2);
+}
+
+#[test]
+fn heterogeneous_bsp_cell_runs_and_round_trips() {
+    let mut spec = GridSpec::new("hetero", 0.02);
+    spec.benchmarks = vec!["Heat-ws".into()];
+    spec.setups = vec![GridSetup::new("Default", Setup::Default)];
+    spec.extra.push(straggler_cell());
+    let (result, timing) = spec.run_timed(2);
+    assert_eq!(result.cells.len(), 2);
+    assert_eq!(timing.cells.len(), 2);
+
+    let hetero = &result.cells[1];
+    assert_eq!(hetero.spec.nodes, 2);
+    assert_eq!(hetero.node_joules.len(), 2);
+    // The straggler (fewer, slower cores) forces the paper node to
+    // wait at the superstep barriers.
+    assert!(
+        hetero.barrier_wait_s > 0.0,
+        "straggler must create barrier wait"
+    );
+    // The fast-forwarded idle shows up as total >> stepped for the
+    // heterogeneous cell.
+    let t = timing.cells[1];
+    assert!(
+        t.total_quanta > t.stepped_quanta,
+        "barrier idling must be fast-forwarded ({} vs {})",
+        t.total_quanta,
+        t.stepped_quanta
+    );
+
+    // machines + bsp survive the typed JSON round-trip, bytes included.
+    let text = result.to_json_string();
+    let parsed = GridResult::from_json_str(&text).expect("hetero artifact parses");
+    assert_eq!(parsed, result);
+    assert_eq!(parsed.to_json_string(), text);
+}
+
+#[test]
+fn uniform_cells_serialize_without_hetero_keys() {
+    // The machines/bsp keys must not leak into plain cells: their JSON
+    // stays byte-compatible with pre-heterogeneity artifacts.
+    let mut spec = tiny_spec();
+    spec.node_counts = vec![1];
+    spec.benchmarks = vec!["UTS".into()];
+    spec.setups = vec![GridSetup::new("Default", Setup::Default)];
+    let result = spec.run(1);
+    let cell_json = result.cells[0].spec.to_json().to_pretty();
+    assert!(!cell_json.contains("machines"));
+    assert!(!cell_json.contains("bsp"));
+    let hetero_json = straggler_cell().to_json().to_pretty();
+    assert!(hetero_json.contains("machines"));
+    assert!(hetero_json.contains("supersteps"));
 }
 
 #[test]

@@ -104,6 +104,14 @@ pub struct BspOutcome {
     pub node_busy_s: Vec<f64>,
     /// Total seconds nodes spent waiting at superstep barriers.
     pub barrier_wait_s: f64,
+    /// Barrier wait charged to each node individually — the §4.6
+    /// imbalance study reads the skew, not just the sum.
+    pub node_barrier_wait_s: Vec<f64>,
+    /// Quanta executed by individual engine steps, summed over nodes.
+    pub stepped_quanta: u64,
+    /// Total virtual quanta elapsed, summed over nodes; the gap to
+    /// `stepped_quanta` was fast-forwarded analytically.
+    pub total_quanta: u64,
 }
 
 impl BspOutcome {

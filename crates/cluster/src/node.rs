@@ -22,7 +22,9 @@ struct Node {
 
 /// Nothing to run: models barrier wait / communication windows (cores
 /// idle; the package still burns its floor power; per-node Cuttlefish
-/// daemons skip the interval because no instructions retire).
+/// daemons skip the interval because no instructions retire). Its
+/// `next_wake_ns` is `None` — the engine may fast-forward straight to
+/// the barrier timestamp.
 struct Idle;
 impl Workload for Idle {
     fn next_chunk(&mut self, _c: usize, _t: u64) -> Option<Chunk> {
@@ -31,12 +33,21 @@ impl Workload for Idle {
     fn is_done(&self) -> bool {
         true
     }
+    fn next_wake_ns(&self, _now: u64) -> Option<u64> {
+        None
+    }
 }
 
 /// A simulated cluster.
 pub struct Cluster {
     nodes: Vec<Node>,
     comm: CommModel,
+    /// Fast-forward parked nodes across barrier/exchange windows via
+    /// `SimProcessor::advance_idle` (on by default). Turning it off
+    /// forces the historical quantum-by-quantum idle stepping — the
+    /// reference path the equivalence tests and before/after stepping
+    /// measurements compare against.
+    event_stepping: bool,
 }
 
 impl Cluster {
@@ -56,9 +67,34 @@ impl Cluster {
         comm: CommModel,
     ) -> Self {
         assert!(n_nodes > 0);
-        let nodes = (0..n_nodes)
-            .map(|_| {
-                let mut proc = SimProcessor::new(spec.clone());
+        Self::with_nodes(
+            (0..n_nodes)
+                .map(|_| (spec.clone(), policy.clone()))
+                .collect(),
+            comm,
+        )
+    }
+
+    /// Build a heterogeneous cluster: each node gets its own machine
+    /// spec and frequency policy — mixed fleets, straggler nodes, and
+    /// per-node governor comparisons (the §4.6 imbalance study wants
+    /// slow *hardware*, not just more chunks).
+    pub fn with_nodes(nodes: Vec<(MachineSpec, NodePolicy)>, comm: CommModel) -> Self {
+        assert!(!nodes.is_empty());
+        // Specs may differ in cores and frequency domains, but the
+        // cluster shares one virtual timeline: exchange windows and
+        // barrier timestamps are expressed in whole quanta, so every
+        // node must tick at the same quantum.
+        assert!(
+            nodes
+                .iter()
+                .all(|(s, _)| s.quantum_ns == nodes[0].0.quantum_ns),
+            "heterogeneous nodes must share one quantum_ns"
+        );
+        let nodes = nodes
+            .into_iter()
+            .map(|(spec, policy)| {
+                let mut proc = SimProcessor::new(spec);
                 let ctrl = policy.build(&mut proc);
                 Node {
                     proc,
@@ -67,7 +103,18 @@ impl Cluster {
                 }
             })
             .collect();
-        Cluster { nodes, comm }
+        Cluster {
+            nodes,
+            comm,
+            event_stepping: true,
+        }
+    }
+
+    /// Toggle idle fast-forwarding (see the field docs); returns `self`
+    /// for builder-style use in tests.
+    pub fn set_event_stepping(&mut self, on: bool) -> &mut Self {
+        self.event_stepping = on;
+        self
     }
 
     /// Number of nodes.
@@ -111,21 +158,50 @@ impl Cluster {
         node.ctrl.on_quantum(&mut node.proc);
     }
 
-    /// Barrier phase: early finishers idle until the slowest node
-    /// arrives (no slack reclamation: §4.6's limitation). Returns the
-    /// total wait charged.
-    fn barrier(&mut self, finish_ns: &[u64]) -> f64 {
-        let barrier_ns = *finish_ns.iter().max().expect("nodes exist");
-        let mut barrier_wait_s = 0.0;
-        for (node, &t) in self.nodes.iter_mut().zip(finish_ns) {
-            let mut wait = barrier_ns.saturating_sub(t);
-            barrier_wait_s += wait as f64 * 1e-9;
-            while wait > 0 {
+    /// Idle one parked node for exactly `quanta` quanta, fast-forwarding
+    /// every stretch the controller declares uneventful and stepping for
+    /// real at the controller's scheduled events (`Tinv` ticks, firmware
+    /// ramp-down quanta) — numerically identical to `quanta` plain
+    /// `step(&mut Idle)`/`on_quantum` rounds.
+    fn idle_for(node: &mut Node, quanta: u64, event_stepping: bool) {
+        let mut left = quanta;
+        while left > 0 {
+            let k = if event_stepping {
+                node.ctrl.idle_quanta_capacity(&node.proc).min(left)
+            } else {
+                0
+            };
+            if k == 0 {
                 Self::step_node(node, &mut Idle);
-                wait = wait.saturating_sub(node.proc.spec().quantum_ns);
+                left -= 1;
+            } else {
+                node.proc.advance_idle_quanta(k);
+                node.ctrl.note_idle_quanta(k);
+                left -= k;
             }
         }
-        barrier_wait_s
+    }
+
+    /// Barrier phase: early finishers idle until the slowest node
+    /// arrives (no slack reclamation: §4.6's limitation). Returns the
+    /// per-node waits charged, in node order.
+    fn barrier(&mut self, finish_ns: &[u64]) -> Vec<f64> {
+        let barrier_ns = *finish_ns.iter().max().expect("nodes exist");
+        let event_stepping = self.event_stepping;
+        self.nodes
+            .iter_mut()
+            .zip(finish_ns)
+            .map(|(node, &t)| {
+                // One saturating computation per node: the wait itself,
+                // and the whole quanta that cover it (the clock
+                // overshoots the barrier to the next boundary, exactly
+                // as per-quantum stepping always has).
+                let wait_ns = barrier_ns.saturating_sub(t);
+                let quanta = wait_ns.div_ceil(node.proc.spec().quantum_ns);
+                Self::idle_for(node, quanta, event_stepping);
+                wait_ns as f64 * 1e-9
+            })
+            .collect()
     }
 
     /// Exchange phase: all nodes busy-idle on the NIC for one α–β
@@ -133,14 +209,13 @@ impl Cluster {
     fn exchange(&mut self) {
         let quantum_s = self.nodes[0].proc.spec().quantum_ns as f64 * 1e-9;
         let comm_quanta = (self.comm.exchange_seconds() / quantum_s).ceil() as u64;
+        let event_stepping = self.event_stepping;
         for node in self.nodes.iter_mut() {
-            for _ in 0..comm_quanta {
-                Self::step_node(node, &mut Idle);
-            }
+            Self::idle_for(node, comm_quanta, event_stepping);
         }
     }
 
-    fn outcome(&self, barrier_wait_s: f64) -> BspOutcome {
+    fn outcome(&self, barrier_wait_s: f64, node_barrier_wait_s: Vec<f64>) -> BspOutcome {
         let node_joules: Vec<f64> = self
             .nodes
             .iter()
@@ -158,6 +233,9 @@ impl Cluster {
             node_busy_s: self.nodes.iter().map(|n| n.busy_s).collect(),
             node_joules,
             barrier_wait_s,
+            node_barrier_wait_s,
+            stepped_quanta: self.nodes.iter().map(|n| n.proc.stepped_quanta()).sum(),
+            total_quanta: self.nodes.iter().map(|n| n.proc.total_quanta()).sum(),
         }
     }
 
@@ -180,9 +258,9 @@ impl Cluster {
             node.busy_s += (t1 - t0) as f64 * 1e-9;
             finish_ns.push(t1);
         }
-        let barrier_wait_s = self.barrier(&finish_ns);
+        let node_waits = self.barrier(&finish_ns);
         self.exchange();
-        self.outcome(barrier_wait_s)
+        self.outcome(node_waits.iter().sum(), node_waits)
     }
 
     /// Execute the app to completion; nodes run their local regions
@@ -190,6 +268,7 @@ impl Cluster {
     pub fn run(&mut self, app: &BspApp) -> BspOutcome {
         assert_eq!(app.n_nodes(), self.nodes.len(), "app/cluster size mismatch");
         let mut barrier_wait_s = 0.0;
+        let mut node_barrier_wait_s = vec![0.0; self.nodes.len()];
 
         for step in &app.steps {
             // Phase 1: local computation, each node at its own pace.
@@ -208,11 +287,15 @@ impl Cluster {
             }
 
             // Phases 2–3: barrier, then the exchange.
-            barrier_wait_s += self.barrier(&finish_ns);
+            let waits = self.barrier(&finish_ns);
+            barrier_wait_s += waits.iter().sum::<f64>();
+            for (acc, w) in node_barrier_wait_s.iter_mut().zip(&waits) {
+                *acc += w;
+            }
             self.exchange();
         }
 
-        self.outcome(barrier_wait_s)
+        self.outcome(barrier_wait_s, node_barrier_wait_s)
     }
 }
 

@@ -56,6 +56,70 @@ pub trait FrequencyController {
     fn stop(&mut self, proc: &mut SimProcessor) {
         let _ = proc;
     }
+
+    /// How many consecutive idle quanta, starting at `proc`'s current
+    /// virtual time, this controller can be fast-forwarded across: its
+    /// `on_quantum` over that stretch would neither touch the machine
+    /// nor change any state beyond what
+    /// [`note_idle_quanta`](Self::note_idle_quanta) replays. The engine
+    /// advances `min(capacity, idle stretch)` quanta analytically and
+    /// calls `note_idle_quanta` once instead of `on_quantum` per
+    /// quantum; a capacity of 0 forces a real per-quantum step (the
+    /// conservative default, which reproduces pre-virtual-clock
+    /// behaviour exactly for controllers that don't opt in).
+    fn idle_quanta_capacity(&self, proc: &SimProcessor) -> u64 {
+        let _ = proc;
+        0
+    }
+
+    /// Account a stretch of `quanta` idle quanta the engine
+    /// fast-forwarded past this controller. Only ever called with
+    /// `quanta <= idle_quanta_capacity()`; implementations replay
+    /// whatever per-quantum bookkeeping their `on_quantum` would have
+    /// done (bit-identically), and nothing else.
+    fn note_idle_quanta(&mut self, quanta: u64) {
+        let _ = quanta;
+    }
+}
+
+/// Run `wl` to completion under `ctrl`, fast-forwarding any stretch
+/// where every core is parked and both the workload
+/// ([`simproc::engine::Workload::next_wake_ns`]) and the controller
+/// ([`FrequencyController::idle_quanta_capacity`]) declare the quanta
+/// uneventful. Numerically identical to the plain
+/// step-then-`on_quantum` loop — the fast path performs the same
+/// arithmetic analytically (see `SimProcessor::advance_idle`) — and
+/// degrades to exactly that loop when either party declines. Returns
+/// the virtual seconds elapsed.
+pub fn drive(
+    proc: &mut SimProcessor,
+    wl: &mut dyn simproc::engine::Workload,
+    ctrl: &mut dyn FrequencyController,
+) -> f64 {
+    let start = proc.now_ns();
+    while !proc.workload_drained(wl) {
+        if proc.cores_parked() {
+            let quantum = proc.spec().quantum_ns;
+            // How far the workload lets the clock jump; `None` (never
+            // wakes again) cannot occur for an undrained workload that
+            // terminates, so treat it as one quantum and keep polling.
+            let runway = match proc.next_event_ns(wl) {
+                Some(event) => (event - proc.now_ns()) / quantum,
+                None => 1,
+            };
+            if runway > 1 {
+                let k = (runway - 1).min(ctrl.idle_quanta_capacity(proc));
+                if k > 0 {
+                    proc.advance_idle_quanta(k);
+                    ctrl.note_idle_quanta(k);
+                    continue;
+                }
+            }
+        }
+        proc.step(wl);
+        ctrl.on_quantum(proc);
+    }
+    (proc.now_ns() - start) as f64 * 1e-9
 }
 
 /// One synthetic whole-run range for controllers that do not profile
@@ -94,6 +158,22 @@ impl FrequencyController for DefaultGovernor {
     fn name(&self) -> &'static str {
         "Default"
     }
+
+    fn idle_quanta_capacity(&self, proc: &SimProcessor) -> u64 {
+        // Until the traffic EWMA decays below the ramp and the uncore
+        // lands on its idle floor, the firmware moves the knobs every
+        // quantum and must be stepped for real; from the fixed point
+        // onward only the EWMA decays, which note_idle_quanta replays.
+        if self.is_idle_stable(proc) {
+            u64::MAX
+        } else {
+            0
+        }
+    }
+
+    fn note_idle_quanta(&mut self, quanta: u64) {
+        self.skip_idle_quanta(quanta);
+    }
 }
 
 impl FrequencyController for CuttlefishDriver {
@@ -116,6 +196,15 @@ impl FrequencyController for CuttlefishDriver {
     fn stop(&mut self, proc: &mut SimProcessor) {
         CuttlefishDriver::stop(self, proc);
     }
+
+    fn idle_quanta_capacity(&self, proc: &SimProcessor) -> u64 {
+        // Everything up to the next scheduled Tinv tick is a pure clock
+        // comparison; the tick itself (a counter snapshot that feeds the
+        // next interval's delta) must run for real.
+        CuttlefishDriver::idle_quanta_capacity(self, proc)
+    }
+    // note_idle_quanta: nothing to replay — the driver's schedule is
+    // anchored to the engine's virtual clock, not to call counts.
 }
 
 /// A controller that pins both domains at a fixed operating point —
@@ -160,6 +249,22 @@ impl FrequencyController for Pinned {
 
     fn name(&self) -> &'static str {
         "Pinned"
+    }
+
+    fn idle_quanta_capacity(&self, proc: &SimProcessor) -> u64 {
+        // Re-asserting an already-applied pin is a no-op; only the
+        // quanta counter (report occurrences) needs replaying.
+        if proc.core_freq() == proc.spec().core.clamp(self.cf)
+            && proc.uncore_freq() == proc.spec().uncore.clamp(self.uf)
+        {
+            u64::MAX
+        } else {
+            0
+        }
+    }
+
+    fn note_idle_quanta(&mut self, quanta: u64) {
+        self.quanta += quanta;
     }
 }
 

@@ -7,6 +7,16 @@
 //! warm-up (line 3), then wake every `Tinv` to read counters and run
 //! the policy. Counter access goes through an allow-listed
 //! [`MsrSession`], exactly like MSR-SAFE on the paper's testbed.
+//!
+//! The `Tinv` wake-up is a *scheduled event on the engine's virtual
+//! clock*, not a modulus over counted quanta: the driver anchors an
+//! epoch at its first `on_quantum`, derives the warm-up end and every
+//! subsequent tick timestamp from it, and compares against
+//! `proc.now_ns()`. Between ticks, `on_quantum` is a pure time check —
+//! which is what lets idle stretches (cluster barriers, exchange
+//! windows) be fast-forwarded without calling the driver at all:
+//! [`CuttlefishDriver::idle_quanta_capacity`] reports how far the
+//! clock may jump before the next tick fires.
 
 use crate::daemon::Daemon;
 use crate::Config;
@@ -19,11 +29,18 @@ use simproc::SimProcessor;
 pub struct CuttlefishDriver {
     daemon: Daemon,
     session: MsrSession,
-    quanta_seen: u64,
-    quanta_per_tinv: u64,
-    warmup_quanta: u64,
+    /// Engine quantum, cached from the spec at construction.
+    quantum_ns: u64,
+    /// `Tinv` quantized to whole quanta, in ns (≥ one quantum).
+    tinv_step_ns: u64,
+    /// Warm-up quantized to whole quanta, in ns.
+    warmup_step_ns: u64,
+    /// Virtual time one quantum before the first `on_quantum` — the
+    /// origin every scheduled tick is derived from.
+    epoch_ns: Option<u64>,
+    /// Next scheduled profile tick (absolute virtual time).
+    next_tick_ns: u64,
     last: Option<CounterSnapshot>,
-    started: bool,
     /// First MSR write failure, if any. A denied control register puts
     /// the driver in a degraded observe-only mode instead of aborting
     /// the simulation (a misconfigured allow-list on one node must not
@@ -46,18 +63,19 @@ impl CuttlefishDriver {
     pub fn with_allowlist(proc: &SimProcessor, cfg: Config, allow: &[(u32, Access)]) -> Self {
         let spec = proc.spec();
         let quantum = spec.quantum_ns;
-        let quanta_per_tinv = (cfg.tinv_ns / quantum).max(1);
-        let warmup_quanta = cfg.warmup_ns / quantum;
+        let tinv_step_ns = (cfg.tinv_ns / quantum).max(1) * quantum;
+        let warmup_step_ns = (cfg.warmup_ns / quantum) * quantum;
         let session = MsrSession::open(proc.msr_file(), allow);
         let daemon = Daemon::new(cfg, spec.core.clone(), spec.uncore.clone());
         CuttlefishDriver {
             daemon,
             session,
-            quanta_seen: 0,
-            quanta_per_tinv,
-            warmup_quanta,
+            quantum_ns: quantum,
+            tinv_step_ns,
+            warmup_step_ns,
+            epoch_ns: None,
+            next_tick_ns: 0,
             last: None,
-            started: false,
             write_error: None,
         }
     }
@@ -105,20 +123,34 @@ impl CuttlefishDriver {
         }
     }
 
-    /// Advance the daemon clock by one engine quantum.
+    /// Advance the daemon clock to the engine's current virtual time.
+    /// Call after every quantum the driver is not fast-forwarded over.
     pub fn on_quantum(&mut self, proc: &mut SimProcessor) {
-        if !self.started {
-            // Algorithm 1 line 2: start at max frequencies.
+        let now_ns = proc.now_ns();
+        if self.epoch_ns.is_none() {
+            // First wake-up: anchor the tick schedule one quantum back
+            // (the step that just ran) and apply Algorithm 1 line 2 —
+            // start at max frequencies.
+            let epoch = now_ns.saturating_sub(self.quantum_ns);
+            self.epoch_ns = Some(epoch);
+            // First profile tick: end of warm-up, except that a warm-up
+            // shorter than one quantum means the first tick lands a full
+            // `Tinv` after the epoch.
+            self.next_tick_ns = if self.warmup_step_ns >= self.quantum_ns {
+                epoch + self.warmup_step_ns
+            } else {
+                epoch + self.tinv_step_ns
+            };
             let (cf, uf) = self.daemon.initial_frequencies();
             self.apply_freqs(proc, cf, uf);
-            self.started = true;
         }
-        self.quanta_seen += 1;
-        if self.quanta_seen < self.warmup_quanta {
+        if now_ns < self.next_tick_ns {
             return;
         }
-        if !(self.quanta_seen - self.warmup_quanta).is_multiple_of(self.quanta_per_tinv) {
-            return;
+        // Schedule the next tick before acting, so a failed counter
+        // capture skips this interval rather than re-arming it.
+        while self.next_tick_ns <= now_ns {
+            self.next_tick_ns += self.tinv_step_ns;
         }
         let now = match CounterSnapshot::capture(proc) {
             Ok(s) => s,
@@ -130,6 +162,25 @@ impl CuttlefishDriver {
                 self.apply_freqs(proc, cf, uf);
             }
         }
+    }
+
+    /// How many consecutive idle quanta, starting at `proc`'s current
+    /// time, may elapse without calling [`on_quantum`]: the stretch up
+    /// to (but excluding) the next scheduled `Tinv` tick. Between ticks
+    /// `on_quantum` is a pure clock comparison, so skipping those calls
+    /// is observationally identical. Returns 0 before the first wake-up
+    /// (the initial max-frequency actuation must run).
+    ///
+    /// [`on_quantum`]: Self::on_quantum
+    pub fn idle_quanta_capacity(&self, proc: &SimProcessor) -> u64 {
+        if self.epoch_ns.is_none() {
+            return 0;
+        }
+        let now_ns = proc.now_ns();
+        if self.next_tick_ns <= now_ns {
+            return 0;
+        }
+        (self.next_tick_ns - now_ns) / self.quantum_ns - 1
     }
 
     /// `cuttlefish::stop()`: restore the MSR state captured at session

@@ -18,6 +18,40 @@
 //! uses `demand / cap` as the next quantum's inflation. For steady
 //! phases it converges within a few quanta; transient error is bounded
 //! and symmetric.
+//!
+//! ## The virtual clock and event-driven stepping
+//!
+//! Time only ever advances in whole quanta, but the engine does not
+//! have to *execute* every quantum one call at a time. Two methods
+//! expose the virtual clock as an event timeline:
+//!
+//! * [`SimProcessor::next_event_ns`] reports the earliest future
+//!   instant at which stepping can do real work: the next quantum
+//!   boundary while any core holds an in-flight chunk (chunk
+//!   completions are only observable at boundaries), the workload's
+//!   announced wake time ([`Workload::next_wake_ns`]) rounded up to the
+//!   quantum grid while every core is parked, or `None` when the
+//!   workload will never produce work again.
+//! * [`SimProcessor::advance_idle`] / [`advance_idle_quanta`]
+//!   fast-forward a fully-parked machine across a homogeneous idle
+//!   stretch. The advance is *not* an approximation: it performs the
+//!   identical per-quantum arithmetic `step` would perform against a
+//!   workload that yields no chunks — the same frequency-control
+//!   application, the same floor-power computation, the same
+//!   per-quantum RAPL energy additions (repeated, so floating-point
+//!   accumulation rounds identically), the same residency and
+//!   overload-relaxation updates — while skipping the per-core
+//!   execution machinery that makes a real `step` expensive. Energy,
+//!   RAPL counts, `(cf, uf)` residency, and `time_ns` are bit-identical
+//!   to stepping the same quanta one by one (enforced by
+//!   `tests/event_clock.rs`).
+//!
+//! Callers that drive a frequency controller (the Cuttlefish daemon's
+//! `Tinv` tick, the cluster barrier loops) interleave `advance_idle`
+//! with the controller's own scheduled events; see
+//! `cuttlefish::controller` for the coupling.
+//!
+//! [`advance_idle_quanta`]: SimProcessor::advance_idle_quanta
 
 use crate::freq::{Freq, MachineSpec};
 use crate::msr::{MsrError, MsrFile};
@@ -78,6 +112,21 @@ pub trait Workload {
     fn next_chunk(&mut self, core: usize, now_ns: u64) -> Option<Chunk>;
     /// True when no further chunks will ever be produced.
     fn is_done(&self) -> bool;
+    /// The earliest virtual time at or after `now_ns` at which this
+    /// workload may hand out a chunk to a currently-parked core.
+    ///
+    /// * `Some(t)` promises every `next_chunk` call strictly before `t`
+    ///   returns `None` (and is free of observable side effects), so
+    ///   the engine may fast-forward a fully-parked machine to `t`.
+    /// * `None` means no chunk will ever be produced again — pure
+    ///   barrier/communication idling.
+    ///
+    /// The conservative default, `Some(now_ns)`, declares "work may
+    /// appear at any moment": the engine then polls every quantum,
+    /// exactly as it did before the virtual-clock layer existed.
+    fn next_wake_ns(&self, now_ns: u64) -> Option<u64> {
+        Some(now_ns)
+    }
 }
 
 /// Per-quantum telemetry, for traces and the evaluation harness.
@@ -118,7 +167,7 @@ struct CoreState {
 }
 
 /// The simulated processor package.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SimProcessor {
     spec: MachineSpec,
     perf: PerfModel,
@@ -130,6 +179,10 @@ pub struct SimProcessor {
     time_ns: u64,
     overload: f64,
     last_stats: QuantumStats,
+    /// Quanta executed by individual [`SimProcessor::step`] calls.
+    stepped_quanta: u64,
+    /// Quanta absorbed analytically by [`SimProcessor::advance_idle`].
+    skipped_quanta: u64,
     /// Rotates which core is served first each quantum so no core gets a
     /// systematic head start at pulling work.
     rotate: usize,
@@ -164,6 +217,8 @@ impl SimProcessor {
             time_ns: 0,
             overload: 1.0,
             last_stats: QuantumStats::default(),
+            stepped_quanta: 0,
+            skipped_quanta: 0,
             rotate: 0,
             residency: std::collections::BTreeMap::new(),
         }
@@ -228,6 +283,23 @@ impl SimProcessor {
     /// Virtual nanoseconds spent at each (core, uncore) ratio pair.
     pub fn frequency_residency(&self) -> &std::collections::BTreeMap<(u32, u32), u64> {
         &self.residency
+    }
+
+    /// Quanta executed by individual [`step`](Self::step) calls.
+    pub fn stepped_quanta(&self) -> u64 {
+        self.stepped_quanta
+    }
+
+    /// Total quanta of virtual time elapsed (stepped + fast-forwarded).
+    /// The ratio against [`stepped_quanta`](Self::stepped_quanta) is the
+    /// stepping-work reduction the virtual-clock layer achieved.
+    pub fn total_quanta(&self) -> u64 {
+        self.time_ns / self.spec.quantum_ns
+    }
+
+    /// True when no core holds an in-flight chunk.
+    pub fn cores_parked(&self) -> bool {
+        self.cores.iter().all(|c| c.current.is_none())
     }
 
     /// Direct frequency setters (equivalent to the MSR writes; also used
@@ -315,6 +387,7 @@ impl SimProcessor {
 
     /// Advance one quantum, executing work from `wl`.
     pub fn step(&mut self, wl: &mut dyn Workload) {
+        self.stepped_quanta += 1;
         self.apply_frequency_controls();
 
         let quantum_s = self.spec.quantum_ns as f64 * 1e-9;
@@ -433,6 +506,110 @@ impl SimProcessor {
             instructions: total_instr,
         };
         self.time_ns += self.spec.quantum_ns;
+    }
+
+    /// Fast-forward `quanta` idle quanta analytically.
+    ///
+    /// Equivalent — bit for bit, including floating-point accumulation
+    /// order — to calling [`step`](Self::step) `quanta` times against a
+    /// workload that yields no chunks, but without the per-core
+    /// execution machinery. Pending frequency-control writes are
+    /// applied once up front (they are idempotent across identical
+    /// requests, exactly as repeated `step`s would re-apply them); the
+    /// per-quantum floor power is computed once and accumulated with
+    /// one RAPL addition per quantum so the energy counter rounds
+    /// identically; residency, the virtual clock, and the core-rotation
+    /// cursor advance in closed form.
+    ///
+    /// # Panics
+    /// Panics if any core still holds an in-flight chunk — callers
+    /// guard with [`cores_parked`](Self::cores_parked).
+    pub fn advance_idle_quanta(&mut self, quanta: u64) {
+        if quanta == 0 {
+            return;
+        }
+        assert!(
+            self.cores_parked(),
+            "advance_idle requires every core to be parked"
+        );
+        self.apply_frequency_controls();
+
+        let quantum_s = self.spec.quantum_ns as f64 * 1e-9;
+        let n = self.spec.n_cores;
+
+        // Identical arithmetic to an idle `step`: every core contributes
+        // zero utilization; the additions run per core so the sum
+        // rounds exactly as the per-core loop does.
+        let mut sum_eff = 0.0;
+        for st in &mut self.cores {
+            st.compute_s = 0.0;
+            st.active_s = 0.0;
+            st.busy_s = 0.0;
+            sum_eff += self.power.core_effective(0.0);
+        }
+        self.rotate = ((self.rotate as u64 + quanta) % n as u64) as usize;
+
+        let watts = self.power.package_watts(self.cf, self.uf, sum_eff, 0.0);
+        let joules = watts * quantum_s;
+        // Repeated additions, not one multiply: the RAPL accumulator
+        // must take the same rounding path as quantum-by-quantum
+        // stepping.
+        for _ in 0..quanta {
+            self.msr.add_energy(joules);
+        }
+
+        // An idle quantum observes zero demand, so the overload factor
+        // relaxes to 1 after the first quantum; the stats mirror the
+        // last quantum of the stretch.
+        let first_overload = self.overload.max(1.0);
+        self.last_stats = QuantumStats {
+            power_watts: watts,
+            achieved_bw: 0.0,
+            overload: if quanta == 1 { first_overload } else { 1.0 },
+            mean_util: 0.0,
+            instructions: 0.0,
+        };
+        self.overload = 1.0;
+
+        let advanced_ns = self
+            .spec
+            .quantum_ns
+            .checked_mul(quanta)
+            .expect("idle advance overflows the virtual clock");
+        *self.residency.entry((self.cf.0, self.uf.0)).or_insert(0) += advanced_ns;
+        self.time_ns += advanced_ns;
+        self.skipped_quanta += quanta;
+    }
+
+    /// Fast-forward an idle machine to at least `until_ns`, in whole
+    /// quanta (the clock overshoots to the next boundary exactly as a
+    /// per-quantum stepping loop would). No-op when `until_ns` is in
+    /// the past.
+    pub fn advance_idle(&mut self, until_ns: u64) {
+        let gap = until_ns.saturating_sub(self.time_ns);
+        self.advance_idle_quanta(gap.div_ceil(self.spec.quantum_ns));
+    }
+
+    /// The earliest future virtual instant at which stepping can do
+    /// real work: the next quantum boundary while any core holds an
+    /// in-flight chunk (chunk completions only become observable at
+    /// boundaries), the workload's announced wake rounded up to the
+    /// quantum grid while all cores are parked, or `None` when the
+    /// workload will never produce work again (pure idling — only an
+    /// external deadline such as a cluster barrier bounds the advance).
+    pub fn next_event_ns(&self, wl: &dyn Workload) -> Option<u64> {
+        let boundary = self.time_ns + self.spec.quantum_ns;
+        if !self.cores_parked() {
+            return Some(boundary);
+        }
+        match wl.next_wake_ns(self.time_ns) {
+            Some(t) if t <= self.time_ns => Some(boundary),
+            Some(t) => {
+                let quanta = (t - self.time_ns).div_ceil(self.spec.quantum_ns);
+                Some(self.time_ns + quanta * self.spec.quantum_ns)
+            }
+            None => None,
+        }
     }
 
     /// Run `wl` to completion with an optional per-quantum controller
@@ -734,6 +911,140 @@ mod tests {
             assert!(e > prev);
             prev = e;
         }
+    }
+
+    /// Nothing to run, ever — the cluster barrier shape.
+    struct Never;
+    impl Workload for Never {
+        fn next_chunk(&mut self, _: usize, _: u64) -> Option<Chunk> {
+            None
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+        fn next_wake_ns(&self, _now: u64) -> Option<u64> {
+            None
+        }
+    }
+
+    #[test]
+    fn advance_idle_is_bit_identical_to_idle_stepping() {
+        // Drive both processors into a non-trivial state first (bandwidth
+        // overload, rotation offset, residency history), then idle one
+        // by stepping and the other by a single analytic advance.
+        let prime = |p: &mut SimProcessor| {
+            p.set_uncore_freq(Freq(12)); // deep overload regime
+            let mut wl = Uniform::new(p.n_cores(), 7, memory_chunk());
+            while !p.workload_drained(&wl) {
+                p.step(&mut wl);
+            }
+        };
+        for quanta in [1u64, 2, 3, 17, 500] {
+            let mut stepped = SimProcessor::new(HASWELL_2650V3.clone());
+            prime(&mut stepped);
+            let mut jumped = stepped.clone();
+            for _ in 0..quanta {
+                stepped.step(&mut Never);
+            }
+            jumped.advance_idle_quanta(quanta);
+            assert_eq!(
+                stepped.total_energy_joules().to_bits(),
+                jumped.total_energy_joules().to_bits(),
+                "energy must round identically over {quanta} idle quanta"
+            );
+            assert_eq!(stepped.now_ns(), jumped.now_ns());
+            assert_eq!(stepped.frequency_residency(), jumped.frequency_residency());
+            assert_eq!(
+                stepped.msr_read(crate::msr::MSR_PKG_ENERGY_STATUS).unwrap(),
+                jumped.msr_read(crate::msr::MSR_PKG_ENERGY_STATUS).unwrap(),
+                "RAPL projection identical"
+            );
+            let s = stepped.last_quantum();
+            let j = jumped.last_quantum();
+            assert_eq!(s.power_watts.to_bits(), j.power_watts.to_bits());
+            assert_eq!(s.overload.to_bits(), j.overload.to_bits());
+            // The next busy quantum must behave identically too (rotation
+            // cursor, overload relaxation, pending-control application).
+            let mut wa = Uniform::new(stepped.n_cores(), 1, memory_chunk());
+            let mut wb = Uniform::new(jumped.n_cores(), 1, memory_chunk());
+            stepped.step(&mut wa);
+            jumped.step(&mut wb);
+            assert_eq!(
+                stepped.total_energy_joules().to_bits(),
+                jumped.total_energy_joules().to_bits(),
+                "post-idle busy quantum identical after {quanta} idle quanta"
+            );
+            assert_eq!(
+                stepped.total_instructions().to_bits(),
+                jumped.total_instructions().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn advance_idle_applies_pending_frequency_writes() {
+        let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+        p.set_core_freq(Freq(15));
+        p.set_uncore_freq(Freq(18));
+        p.advance_idle_quanta(10);
+        assert_eq!(p.core_freq(), Freq(15));
+        assert_eq!(p.uncore_freq(), Freq(18));
+        assert_eq!(p.frequency_residency().get(&(15, 18)), Some(&10_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "every core to be parked")]
+    fn advance_idle_rejects_in_flight_work() {
+        let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+        // A chunk far too large to finish in one quantum stays in flight.
+        let mut wl = Uniform::new(p.n_cores(), 1, Chunk::new(1_000_000_000, 0, 0));
+        p.step(&mut wl);
+        p.advance_idle_quanta(1);
+    }
+
+    #[test]
+    fn next_event_semantics() {
+        let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+        let q = p.spec().quantum_ns;
+        // Parked machine, workload that never wakes: no event.
+        assert_eq!(p.next_event_ns(&Never), None);
+        // Default wake (may produce work at any time): next boundary.
+        let idle_now = Uniform::new(p.n_cores(), 0, compute_chunk());
+        assert_eq!(p.next_event_ns(&idle_now), Some(q));
+        // In-flight chunk: next boundary, regardless of the workload.
+        let mut big = Uniform::new(p.n_cores(), 1, Chunk::new(1_000_000_000, 0, 0));
+        p.step(&mut big);
+        assert_eq!(p.next_event_ns(&Never), Some(p.now_ns() + q));
+        // A future wake rounds up to the quantum grid.
+        struct WakeAt(u64);
+        impl Workload for WakeAt {
+            fn next_chunk(&mut self, _: usize, _: u64) -> Option<Chunk> {
+                None
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+            fn next_wake_ns(&self, _now: u64) -> Option<u64> {
+                Some(self.0)
+            }
+        }
+        let p2 = SimProcessor::new(HASWELL_2650V3.clone());
+        assert_eq!(p2.next_event_ns(&WakeAt(q * 3 + 1)), Some(q * 4));
+        assert_eq!(p2.next_event_ns(&WakeAt(q * 3)), Some(q * 3));
+    }
+
+    #[test]
+    fn stepping_counters_track_both_paths() {
+        let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut wl = Uniform::new(p.n_cores(), 3, compute_chunk());
+        while !p.workload_drained(&wl) {
+            p.step(&mut wl);
+        }
+        let stepped = p.stepped_quanta();
+        assert_eq!(p.total_quanta(), stepped);
+        p.advance_idle_quanta(40);
+        assert_eq!(p.stepped_quanta(), stepped);
+        assert_eq!(p.total_quanta(), stepped + 40);
     }
 
     #[test]

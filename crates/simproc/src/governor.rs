@@ -75,6 +75,31 @@ impl DefaultGovernor {
         proc.set_core_freq(proc.spec().core.max());
         proc.set_uncore_freq(uf);
     }
+
+    /// True when, on a fully-parked machine, this governor's
+    /// [`on_quantum`](Self::on_quantum) has reached its idle fixed
+    /// point: zero observed traffic, the smoothed signal already below
+    /// the ramp (so the uncore target is pinned at the floor), and both
+    /// domains sitting at exactly the values it would re-write. From
+    /// this state every further idle `on_quantum` only decays the EWMA
+    /// — which [`skip_idle_quanta`](Self::skip_idle_quanta) replays.
+    pub fn is_idle_stable(&self, proc: &SimProcessor) -> bool {
+        proc.last_quantum().achieved_bw == 0.0
+            && self.smoothed <= self.ramp_start
+            && proc.core_freq() == proc.spec().core.max()
+            && proc.uncore_freq() == proc.spec().uncore.clamp(self.uf_floor)
+    }
+
+    /// Replay `quanta` idle EWMA updates (traffic = 0) bit-identically
+    /// to calling [`on_quantum`](Self::on_quantum) that many times on an
+    /// idle-stable machine. The frequency re-writes those calls would
+    /// perform are idempotent at the fixed point, so only the smoothing
+    /// state needs the per-quantum update.
+    pub fn skip_idle_quanta(&mut self, quanta: u64) {
+        for _ in 0..quanta {
+            self.smoothed = self.alpha * 0.0 + (1.0 - self.alpha) * self.smoothed;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +147,57 @@ mod tests {
         let (cf, uf) = run_governor(chunk, 300);
         assert_eq!(cf, Freq(23));
         assert_eq!(uf, Freq(30), "saturating traffic drives uncore to 3.0 GHz");
+    }
+
+    #[test]
+    fn idle_skip_matches_stepwise_decay() {
+        struct Never;
+        impl Workload for Never {
+            fn next_chunk(&mut self, _: usize, _: u64) -> Option<Chunk> {
+                None
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+            fn next_wake_ns(&self, _: u64) -> Option<u64> {
+                None
+            }
+        }
+        // Saturate the traffic signal, then let the machine park.
+        let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut g = DefaultGovernor::new();
+        let chunk = Chunk::new(1_000_000, 56_000, 8_000).with_profile(CostProfile::new(0.55, 12.0));
+        let mut wl = Steady { chunk };
+        for _ in 0..200 {
+            p.step(&mut wl);
+            g.on_quantum(&mut p);
+        }
+        assert!(!g.is_idle_stable(&p), "busy machine is not idle-stable");
+        // Decay stepwise until the governor reaches its idle fixed point.
+        let mut guard = 0;
+        while !g.is_idle_stable(&p) {
+            p.step(&mut Never);
+            g.on_quantum(&mut p);
+            guard += 1;
+            assert!(guard < 1000, "governor must reach the idle fixed point");
+        }
+        // From the fixed point: skipping must equal stepping, bit for bit.
+        let mut p2 = p.clone();
+        let mut g2 = g.clone();
+        for _ in 0..57 {
+            p.step(&mut Never);
+            g.on_quantum(&mut p);
+        }
+        p2.advance_idle_quanta(57);
+        g2.skip_idle_quanta(57);
+        assert_eq!(g.traffic().to_bits(), g2.traffic().to_bits());
+        assert_eq!(p.core_freq(), p2.core_freq());
+        assert_eq!(p.uncore_freq(), p2.uncore_freq());
+        assert_eq!(
+            p.total_energy_joules().to_bits(),
+            p2.total_energy_joules().to_bits()
+        );
+        assert!(g2.is_idle_stable(&p2), "fixed point is absorbing");
     }
 
     #[test]

@@ -173,6 +173,104 @@ fn pinned_equals_manual_frequency_pinning() {
     assert_identical(&direct, &via_trait, "Pinned");
 }
 
+/// The virtual-clock layer must be observation-equivalent: a cluster
+/// run with idle fast-forwarding enabled (the default) produces
+/// bit-identical energy, timing, residency, and barrier accounting to
+/// the historical quantum-by-quantum idle stepping, for every
+/// controller policy — including across Cuttlefish `Tinv` ticks and
+/// the firmware governor's idle ramp-down, both of which fire *during*
+/// barrier waits.
+#[test]
+fn cluster_idle_fast_forward_is_bit_identical() {
+    // Imbalanced app: long barrier waits every superstep (the §4.6
+    // slack shape) — the path the event layer fast-forwards hardest.
+    let app = BspApp::imbalanced(3, 8, 0, 3, small_bsp_chunks);
+    for policy in [
+        NodePolicy::Default,
+        NodePolicy::Cuttlefish(Config {
+            warmup_ns: 500_000_000,
+            idle_guard: Some(0.3),
+            ..Config::default()
+        }),
+        NodePolicy::Pinned {
+            cf: Freq(12),
+            uf: Freq(22),
+        },
+    ] {
+        let run = |event_stepping: bool| {
+            let mut cluster = Cluster::new(3, policy.clone(), CommModel::default());
+            cluster.set_event_stepping(event_stepping);
+            let outcome = cluster.run(&app);
+            let reports = cluster.reports();
+            (outcome, cluster.residency(), reports)
+        };
+        let (fast, fast_res, fast_reports) = run(true);
+        let (slow, slow_res, slow_reports) = run(false);
+        let label = policy.name();
+        assert_eq!(
+            fast.joules.to_bits(),
+            slow.joules.to_bits(),
+            "{label}: energy"
+        );
+        assert_eq!(
+            fast.seconds.to_bits(),
+            slow.seconds.to_bits(),
+            "{label}: wall time"
+        );
+        assert_eq!(
+            fast.instructions.to_bits(),
+            slow.instructions.to_bits(),
+            "{label}: instructions"
+        );
+        assert_eq!(
+            fast.barrier_wait_s.to_bits(),
+            slow.barrier_wait_s.to_bits(),
+            "{label}: barrier wait"
+        );
+        assert_eq!(fast.node_barrier_wait_s, slow.node_barrier_wait_s);
+        assert_eq!(fast.node_joules, slow.node_joules);
+        assert_eq!(fast_res, slow_res, "{label}: residency map");
+        assert_eq!(fast_reports.len(), slow_reports.len());
+        for (a, b) in fast_reports.iter().zip(&slow_reports) {
+            assert_eq!(a.len(), b.len(), "{label}: report shape");
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.cf_opt, y.cf_opt, "{label}: CFopt");
+                assert_eq!(x.uf_opt, y.uf_opt, "{label}: UFopt");
+                assert_eq!(x.occurrences, y.occurrences, "{label}: occurrences");
+            }
+        }
+        // And the fast path genuinely skipped work on this shape.
+        assert!(
+            fast.stepped_quanta < slow.stepped_quanta,
+            "{label}: fast-forward must reduce stepped quanta \
+             ({} vs {})",
+            fast.stepped_quanta,
+            slow.stepped_quanta
+        );
+        assert_eq!(fast.total_quanta, slow.total_quanta, "{label}: clock");
+    }
+}
+
+/// Per-node barrier accounting: the waits sum to the total, and in the
+/// imbalanced app the overloaded node is the one that never waits.
+#[test]
+fn barrier_wait_is_attributed_per_node() {
+    let app = BspApp::imbalanced(3, 6, 0, 3, small_bsp_chunks);
+    let outcome = Cluster::new(3, NodePolicy::Default, CommModel::default()).run(&app);
+    assert_eq!(outcome.node_barrier_wait_s.len(), 3);
+    let sum: f64 = outcome.node_barrier_wait_s.iter().sum();
+    assert!(
+        (sum - outcome.barrier_wait_s).abs() <= 1e-9 * outcome.barrier_wait_s.max(1.0),
+        "per-node waits must sum to the total"
+    );
+    assert!(
+        outcome.node_barrier_wait_s[0] < 1e-9,
+        "the slow node sets the barrier and never waits"
+    );
+    assert!(outcome.node_barrier_wait_s[1] > 1.0);
+    assert!(outcome.node_barrier_wait_s[2] > 1.0);
+}
+
 fn small_bsp_chunks() -> Vec<Chunk> {
     (0..40)
         .map(|_| {
