@@ -46,6 +46,12 @@ cargo test --workspace -q "$LOCKED"
 stage "formatting"
 cargo fmt --check
 
+stage "docs (rustdoc, warnings are errors)"
+# Part of the quick path: the Scenario API is documentation-driven
+# (scenario files are written against the rustdoc schema), so broken
+# intra-doc links or malformed docs fail CI.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q "$LOCKED"
+
 stage "clippy (warnings are errors)"
 cargo clippy --workspace --all-targets "$LOCKED" -- -D warnings
 
@@ -57,6 +63,21 @@ fi
 
 stage "bench bins build: release"
 cargo build --release -p bench --bins "$LOCKED"
+
+stage "scenario file check"
+# Any cell is runnable from a checked-in scenario file without
+# recompiling; the committed expected artifact pins the contract that
+# a scenario file reproduces its grid cell bit for bit from JSON
+# alone (the output lands outside $SMOKE_DIR so the aggregate glob
+# below never picks it up).
+SCEN_DIR=target/scenario-check
+rm -rf "$SCEN_DIR"
+mkdir -p "$SCEN_DIR"
+cargo run --release -q -p bench "$LOCKED" --bin fig2 -- \
+  --scenario scenarios/fig2-uts-default.json \
+  --json "$SCEN_DIR/fig2-uts-default.json" >/dev/null
+cargo run --release -q -p bench "$LOCKED" --bin bench_diff -- \
+  --exact scenarios/fig2-uts-default.expected.json "$SCEN_DIR/fig2-uts-default.json"
 
 stage "bench smoke"
 # Every figure/table bin runs its reduced grid and writes a typed JSON

@@ -150,13 +150,11 @@ fn bench_scheduler(c: &mut Criterion) {
 fn bench_grid_cell(c: &mut Criterion) {
     use bench::grid::{run_cell, CellSpec};
     use bench::Setup;
-    use workloads::{openmp_suite, ProgModel, Scale};
+    use workloads::ProgModel;
 
     let scale = 0.01;
-    let suite = openmp_suite(Scale(scale));
-    let uts = &suite[0];
     let cell = CellSpec {
-        bench: uts.name.clone(),
+        bench: "UTS".into(),
         model: ProgModel::OpenMp,
         label: "Default".into(),
         setup: Setup::Default,
@@ -168,7 +166,7 @@ fn bench_grid_cell(c: &mut Criterion) {
         bsp: None,
     };
     c.bench_function("grid_cell_uts_tiny", |b| {
-        b.iter(|| black_box(run_cell(&HASWELL_2650V3, uts, &cell)))
+        b.iter(|| black_box(run_cell(&HASWELL_2650V3, scale, &cell)))
     });
 }
 

@@ -12,15 +12,17 @@
 //!    counts on synthetic JPI curves.
 //!
 //! Usage: `cargo run --release -p bench --bin ablation --
-//!         [--smoke] [--shards N] [--json PATH]`
+//!         [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]`
 
 use bench::cli::GridArgs;
-use bench::grid::{compare_to_baseline, geomean_by_setup, GridResult, GridSetup, GridSpec};
+use bench::grid::{
+    compare_to_baseline, geomean_by_setup, AxisSet, GridResult, GridSetup, GridSpec,
+};
 use bench::{render_table, Setup};
 use cuttlefish::explore::Exploration;
 use cuttlefish::{Config, Policy};
 
-const USAGE: &str = "ablation [--smoke] [--shards N] [--json PATH]";
+const USAGE: &str = "ablation [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
 
 fn config_variant(inherit: bool, reval: bool) -> Config {
     Config {
@@ -40,19 +42,20 @@ const VARIANTS: [(&str, bool, bool); 4] = [
 
 fn spec(args: &GridArgs) -> GridSpec {
     let mut spec = GridSpec::new("ablation", args.scale());
-    spec.setups = vec![GridSetup::new("Default", Setup::Default)];
+    let mut setups = vec![GridSetup::new("Default", Setup::Default)];
     for (label, inherit, reval) in VARIANTS {
-        spec.setups.push(
+        setups.push(
             GridSetup::new(label, Setup::Cuttlefish(Policy::Both))
                 .with_config(config_variant(inherit, reval)),
         );
     }
-    if args.smoke {
+    let benchmarks = if args.smoke {
         // Heat-ws has enough distinct ranges to exercise inheritance.
-        spec.benchmarks = vec!["SOR-irt".into(), "Heat-ws".into()];
+        vec!["SOR-irt".into(), "Heat-ws".into()]
     } else {
-        spec.use_full_suite();
-    }
+        spec.full_suite()
+    };
+    spec.push(AxisSet::new(benchmarks, setups));
     spec
 }
 
@@ -105,6 +108,9 @@ fn binary_probes(min_at: usize) -> usize {
 fn main() {
     let args = GridArgs::parse(USAGE);
     let spec = spec(&args);
+    if args.handle_scenario_or_list(&spec) {
+        return;
+    }
     eprintln!(
         "ablation: scale {:.2}, {} cells on {} shards",
         spec.scale,

@@ -1,6 +1,6 @@
-//! Trajectory diff: compare two `BENCH_smoke.json` aggregate points
-//! with per-metric tolerance bands, exiting nonzero on out-of-band
-//! drift.
+//! Trajectory diff: compare two `BENCH_smoke.json` aggregate points —
+//! or two `GridResult` artifacts — with per-metric tolerance bands,
+//! exiting nonzero on out-of-band drift.
 //!
 //! Two modes share one comparison core:
 //!
@@ -15,12 +15,20 @@
 //!   (wall-clock, stepping counters) is ignored in both modes — that
 //!   is what makes it safe to record timing in the committed artifact.
 //!
+//! When both inputs are `cuttlefish/grid-result/v1` artifacts (a bin's
+//! `--json` output, including the one-cell `--scenario` artifacts) the
+//! same modes apply at cell granularity: `--exact` gates on the whole
+//! canonical serialization — the scenario-file CI stage uses this to
+//! pin "a committed cell reproduces bit for bit from JSON alone" —
+//! and tolerance mode bands each cell's seconds/joules.
+//!
 //! Usage: `bench_diff [--exact] [--rel PCT] [--abs-saving PT]
 //!         <baseline.json> <candidate.json>`
 //!
 //! Exit codes: 0 in-band, 1 out-of-band drift, 2 usage/IO error.
 
-use bench::json::Json;
+use bench::grid::GridResult;
+use bench::json::{FromJson, Json, ToJson};
 
 struct Tolerance {
     exact: bool,
@@ -60,7 +68,21 @@ fn main() {
     let base = load(&paths[0]);
     let cand = load(&paths[1]);
 
-    let drifted = diff(&base, &cand, &tol);
+    if schema_of(&base) != schema_of(&cand) {
+        eprintln!(
+            "error: schema mismatch: {} is `{}`, {} is `{}`",
+            paths[0],
+            schema_of(&base),
+            paths[1],
+            schema_of(&cand)
+        );
+        std::process::exit(2);
+    }
+    let drifted = if schema_of(&base) == bench::grid::SCHEMA {
+        diff_grid_results(&base, &cand, &tol)
+    } else {
+        diff(&base, &cand, &tol)
+    };
     if drifted {
         eprintln!(
             "bench_diff: trajectory drifted out of band ({} vs {})",
@@ -93,11 +115,88 @@ fn load(path: &str) -> Json {
         std::process::exit(2);
     });
     let schema = j.field("schema").and_then(Json::as_str).unwrap_or_default();
-    if schema != "cuttlefish/bench-smoke/v1" {
-        eprintln!("error: {path}: unsupported aggregate schema `{schema}`");
-        std::process::exit(2);
+    match schema {
+        "cuttlefish/bench-smoke/v1" | bench::grid::SCHEMA => j,
+        _ => {
+            eprintln!("error: {path}: unsupported schema `{schema}`");
+            std::process::exit(2);
+        }
     }
-    j
+}
+
+fn schema_of(j: &Json) -> &str {
+    j.field("schema").and_then(Json::as_str).unwrap_or_default()
+}
+
+/// Compare two `GridResult` artifacts; returns true on out-of-band
+/// drift. Exact mode gates on the canonical re-serialization (parsing
+/// through the typed decoder first, so formatting-preserving edits
+/// cannot hide behind byte noise); tolerance mode bands each cell.
+fn diff_grid_results(base: &Json, cand: &Json, tol: &Tolerance) -> bool {
+    let parse = |j: &Json| {
+        GridResult::from_json(j).unwrap_or_else(|e| {
+            eprintln!("error: invalid grid-result artifact: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (base, cand) = (parse(base), parse(cand));
+    if tol.exact {
+        if base.to_json().to_pretty() == cand.to_json().to_pretty() {
+            eprintln!(
+                "exact: grid `{}` byte-identical ({} cells)",
+                base.grid,
+                base.cells.len()
+            );
+            return false;
+        }
+        eprintln!("exact: grid-result artifacts differ");
+    }
+    let mut drifted = tol.exact;
+    if base.cells.len() != cand.cells.len() {
+        eprintln!(
+            "  cell count {} → {} (must match)",
+            base.cells.len(),
+            cand.cells.len()
+        );
+        return true;
+    }
+    for (b, c) in base.cells.iter().zip(&cand.cells) {
+        let name = format!("{}/{}", b.spec.bench, b.spec.label);
+        if b.spec != c.spec {
+            eprintln!("  {name}: cell identity changed");
+            drifted = true;
+            continue;
+        }
+        let mut parts = Vec::new();
+        for (key, bv, cv) in [
+            ("seconds", b.seconds, c.seconds),
+            ("joules", b.joules, c.joules),
+        ] {
+            let rel = if bv == 0.0 {
+                if cv == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                ((cv - bv) / bv).abs() * 100.0
+            };
+            if rel > tol.rel_pct {
+                parts.push(format!(
+                    "{key} {:+.3}% (band ±{}%)",
+                    (cv - bv) / bv * 100.0,
+                    tol.rel_pct
+                ));
+            }
+        }
+        if parts.is_empty() {
+            eprintln!("  {name}: in-band");
+        } else {
+            eprintln!("  {name}: {}", parts.join(", "));
+            drifted = true;
+        }
+    }
+    drifted
 }
 
 /// Compare the gated (`grids`) sections; returns true on out-of-band

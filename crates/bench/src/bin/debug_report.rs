@@ -1,17 +1,19 @@
 //! Debug utility: full per-slab report for one benchmark.
 //!
 //! Usage: `cargo run --release -p bench --bin debug_report --
-//!         [<bench-name>] [<scale>] [--smoke] [--shards N] [--json PATH]`
+//!         [<bench-name>] [<scale>] [--smoke] [--shards N] [--json PATH]
+//!         [--scenario FILE] [--list]`
 //!
 //! Defaults to `SOR-ws` at scale 0.3; `--smoke` pins the CI smoke
 //! scale instead of the positional one.
 
 use bench::cli::GridArgs;
-use bench::grid::{GridResult, GridSetup, GridSpec};
+use bench::grid::{AxisSet, GridResult, GridSetup, GridSpec};
 use bench::Setup;
 use cuttlefish::Policy;
 
-const USAGE: &str = "debug_report [<bench-name>] [<scale>] [--smoke] [--shards N] [--json PATH]";
+const USAGE: &str = "debug_report [<bench-name>] [<scale>] [--smoke] [--shards N] [--json PATH] \
+                     [--scenario FILE] [--list]";
 
 fn spec(args: &GridArgs) -> GridSpec {
     let name = args
@@ -28,17 +30,22 @@ fn spec(args: &GridArgs) -> GridSpec {
             .unwrap_or(0.3)
     };
     let mut spec = GridSpec::new("debug_report", scale);
-    spec.benchmarks = vec![name.to_string()];
-    spec.setups = vec![GridSetup::new(
-        "Cuttlefish",
-        Setup::Cuttlefish(Policy::Both),
-    )];
+    spec.push(AxisSet::new(
+        vec![name.to_string()],
+        vec![GridSetup::new(
+            "Cuttlefish",
+            Setup::Cuttlefish(Policy::Both),
+        )],
+    ));
     spec
 }
 
 fn main() {
     let args = GridArgs::parse(USAGE);
     let spec = spec(&args);
+    if args.handle_scenario_or_list(&spec) {
+        return;
+    }
     let (result, timing) = spec.run_timed(args.shards);
     args.finish_timed(&result, &timing);
     render(&result);

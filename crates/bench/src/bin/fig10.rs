@@ -8,45 +8,41 @@
 //! Cuttlefish at full scale).
 //!
 //! Usage: `cargo run --release -p bench --bin fig10 --
-//!         [--smoke] [--shards N] [--json PATH]`
+//!         [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]`
 //! (`CUTTLEFISH_SCALE` scales run length; 1.0 = paper-length runs.)
 
 use bench::cli::GridArgs;
 use bench::grid::{
-    compare_to_baseline, geomean_by_setup, paper_setups, BspCell, CellSpec, GridResult, GridSpec,
+    compare_to_baseline, geomean_by_setup, paper_setups, straggler_spec, AxisSet, Fleet,
+    GridResult, GridSetup, GridSpec,
 };
 use bench::{render_table, Setup};
-use cuttlefish::{Config, Policy};
-use workloads::ProgModel;
+use cuttlefish::Policy;
+use simproc::freq::HASWELL_2650V3;
 
-const USAGE: &str = "fig10 [--smoke] [--shards N] [--json PATH]";
+const USAGE: &str = "fig10 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
 
 fn spec(args: &GridArgs) -> GridSpec {
     let mut spec = GridSpec::new("fig10", args.scale());
-    spec.setups = paper_setups();
     if args.smoke {
-        spec.benchmarks = vec!["UTS".into(), "SOR-ws".into(), "Heat-irt".into()];
+        spec.push(AxisSet::new(
+            vec!["UTS".into(), "SOR-ws".into(), "Heat-irt".into()],
+            paper_setups(),
+        ));
         // Two MPI+X-style cells: the same benchmark replicated over two
         // nodes with per-node controllers, synchronizing at the final
         // barrier (§4.6). Labeled apart from the single-node axis so
         // the panel comparisons stay single-node-vs-single-node.
-        for (label, setup) in [
-            ("Default-2node", Setup::Default),
-            ("Cuttlefish-2node", Setup::Cuttlefish(Policy::Both)),
-        ] {
-            spec.extra.push(CellSpec {
-                bench: "UTS".into(),
-                model: ProgModel::OpenMp,
-                label: label.into(),
-                setup,
-                config: Config::default(),
-                nodes: 2,
-                rep: 0,
-                trace: false,
-                machines: None,
-                bsp: None,
-            });
-        }
+        spec.push(
+            AxisSet::new(
+                vec!["UTS".into()],
+                vec![
+                    GridSetup::new("Default-2node", Setup::Default),
+                    GridSetup::new("Cuttlefish-2node", Setup::Cuttlefish(Policy::Both)),
+                ],
+            )
+            .with_fleets(vec![Fleet::uniform(2)]),
+        );
         // Strong-scaled bulk-synchronous cells: Heat-ws sliced into 96
         // supersteps over four nodes, each superstep ending in a
         // barrier plus a 100 ms collective window (1.2 GB at the α–β
@@ -54,28 +50,42 @@ fn spec(args: &GridArgs) -> GridSpec {
         // idling — the §4.6 regime the virtual-clock engine
         // fast-forwards (no single-node baseline: these cells exist
         // for the cluster shape, not the Figure 10 panels).
-        for (label, setup) in [
-            ("Default-mpi", Setup::Default),
-            ("Cuttlefish-mpi", Setup::Cuttlefish(Policy::Both)),
-        ] {
-            spec.extra.push(CellSpec {
-                bench: "Heat-ws".into(),
-                model: ProgModel::OpenMp,
-                label: label.into(),
-                setup,
-                config: Config::default(),
-                nodes: 4,
-                rep: 0,
-                trace: false,
-                machines: None,
-                bsp: Some(BspCell {
-                    supersteps: 96,
-                    comm_bytes: 1.2e9,
-                }),
-            });
-        }
+        spec.push(
+            AxisSet::new(
+                vec!["Heat-ws".into()],
+                vec![
+                    GridSetup::new("Default-mpi", Setup::Default),
+                    GridSetup::new("Cuttlefish-mpi", Setup::Cuttlefish(Policy::Both)),
+                ],
+            )
+            .with_fleets(vec![Fleet::uniform(4).with_bsp(96, 1.2e9)]),
+        );
+        // The open policy axis: the ondemand/schedutil-style governor on
+        // the memory-bound headline benchmark, sharing the single-node
+        // Default baseline — its rows land next to Cuttlefish's in the
+        // panel comparison below.
+        spec.push(AxisSet::new(
+            vec!["Heat-irt".into()],
+            vec![GridSetup::new("Ondemand", Setup::Ondemand)],
+        ));
+        // A mixed fleet as a plain axis entry (no hand-built cells):
+        // three paper nodes plus one de-rated straggler strong-scaling
+        // Heat-ws — the §4.6 "one slow node" shape.
+        let mut machines = vec![HASWELL_2650V3.clone(); 3];
+        machines.push(straggler_spec());
+        spec.push(
+            AxisSet::new(
+                vec!["Heat-ws".into()],
+                vec![GridSetup::new(
+                    "Cuttlefish-mixed",
+                    Setup::Cuttlefish(Policy::Both),
+                )],
+            )
+            .with_fleets(vec![Fleet::hetero(machines).with_bsp(96, 1.2e9)]),
+        );
     } else {
-        spec.use_full_suite();
+        let full = spec.full_suite();
+        spec.push(AxisSet::new(full, paper_setups()));
     }
     spec
 }
@@ -83,6 +93,9 @@ fn spec(args: &GridArgs) -> GridSpec {
 fn main() {
     let args = GridArgs::parse(USAGE);
     let spec = spec(&args);
+    if args.handle_scenario_or_list(&spec) {
+        return;
+    }
     eprintln!(
         "fig10: OpenMP suite at scale {:.2}, {} cells on {} shards",
         spec.scale,

@@ -7,59 +7,56 @@
 //! the same benchmarks.
 //!
 //! Usage: `cargo run --release -p bench --bin fig11 --
-//!         [--smoke] [--shards N] [--json PATH]`
+//!         [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]`
 
 use bench::cli::GridArgs;
 use bench::grid::{
-    compare_to_baseline, geomean_by_setup, paper_setups, BspCell, CellSpec, GridResult, GridSpec,
+    compare_to_baseline, geomean_by_setup, paper_setups, AxisSet, Fleet, GridResult, GridSetup,
+    GridSpec,
 };
 use bench::{render_table, Setup};
-use cuttlefish::{Config, Policy};
+use cuttlefish::Policy;
 use workloads::ProgModel;
 
-const USAGE: &str = "fig11 [--smoke] [--shards N] [--json PATH]";
+const USAGE: &str = "fig11 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
 
 fn spec(args: &GridArgs) -> GridSpec {
     let mut spec = GridSpec::new("fig11", args.scale());
     spec.model = ProgModel::HClib;
-    spec.setups = paper_setups();
     if args.smoke {
-        spec.benchmarks = vec!["SOR-irt".into(), "Heat-ws".into()];
+        spec.push(AxisSet::new(
+            vec!["SOR-irt".into(), "Heat-ws".into()],
+            paper_setups(),
+        ));
         // One MPI+HClib cell (two work-stealing nodes, final barrier):
         // the §5.2 obliviousness claim extended to the §4.6 MPI+X shape.
-        spec.extra.push(CellSpec {
-            bench: "Heat-ws".into(),
-            model: ProgModel::HClib,
-            label: "Cuttlefish-2node".into(),
-            setup: Setup::Cuttlefish(Policy::Both),
-            config: Config::default(),
-            nodes: 2,
-            rep: 0,
-            trace: false,
-            machines: None,
-            bsp: None,
-        });
+        spec.push(
+            AxisSet::new(
+                vec!["Heat-ws".into()],
+                vec![GridSetup::new(
+                    "Cuttlefish-2node",
+                    Setup::Cuttlefish(Policy::Both),
+                )],
+            )
+            .with_fleets(vec![Fleet::uniform(2)]),
+        );
         // And the barrier-window-dominated bulk-synchronous shape
         // (per-superstep barrier + 100 ms collective), matching the
         // fig10 MPI cells so the obliviousness comparison extends to
         // the cluster path.
-        spec.extra.push(CellSpec {
-            bench: "Heat-ws".into(),
-            model: ProgModel::HClib,
-            label: "Cuttlefish-mpi".into(),
-            setup: Setup::Cuttlefish(Policy::Both),
-            config: Config::default(),
-            nodes: 4,
-            rep: 0,
-            trace: false,
-            machines: None,
-            bsp: Some(BspCell {
-                supersteps: 96,
-                comm_bytes: 1.2e9,
-            }),
-        });
+        spec.push(
+            AxisSet::new(
+                vec!["Heat-ws".into()],
+                vec![GridSetup::new(
+                    "Cuttlefish-mpi",
+                    Setup::Cuttlefish(Policy::Both),
+                )],
+            )
+            .with_fleets(vec![Fleet::uniform(4).with_bsp(96, 1.2e9)]),
+        );
     } else {
-        spec.use_full_suite();
+        let full = spec.full_suite();
+        spec.push(AxisSet::new(full, paper_setups()));
     }
     spec
 }
@@ -67,6 +64,9 @@ fn spec(args: &GridArgs) -> GridSpec {
 fn main() {
     let args = GridArgs::parse(USAGE);
     let spec = spec(&args);
+    if args.handle_scenario_or_list(&spec) {
+        return;
+    }
     eprintln!(
         "fig11: HClib suite at scale {:.2}, {} cells on {} shards",
         spec.scale,

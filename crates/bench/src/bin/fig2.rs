@@ -8,13 +8,14 @@
 //! with the increase in TIPI").
 //!
 //! Usage: `cargo run --release -p bench --bin fig2 --
-//!         [--csv] [--smoke] [--shards N] [--json PATH]`
+//!         [--csv] [--smoke] [--shards N] [--json PATH]
+//!         [--scenario FILE] [--list]`
 
 use bench::cli::GridArgs;
-use bench::grid::{GridResult, GridSetup, GridSpec};
+use bench::grid::{AxisSet, GridResult, GridSetup, GridSpec};
 use bench::{Setup, TracePoint};
 
-const USAGE: &str = "fig2 [--csv] [--smoke] [--shards N] [--json PATH]";
+const USAGE: &str = "fig2 [--csv] [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
 
 /// Pearson correlation between TIPI and JPI series.
 fn correlation(points: &[TracePoint]) -> f64 {
@@ -44,14 +45,17 @@ fn correlation(points: &[TracePoint]) -> f64 {
 fn spec(args: &GridArgs) -> GridSpec {
     let mut spec = GridSpec::new("fig2", args.scale());
     // The paper plots UTS, SOR-irt, Heat-irt, MiniFE, HPCCG, AMG.
-    spec.benchmarks = if args.smoke {
+    let benchmarks = if args.smoke {
         vec!["UTS".into(), "Heat-irt".into()]
     } else {
         ["UTS", "SOR-irt", "Heat-irt", "MiniFE", "HPCCG", "AMG"]
             .map(String::from)
             .to_vec()
     };
-    spec.setups = vec![GridSetup::new("Default", Setup::Default).with_trace()];
+    spec.push(AxisSet::new(
+        benchmarks,
+        vec![GridSetup::new("Default", Setup::Default).with_trace()],
+    ));
     spec
 }
 
@@ -59,6 +63,9 @@ fn main() {
     let mut args = GridArgs::parse_with(USAGE, &["--csv"]);
     let csv = args.take_flag("--csv");
     let spec = spec(&args);
+    if args.handle_scenario_or_list(&spec) {
+        return;
+    }
     eprintln!(
         "fig2: timelines at max frequencies, scale {:.2}, {} cells on {} shards",
         spec.scale,

@@ -14,16 +14,16 @@
 //! max uncore is not optimal.
 //!
 //! Usage: `cargo run --release -p bench --bin fig3 --
-//!         [--smoke] [--shards N] [--json PATH]`
+//!         [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]`
 
 use bench::cli::GridArgs;
-use bench::grid::{CellResult, GridResult, GridSetup, GridSpec};
+use bench::grid::{AxisSet, CellResult, GridResult, GridSetup, GridSpec};
 use bench::{render_table, Setup};
 use simproc::freq::Freq;
 use std::collections::BTreeMap;
 use workloads::cache::slab_of;
 
-const USAGE: &str = "fig3 [--smoke] [--shards N] [--json PATH]";
+const USAGE: &str = "fig3 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
 
 /// Mean JPI over the frequent slabs of a cell's trace, as
 /// (label, jpi) pairs.
@@ -76,14 +76,14 @@ fn sweep_setups() -> Vec<GridSetup> {
 
 fn spec(args: &GridArgs) -> GridSpec {
     let mut spec = GridSpec::new("fig3", args.scale());
-    spec.benchmarks = if args.smoke {
+    let benchmarks = if args.smoke {
         vec!["UTS".into(), "Heat-irt".into()]
     } else {
         ["UTS", "SOR-irt", "Heat-irt", "MiniFE", "HPCCG", "AMG"]
             .map(String::from)
             .to_vec()
     };
-    spec.setups = sweep_setups();
+    spec.push(AxisSet::new(benchmarks, sweep_setups()));
     spec
 }
 
@@ -117,6 +117,9 @@ fn panel_rows(result: &GridResult, bench: &str, labels: [String; 3], rows: &mut 
 fn main() {
     let args = GridArgs::parse(USAGE);
     let spec = spec(&args);
+    if args.handle_scenario_or_list(&spec) {
+        return;
+    }
     eprintln!(
         "fig3: fixed-frequency JPI sweeps at scale {:.2}, {} cells on {} shards",
         spec.scale,

@@ -8,50 +8,50 @@
 //! optimum despite starting with no prior information.
 //!
 //! Usage: `cargo run --release -p bench --bin residency --
-//!         [--smoke] [--shards N] [--json PATH]`
+//!         [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]`
 
 use bench::cli::GridArgs;
-use bench::grid::{straggler_spec, BspCell, CellSpec, GridResult, GridSetup, GridSpec};
+use bench::grid::{straggler_spec, AxisSet, Fleet, GridResult, GridSetup, GridSpec};
 use bench::{render_table, Setup};
-use cuttlefish::{Config, Policy};
+use cuttlefish::Policy;
 use simproc::freq::HASWELL_2650V3;
-use workloads::ProgModel;
 
-const USAGE: &str = "residency [--smoke] [--shards N] [--json PATH]";
+const USAGE: &str = "residency [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
 
 fn spec(args: &GridArgs) -> GridSpec {
     let mut spec = GridSpec::new("residency", args.scale());
-    spec.setups = vec![GridSetup::new(
-        "Cuttlefish",
-        Setup::Cuttlefish(Policy::Both),
-    )];
+    let cuttlefish = || {
+        vec![GridSetup::new(
+            "Cuttlefish",
+            Setup::Cuttlefish(Policy::Both),
+        )]
+    };
     if args.smoke {
-        spec.benchmarks = vec!["UTS".into(), "Heat-irt".into(), "MiniFE".into()];
-        // The §4.6 straggler shape with slow *hardware*: three paper
-        // nodes plus one de-rated node per heterogeneous spec, running
-        // a bulk-synchronous Heat decomposition. Every superstep the
-        // fast nodes idle to the straggler's barrier — the path the
-        // virtual-clock engine fast-forwards; each node's own daemon
-        // still tunes its own package.
+        spec.push(AxisSet::new(
+            vec!["UTS".into(), "Heat-irt".into(), "MiniFE".into()],
+            cuttlefish(),
+        ));
+        // The §4.6 straggler shape with slow *hardware*, expressed as a
+        // heterogeneous fleet-axis entry: three paper nodes plus one
+        // de-rated node running a bulk-synchronous Heat decomposition.
+        // Every superstep the fast nodes idle to the straggler's
+        // barrier — the path the virtual-clock engine fast-forwards;
+        // each node's own daemon still tunes its own package.
         let mut machines = vec![HASWELL_2650V3.clone(); 3];
         machines.push(straggler_spec());
-        spec.extra.push(CellSpec {
-            bench: "Heat-ws".into(),
-            model: ProgModel::OpenMp,
-            label: "Cuttlefish-straggler".into(),
-            setup: Setup::Cuttlefish(Policy::Both),
-            config: Config::default(),
-            nodes: 4,
-            rep: 0,
-            trace: false,
-            machines: Some(machines),
-            bsp: Some(BspCell {
-                supersteps: 96,
-                comm_bytes: 240.0e6,
-            }),
-        });
+        spec.push(
+            AxisSet::new(
+                vec!["Heat-ws".into()],
+                vec![GridSetup::new(
+                    "Cuttlefish-straggler",
+                    Setup::Cuttlefish(Policy::Both),
+                )],
+            )
+            .with_fleets(vec![Fleet::hetero(machines).with_bsp(96, 240.0e6)]),
+        );
     } else {
-        spec.use_full_suite();
+        let full = spec.full_suite();
+        spec.push(AxisSet::new(full, cuttlefish()));
     }
     spec
 }
@@ -59,6 +59,9 @@ fn spec(args: &GridArgs) -> GridSpec {
 fn main() {
     let args = GridArgs::parse(USAGE);
     let spec = spec(&args);
+    if args.handle_scenario_or_list(&spec) {
+        return;
+    }
     eprintln!(
         "residency: scale {:.2}, {} cells on {} shards",
         spec.scale,

@@ -6,31 +6,37 @@
 //! of `Tinv` samples).
 //!
 //! Usage: `cargo run --release -p bench --bin table1 --
-//!         [--smoke] [--shards N] [--json PATH]`
+//!         [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]`
 
 use bench::cli::GridArgs;
-use bench::grid::{GridResult, GridSetup, GridSpec};
+use bench::grid::{AxisSet, GridResult, GridSetup, GridSpec};
 use bench::{render_table, Setup};
 use std::collections::BTreeMap;
 use workloads::cache::slab_of;
 use workloads::{openmp_suite, Scale};
 
-const USAGE: &str = "table1 [--smoke] [--shards N] [--json PATH]";
+const USAGE: &str = "table1 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
 
 fn spec(args: &GridArgs) -> GridSpec {
     let mut spec = GridSpec::new("table1", args.scale());
-    spec.setups = vec![GridSetup::new("Default", Setup::Default).with_trace()];
-    if args.smoke {
-        spec.benchmarks = vec!["UTS".into(), "SOR-ws".into(), "Heat-ws".into()];
+    let benchmarks = if args.smoke {
+        vec!["UTS".into(), "SOR-ws".into(), "Heat-ws".into()]
     } else {
-        spec.use_full_suite();
-    }
+        spec.full_suite()
+    };
+    spec.push(AxisSet::new(
+        benchmarks,
+        vec![GridSetup::new("Default", Setup::Default).with_trace()],
+    ));
     spec
 }
 
 fn main() {
     let args = GridArgs::parse(USAGE);
     let spec = spec(&args);
+    if args.handle_scenario_or_list(&spec) {
+        return;
+    }
     eprintln!(
         "table1: OpenMP suite at scale {:.2}, {} cells on {} shards",
         spec.scale,

@@ -7,34 +7,38 @@
 //! for compute-bound, 3.0 for memory-bound).
 //!
 //! Usage: `cargo run --release -p bench --bin table2 --
-//!         [--smoke] [--shards N] [--json PATH]`
+//!         [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]`
 
 use bench::cli::GridArgs;
-use bench::grid::{CellResult, GridResult, GridSetup, GridSpec};
+use bench::grid::{AxisSet, CellResult, GridResult, GridSetup, GridSpec};
 use bench::{render_table, Setup};
 use cuttlefish::Policy;
 
-const USAGE: &str = "table2 [--smoke] [--shards N] [--json PATH]";
+const USAGE: &str = "table2 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
 
 fn spec(args: &GridArgs) -> GridSpec {
     let mut spec = GridSpec::new("table2", args.scale());
-    spec.setups = vec![
+    let setups = vec![
         // Default with a trace: the firmware's settled uncore choice is
         // read off the timeline.
         GridSetup::new("Default", Setup::Default).with_trace(),
         GridSetup::new("Cuttlefish", Setup::Cuttlefish(Policy::Both)),
     ];
-    if args.smoke {
-        spec.benchmarks = vec!["UTS".into(), "Heat-ws".into(), "MiniFE".into()];
+    let benchmarks = if args.smoke {
+        vec!["UTS".into(), "Heat-ws".into(), "MiniFE".into()]
     } else {
-        spec.use_full_suite();
-    }
+        spec.full_suite()
+    };
+    spec.push(AxisSet::new(benchmarks, setups));
     spec
 }
 
 fn main() {
     let args = GridArgs::parse(USAGE);
     let spec = spec(&args);
+    if args.handle_scenario_or_list(&spec) {
+        return;
+    }
     eprintln!(
         "table2: OpenMP suite at scale {:.2}, {} cells on {} shards",
         spec.scale,

@@ -7,14 +7,16 @@
 //! 20 ms is chosen as the default.
 //!
 //! Usage: `cargo run --release -p bench --bin table3 --
-//!         [--smoke] [--shards N] [--json PATH]`
+//!         [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]`
 
 use bench::cli::GridArgs;
-use bench::grid::{compare_to_baseline, geomean_by_setup, GridResult, GridSetup, GridSpec};
+use bench::grid::{
+    compare_to_baseline, geomean_by_setup, AxisSet, GridResult, GridSetup, GridSpec,
+};
 use bench::{render_table, Setup};
 use cuttlefish::{Config, Policy};
 
-const USAGE: &str = "table3 [--smoke] [--shards N] [--json PATH]";
+const USAGE: &str = "table3 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
 
 const TINVS_MS: [u64; 4] = [10, 20, 40, 60];
 
@@ -22,24 +24,28 @@ fn spec(args: &GridArgs) -> GridSpec {
     let mut spec = GridSpec::new("table3", args.scale());
     // Default runs are Tinv-independent: one baseline setup, then one
     // Cuttlefish setup per interval.
-    spec.setups = vec![GridSetup::new("Default", Setup::Default)];
+    let mut setups = vec![GridSetup::new("Default", Setup::Default)];
     for tinv_ms in TINVS_MS {
-        spec.setups.push(
+        setups.push(
             GridSetup::new(format!("Tinv={tinv_ms}ms"), Setup::Cuttlefish(Policy::Both))
                 .with_config(Config::default().with_tinv_ms(tinv_ms)),
         );
     }
-    if args.smoke {
-        spec.benchmarks = vec!["SOR-ws".into(), "Heat-irt".into()];
+    let benchmarks = if args.smoke {
+        vec!["SOR-ws".into(), "Heat-irt".into()]
     } else {
-        spec.use_full_suite();
-    }
+        spec.full_suite()
+    };
+    spec.push(AxisSet::new(benchmarks, setups));
     spec
 }
 
 fn main() {
     let args = GridArgs::parse(USAGE);
     let spec = spec(&args);
+    if args.handle_scenario_or_list(&spec) {
+        return;
+    }
     eprintln!(
         "table3: Tinv sensitivity at scale {:.2}, {} cells on {} shards",
         spec.scale,

@@ -1,17 +1,24 @@
 //! Tiny shared argument parser for the figure/table bins.
 //!
-//! Every bin accepts the same three grid flags:
+//! Every bin accepts the same grid flags:
 //!
 //! * `--shards N` — worker threads for the scenario grid (default: all
 //!   available cores);
 //! * `--smoke` — run the bin's reduced smoke grid at a fixed small
 //!   scale (the CI "bench smoke" stage), ignoring `CUTTLEFISH_SCALE`;
-//! * `--json PATH` — additionally write the [`GridResult`] artifact.
+//! * `--json PATH` — additionally write the [`GridResult`] artifact;
+//! * `--scenario FILE` — instead of the grid, run one scenario from a
+//!   JSON file (see `bench::scenario`): any imaginable cell without
+//!   recompiling. With `--json` the one-cell artifact is written, and
+//!   a cell described by a scenario file reproduces the grid's cell
+//!   bytes bit for bit;
+//! * `--list` — print the grid's enumerated cells and exit.
 //!
 //! Bin-specific flags (`--csv`, positionals) pass through untouched.
 
-use crate::grid::{GridResult, GridTiming};
+use crate::grid::{GridResult, GridSpec, GridTiming};
 use crate::json::ToJson;
+use crate::scenario::Scenario;
 
 /// Scale every `--smoke` grid runs at: small enough for PR-time CI,
 /// large enough that daemons resolve optima on the short benchmarks.
@@ -26,6 +33,10 @@ pub struct GridArgs {
     pub smoke: bool,
     /// Artifact output path.
     pub json: Option<std::path::PathBuf>,
+    /// Scenario file to run instead of the grid.
+    pub scenario: Option<std::path::PathBuf>,
+    /// List the grid's cells instead of running.
+    pub list: bool,
     rest: Vec<String>,
 }
 
@@ -44,6 +55,8 @@ impl GridArgs {
         let mut shards = default_shards();
         let mut smoke = false;
         let mut json = None;
+        let mut scenario = None;
+        let mut list = false;
         let mut rest = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -61,6 +74,13 @@ impl GridArgs {
                             .unwrap_or_else(|| die(usage, "--json needs a path")),
                     ));
                 }
+                "--scenario" => {
+                    scenario = Some(std::path::PathBuf::from(
+                        args.next()
+                            .unwrap_or_else(|| die(usage, "--scenario needs a path")),
+                    ));
+                }
+                "--list" => list = true,
                 "--smoke" => smoke = true,
                 "--help" | "-h" => {
                     println!("{usage}");
@@ -76,8 +96,100 @@ impl GridArgs {
             shards,
             smoke,
             json,
+            scenario,
+            list,
             rest,
         }
+    }
+
+    /// Handle `--list` and `--scenario` for this bin's grid. Returns
+    /// `true` when the invocation was fully handled and the bin should
+    /// exit without running its grid.
+    ///
+    /// `--list` prints every enumerated cell (index, benchmark, label,
+    /// cluster shape) — the catalogue a scenario file can reproduce.
+    /// `--scenario FILE` parses and validates the file, runs it through
+    /// exactly the grid's per-cell path, prints a one-line outcome, and
+    /// honours `--json` with the one-cell artifact.
+    pub fn handle_scenario_or_list(&self, spec: &GridSpec) -> bool {
+        if self.list {
+            let cells = spec.cells();
+            println!(
+                "{}: {} cells (scale {})",
+                spec.name,
+                cells.len(),
+                spec.scale
+            );
+            for (i, c) in cells.iter().enumerate() {
+                let mut shape = format!("nodes={}", c.nodes);
+                if let Some(b) = &c.bsp {
+                    shape.push_str(&format!(" bsp={}x{:.0}B", b.supersteps, b.comm_bytes));
+                }
+                if c.machines.is_some() {
+                    shape.push_str(" hetero");
+                }
+                if c.trace {
+                    shape.push_str(" trace");
+                }
+                println!(
+                    "  [{i:>3}] {:<10} {:<22} rep={} {}",
+                    c.bench, c.label, c.rep, shape
+                );
+            }
+            return true;
+        }
+        let Some(path) = &self.scenario else {
+            return false;
+        };
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let scenario = Scenario::from_json_str(&text).unwrap_or_else(|e| {
+            eprintln!(
+                "error: {} is not a valid scenario file: {e}",
+                path.display()
+            );
+            std::process::exit(2);
+        });
+        // Artifacts embed the grid's cell format, which only covers
+        // grid-expressible scenarios (benchmark workloads, uniform
+        // policies, harness seeds); everything the file schema allows
+        // still *runs* — without `--json`, execute directly.
+        match crate::grid::run_scenario_timed(&scenario) {
+            Ok((result, timing)) => {
+                self.finish_timed(&result, &timing);
+                let cell = &result.cells[0];
+                print_outcome(&scenario, cell.seconds, cell.joules, cell.instructions);
+            }
+            Err(reason) if self.json.is_none() => {
+                let wall = std::time::Instant::now();
+                let outcome = scenario.run();
+                eprintln!(
+                    "{}: stepped {} of {} quanta, {:.1} ms wall (cell format not \
+                     applicable: {reason})",
+                    scenario.label,
+                    outcome.stepped_quanta(),
+                    outcome.total_quanta(),
+                    wall.elapsed().as_secs_f64() * 1e3,
+                );
+                print_outcome(
+                    &scenario,
+                    outcome.seconds(),
+                    outcome.joules(),
+                    outcome.instructions(),
+                );
+            }
+            Err(reason) => {
+                eprintln!(
+                    "error: scenario {} cannot be written as a --json grid artifact: \
+                     {reason} (drop --json to run it anyway)",
+                    path.display()
+                );
+                std::process::exit(2);
+            }
+        }
+        true
     }
 
     /// Consume a bin-specific boolean flag (e.g. `--csv`).
@@ -147,6 +259,19 @@ impl GridArgs {
             }
         }
     }
+}
+
+/// One-line scenario outcome summary.
+fn print_outcome(scenario: &Scenario, seconds: f64, joules: f64, instructions: f64) {
+    println!(
+        "{}: {} on {} node(s) — {:.3} s, {:.1} J, {:.3e} instructions",
+        scenario.label,
+        scenario.workload.name(),
+        scenario.n_nodes(),
+        seconds,
+        joules,
+        instructions
+    );
 }
 
 /// Default shard count: every available core.

@@ -1,31 +1,36 @@
-//! The scenario grid: declarative benchmark × setup × node-count ×
-//! repetition sweeps, fanned out across worker threads and aggregated
-//! into one machine-readable result.
+//! The scenario grid: declarative axis-sets over [`Scenario`] fields,
+//! fanned out across worker threads and aggregated into one
+//! machine-readable result.
 //!
 //! The paper's evaluation is a grid — every figure/table is "run these
-//! benchmarks under these setups and compare" — and each run is an
-//! independent, deterministic simulation. [`GridSpec`] captures the
-//! declaration, [`GridSpec::run`] executes the enumerated cells on a
+//! benchmarks under these setups on these fleets and compare" — and
+//! each run is an independent, deterministic simulation. A [`GridSpec`]
+//! is a list of [`AxisSet`]s, each the cartesian product
+//! `benchmarks × fleets × setups × reps` over scenario fields (the
+//! [`Fleet`] axis covers node counts, heterogeneous per-node machines,
+//! and bulk-synchronous decompositions — no hand-built special-case
+//! cells). [`GridSpec::run`] executes the enumerated cells on a
 //! work-stealing pool (the crossbeam shim's `Injector` feeds cell
-//! indices to `--shards` threads), and [`GridResult`] carries the
-//! per-cell measurements in *cell-enumeration order* regardless of
-//! which thread ran what — so the serialized artifact is byte-identical
-//! for any shard count, which is what lets CI diff it over time.
+//! indices to `--shards` threads), each cell running through
+//! [`Scenario::run`], and [`GridResult`] carries the per-cell
+//! measurements in *cell-enumeration order* regardless of which thread
+//! ran what — so the serialized artifact is byte-identical for any
+//! shard count, which is what lets CI diff it over time.
 //!
 //! The figure/table bins in `src/bin/` are each one `GridSpec`
 //! declaration plus a formatting layer over the returned cells; the
 //! same JSON artifacts feed `ci.sh`'s "bench smoke" stage.
 
 use crate::json::{FromJson, Json, JsonError, ToJson};
-use crate::{run_on, Setup, TracePoint, HARNESS_SEED};
-use cluster::{Cluster, CommModel};
+use crate::scenario::{arr, from_arr, from_opt_u32, obj, opt_u32, Scenario, ScenarioOutcome};
+use crate::{RunOutcome, Setup, TracePoint, HARNESS_SEED};
 use crossbeam::deque::{Injector, Steal};
-use cuttlefish::{Config, Policy};
+use cuttlefish::Config;
 use serde::{Deserialize, Serialize};
 use simproc::freq::{Freq, FreqDomain, MachineSpec, HASWELL_2650V3};
 use std::sync::Mutex;
 use std::time::Instant;
-use workloads::{hclib_suite, openmp_suite, Benchmark, BuiltWorkload, ProgModel, Scale};
+use workloads::{hclib_suite, openmp_suite, Benchmark, ProgModel, Scale, WorkloadSpec};
 
 /// Artifact format tag embedded in every serialized [`GridResult`].
 pub const SCHEMA: &str = "cuttlefish/grid-result/v1";
@@ -70,55 +75,143 @@ impl GridSetup {
     }
 }
 
-/// A declarative scenario grid. Cells are the cartesian product
-/// `benchmarks × node_counts × setups × reps`, enumerated in exactly
-/// that nesting order.
+/// One entry on a grid's node-spec axis: how many nodes a cell runs
+/// on, which machines they are, and whether the workload strong-scales
+/// bulk-synchronously across them. This is the axis that used to need
+/// hand-built "extra" cells — heterogeneous stragglers and `*-mpi`
+/// shapes are now just fleet entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fleet {
+    /// Node count (1 = single package via the evaluation harness).
+    pub nodes: usize,
+    /// Per-node machine overrides (length must equal `nodes`). `None`
+    /// — the normal case — runs every node on the grid's uniform
+    /// machine, and the serialized cell is byte-identical to the
+    /// pre-heterogeneity format (the key is omitted entirely).
+    pub machines: Option<Vec<MachineSpec>>,
+    /// Bulk-synchronous decomposition. `None` replicates the whole
+    /// benchmark per node with one final barrier; `Some` strong-scales
+    /// it in superstep rounds (the §4.6 MPI+X shape).
+    pub bsp: Option<BspCell>,
+}
+
+impl Fleet {
+    /// One node on the grid machine — the default fleet.
+    pub fn single() -> Self {
+        Fleet {
+            nodes: 1,
+            machines: None,
+            bsp: None,
+        }
+    }
+
+    /// `n` nodes on the grid machine.
+    pub fn uniform(n: usize) -> Self {
+        Fleet {
+            nodes: n,
+            machines: None,
+            bsp: None,
+        }
+    }
+
+    /// A heterogeneous fleet, one machine per node.
+    pub fn hetero(machines: Vec<MachineSpec>) -> Self {
+        Fleet {
+            nodes: machines.len(),
+            machines: Some(machines),
+            bsp: None,
+        }
+    }
+
+    /// Builder: strong-scale bulk-synchronously.
+    pub fn with_bsp(mut self, supersteps: u32, comm_bytes: f64) -> Self {
+        self.bsp = Some(BspCell {
+            supersteps,
+            comm_bytes,
+        });
+        self
+    }
+}
+
+impl Default for Fleet {
+    fn default() -> Self {
+        Fleet::single()
+    }
+}
+
+/// One cartesian axis-set of a grid:
+/// `benchmarks × fleets × setups × reps`, enumerated in exactly that
+/// nesting order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AxisSet {
+    /// Benchmark names (resolved against the grid's suite).
+    pub benchmarks: Vec<String>,
+    /// Setup axis.
+    pub setups: Vec<GridSetup>,
+    /// Node-spec axis.
+    pub fleets: Vec<Fleet>,
+    /// Repetitions per cell (distinct instantiation seeds).
+    pub reps: u32,
+}
+
+impl AxisSet {
+    /// Axis-set over single-node cells, one repetition — the shape of
+    /// most figure/table grids.
+    pub fn new(benchmarks: Vec<String>, setups: Vec<GridSetup>) -> Self {
+        AxisSet {
+            benchmarks,
+            setups,
+            fleets: vec![Fleet::single()],
+            reps: 1,
+        }
+    }
+
+    /// Builder: replace the fleet axis.
+    pub fn with_fleets(mut self, fleets: Vec<Fleet>) -> Self {
+        self.fleets = fleets;
+        self
+    }
+
+    /// Builder: set the repetition count.
+    pub fn with_reps(mut self, reps: u32) -> Self {
+        self.reps = reps;
+        self
+    }
+}
+
+/// A declarative scenario grid: shared name/scale/machine/model plus a
+/// list of axis-sets enumerated in order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GridSpec {
     /// Grid name (the figure/table this reproduces).
     pub name: String,
     /// Workload scale factor (1.0 = paper-length runs).
     pub scale: f64,
-    /// Machine every cell simulates.
+    /// Machine every uniform-fleet cell simulates.
     pub machine: MachineSpec,
     /// Programming model (selects the benchmark suite).
     pub model: ProgModel,
-    /// Benchmark names (resolved against the suite for `model`).
-    pub benchmarks: Vec<String>,
-    /// Setup axis.
-    pub setups: Vec<GridSetup>,
-    /// Node counts; 1 = single package via the evaluation harness,
-    /// >1 = an MPI+X-style cluster with per-node controllers.
-    pub node_counts: Vec<usize>,
-    /// Repetitions per cell (distinct instantiation seeds).
-    pub reps: u32,
-    /// Hand-built cells appended after the cartesian enumeration —
-    /// shapes the axes cannot express, like heterogeneous straggler
-    /// clusters (`CellSpec::machines`). Benchmarks must still resolve
-    /// against this grid's suite.
-    pub extra: Vec<CellSpec>,
+    /// Axis-sets, enumerated in order.
+    pub axes: Vec<AxisSet>,
 }
 
 impl GridSpec {
-    /// Grid over the paper's Haswell machine, OpenMP model, one node,
-    /// one repetition — the shape of most figure/table bins.
+    /// Grid over the paper's Haswell machine, OpenMP model, no
+    /// axis-sets yet.
     pub fn new(name: impl Into<String>, scale: f64) -> Self {
         GridSpec {
             name: name.into(),
             scale,
             machine: HASWELL_2650V3.clone(),
             model: ProgModel::OpenMp,
-            benchmarks: Vec::new(),
-            setups: Vec::new(),
-            node_counts: vec![1],
-            reps: 1,
-            extra: Vec::new(),
+            axes: Vec::new(),
         }
     }
 
-    /// Fill the benchmark axis with the entire suite for `model`.
-    pub fn use_full_suite(&mut self) {
-        self.benchmarks = self.suite().iter().map(|b| b.name.clone()).collect();
+    /// Append an axis-set.
+    pub fn push(&mut self, axes: AxisSet) -> &mut Self {
+        self.axes.push(axes);
+        self
     }
 
     /// The benchmark suite this grid draws from.
@@ -129,31 +222,39 @@ impl GridSpec {
         }
     }
 
-    /// Enumerate the scenario cells in deterministic order (the
-    /// cartesian axes, then any [`extra`](GridSpec::extra) cells).
+    /// Every benchmark name of the suite for this grid's model, in
+    /// table order — the full-suite benchmark axis.
+    pub fn full_suite(&self) -> Vec<String> {
+        self.suite().iter().map(|b| b.name.clone()).collect()
+    }
+
+    /// Enumerate the scenario cells in deterministic order: axis-sets
+    /// in declaration order, each the cartesian product
+    /// `benchmarks × fleets × setups × reps` in that nesting order.
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut cells = Vec::new();
-        for bench in &self.benchmarks {
-            for &nodes in &self.node_counts {
-                for setup in &self.setups {
-                    for rep in 0..self.reps.max(1) {
-                        cells.push(CellSpec {
-                            bench: bench.clone(),
-                            model: self.model,
-                            label: setup.label.clone(),
-                            setup: setup.setup,
-                            config: setup.config.clone(),
-                            nodes,
-                            rep,
-                            trace: setup.trace && nodes == 1,
-                            machines: None,
-                            bsp: None,
-                        });
+        for axes in &self.axes {
+            for bench in &axes.benchmarks {
+                for fleet in &axes.fleets {
+                    for setup in &axes.setups {
+                        for rep in 0..axes.reps.max(1) {
+                            cells.push(CellSpec {
+                                bench: bench.clone(),
+                                model: self.model,
+                                label: setup.label.clone(),
+                                setup: setup.setup,
+                                config: setup.config.clone(),
+                                nodes: fleet.nodes,
+                                rep,
+                                trace: setup.trace && fleet.nodes == 1,
+                                machines: fleet.machines.clone(),
+                                bsp: fleet.bsp,
+                            });
+                        }
                     }
                 }
             }
         }
-        cells.extend(self.extra.iter().cloned());
         cells
     }
 
@@ -176,17 +277,16 @@ impl GridSpec {
     pub fn run_timed(&self, shards: usize) -> (GridResult, GridTiming) {
         let suite = self.suite();
         let cells = self.cells();
-        let defs: Vec<&Benchmark> = cells
-            .iter()
-            .map(|cell| {
-                suite
-                    .iter()
-                    .find(|b| b.name == cell.bench)
-                    .unwrap_or_else(|| {
-                        panic!("grid `{}`: unknown benchmark `{}`", self.name, cell.bench)
-                    })
-            })
-            .collect();
+        // Validate the benchmark axis up front: a typo must fail the
+        // whole grid, not one worker thread mid-run.
+        for cell in &cells {
+            assert!(
+                suite.iter().any(|b| b.name == cell.bench),
+                "grid `{}`: unknown benchmark `{}`",
+                self.name,
+                cell.bench
+            );
+        }
 
         let queue: Injector<usize> = Injector::new();
         for idx in 0..cells.len() {
@@ -205,7 +305,7 @@ impl GridSpec {
                         Steal::Empty => break,
                         Steal::Retry => continue,
                     };
-                    let (result, timing) = run_cell_timed(&self.machine, defs[idx], &cells[idx]);
+                    let (result, timing) = run_cell_timed(&self.machine, self.scale, &cells[idx]);
                     collected
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -240,6 +340,7 @@ impl GridSpec {
 /// The paper's four §5 setups in presentation order, Default first —
 /// the setup axis of the headline grids (Figures 10/11).
 pub fn paper_setups() -> Vec<GridSetup> {
+    use cuttlefish::Policy;
     vec![
         GridSetup::new("Default", Setup::Default),
         GridSetup::new("Cuttlefish", Setup::Cuttlefish(Policy::Both)),
@@ -249,7 +350,10 @@ pub fn paper_setups() -> Vec<GridSetup> {
 }
 
 /// Fully-resolved identity of one scenario cell — everything needed to
-/// re-run it, embedded verbatim in the result artifact.
+/// re-run it, embedded verbatim in the result artifact. A cell is the
+/// grid-context form of a [`Scenario`]: [`CellSpec::scenario`] expands
+/// it against the grid's machine and scale, and that scenario is
+/// exactly what [`run_cell`] executes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellSpec {
     /// Benchmark name.
@@ -274,13 +378,8 @@ pub struct CellSpec {
     /// serialized cell is byte-identical to the pre-heterogeneity
     /// format (the key is omitted entirely).
     pub machines: Option<Vec<MachineSpec>>,
-    /// Bulk-synchronous decomposition for multi-node cells. `None` —
-    /// the normal case, serialized with the key omitted — replicates
-    /// the whole benchmark on every node with one final barrier;
-    /// `Some` strong-scales the benchmark's chunks across the nodes in
-    /// superstep rounds, each ending in a barrier and an α–β exchange
-    /// (the paper's §4.6 MPI+X execution shape, whose wall-clock is
-    /// dominated by barrier/exchange windows).
+    /// Bulk-synchronous decomposition for multi-node cells (see
+    /// [`Fleet::bsp`]).
     pub bsp: Option<BspCell>,
 }
 
@@ -291,7 +390,7 @@ pub struct BspCell {
     /// slices, so warm-up-dependent chunk costs keep their order).
     pub supersteps: u32,
     /// Bytes exchanged per node per superstep (α and bandwidth keep
-    /// the [`CommModel`] defaults).
+    /// the `CommModel` defaults).
     pub comm_bytes: f64,
 }
 
@@ -301,6 +400,135 @@ impl CellSpec {
     pub fn seed(&self) -> u64 {
         HARNESS_SEED ^ (u64::from(self.rep) << 32)
     }
+
+    /// Expand into the [`Scenario`] this cell runs: `machine` is the
+    /// grid's uniform machine (used for every node the cell doesn't
+    /// override) and `scale` the grid's workload scale.
+    pub fn scenario(&self, machine: &MachineSpec, scale: f64) -> Scenario {
+        assert!(self.nodes > 0, "cell must have at least one node");
+        if let Some(machines) = &self.machines {
+            assert!(
+                self.nodes > 1 && machines.len() == self.nodes,
+                "heterogeneous cells need one machine per node of a multi-node cell"
+            );
+        }
+        let policy = self.setup.node_policy(self.config.clone());
+        let node_machines: Vec<MachineSpec> = match &self.machines {
+            Some(machines) => machines.clone(),
+            None => vec![machine.clone(); self.nodes],
+        };
+        let topology = if self.nodes == 1 {
+            crate::scenario::Topology::SingleNode
+        } else if let Some(bsp) = &self.bsp {
+            crate::scenario::Topology::bsp(bsp.supersteps, bsp.comm_bytes)
+        } else {
+            crate::scenario::Topology::Replicated
+        };
+        Scenario {
+            label: self.label.clone(),
+            workload: WorkloadSpec::Bench {
+                name: self.bench.clone(),
+                model: self.model,
+                scale,
+            },
+            nodes: node_machines
+                .into_iter()
+                .map(|m| (m, policy.clone()))
+                .collect(),
+            topology,
+            seed: self.seed(),
+            duration_s: None,
+            trace: self.trace,
+        }
+    }
+}
+
+/// Derive the artifact cell identity of a free-standing [`Scenario`]
+/// (the `--scenario` CLI path). The mapping back onto the cell format
+/// is total for everything the grid axes produce; scenarios using
+/// features the cell format cannot express (per-node policies,
+/// non-harness seeds, BSP weights, synthetic workloads) are reported
+/// as errors.
+pub fn scenario_cell(scenario: &Scenario) -> Result<CellSpec, String> {
+    let Some(rep) = scenario.rep() else {
+        return Err(
+            "scenario seed is not a harness repetition seed (HARNESS_SEED ^ rep<<32); \
+             it cannot be embedded in a grid artifact"
+                .into(),
+        );
+    };
+    let WorkloadSpec::Bench { name, model, .. } = &scenario.workload else {
+        return Err("synthetic workloads cannot be embedded in a grid artifact".into());
+    };
+    let (machine0, policy0) = &scenario.nodes[0];
+    if scenario.nodes.iter().any(|(_, p)| p != policy0) {
+        return Err("per-node policies cannot be embedded in a grid artifact".into());
+    }
+    let (setup, config) = match policy0 {
+        cuttlefish::NodePolicy::Default => (Setup::Default, Config::default()),
+        cuttlefish::NodePolicy::Cuttlefish(cfg) => (Setup::Cuttlefish(cfg.policy), cfg.clone()),
+        cuttlefish::NodePolicy::Pinned { cf, uf } => (Setup::Pinned(*cf, *uf), Config::default()),
+        cuttlefish::NodePolicy::Ondemand => (Setup::Ondemand, Config::default()),
+    };
+    let machines = if scenario.nodes.len() > 1 && scenario.nodes.iter().any(|(m, _)| m != machine0)
+    {
+        Some(scenario.nodes.iter().map(|(m, _)| m.clone()).collect())
+    } else {
+        None
+    };
+    let bsp = match &scenario.topology {
+        crate::scenario::Topology::Bsp {
+            supersteps,
+            comm_bytes,
+            weights,
+        } => {
+            if !weights.is_empty() {
+                return Err("BSP weights cannot be embedded in a grid artifact".into());
+            }
+            Some(BspCell {
+                supersteps: *supersteps,
+                comm_bytes: *comm_bytes,
+            })
+        }
+        _ => None,
+    };
+    Ok(CellSpec {
+        bench: name.clone(),
+        model: *model,
+        label: scenario.label.clone(),
+        setup,
+        config,
+        nodes: scenario.nodes.len(),
+        rep,
+        trace: scenario.trace,
+        machines,
+        bsp,
+    })
+}
+
+/// Run a free-standing scenario into a one-cell [`GridResult`] — the
+/// `--scenario` CLI path. The cell executes through exactly the code
+/// the grid runner uses, so a scenario file describing a grid cell
+/// reproduces that cell's artifact bytes bit for bit.
+pub fn run_scenario_timed(scenario: &Scenario) -> Result<(GridResult, GridTiming), String> {
+    scenario.validate()?;
+    let cell = scenario_cell(scenario)?;
+    let machine = scenario.nodes[0].0.clone();
+    let scale = scenario.workload.scale();
+    let (result, timing) = run_cell_timed(&machine, scale, &cell);
+    Ok((
+        GridResult {
+            grid: format!("scenario:{}", scenario.label),
+            scale,
+            machine: machine.name,
+            cells: vec![result],
+        },
+        GridTiming {
+            grid: format!("scenario:{}", scenario.label),
+            wall_ms: timing.wall_ms,
+            cells: vec![timing],
+        },
+    ))
 }
 
 /// One TIPI-range line of a cell's controller report (Table 2 shape).
@@ -486,20 +714,21 @@ fn report_entries(report: &[cuttlefish::daemon::NodeReport]) -> Vec<ReportEntry>
         .collect()
 }
 
-/// Execute one cell. Public so overhead microbenchmarks and external
-/// drivers can measure exactly what the grid runner runs per cell.
-pub fn run_cell(machine: &MachineSpec, def: &Benchmark, cell: &CellSpec) -> CellResult {
-    run_cell_timed(machine, def, cell).0
+/// Execute one cell through its scenario. Public so overhead
+/// microbenchmarks and external drivers can measure exactly what the
+/// grid runner runs per cell.
+pub fn run_cell(machine: &MachineSpec, scale: f64, cell: &CellSpec) -> CellResult {
+    run_cell_timed(machine, scale, cell).0
 }
 
 /// [`run_cell`] plus its wall-clock and stepping counters.
 pub fn run_cell_timed(
     machine: &MachineSpec,
-    def: &Benchmark,
+    scale: f64,
     cell: &CellSpec,
 ) -> (CellResult, CellTiming) {
     let wall = Instant::now();
-    let (result, stepped_quanta, total_quanta) = run_cell_inner(machine, def, cell);
+    let (result, stepped_quanta, total_quanta) = run_cell_inner(machine, scale, cell);
     (
         result,
         CellTiming {
@@ -510,138 +739,58 @@ pub fn run_cell_timed(
     )
 }
 
-/// Strong-scale a work-sharing benchmark into a bulk-synchronous app:
-/// the chunk stream is cut into `supersteps` chronological slices and
-/// each slice is dealt round-robin across the nodes, so every node
-/// computes `1/nodes` of each superstep, synchronizes at the barrier,
-/// and pays the exchange — the §4.6 MPI+X execution shape.
-fn bsp_app(
-    machine: &MachineSpec,
-    def: &Benchmark,
-    nodes: usize,
-    supersteps: u32,
-) -> cluster::BspApp {
-    let chunks = match def.build(machine.n_cores) {
-        BuiltWorkload::Regions(regions) => regions
-            .into_iter()
-            .flat_map(|r| r.into_chunks())
-            .collect::<Vec<_>>(),
-        BuiltWorkload::Dag(_) => panic!(
-            "BSP cells need a work-sharing benchmark (`{}` builds a task DAG)",
-            def.name
-        ),
-    };
-    let supersteps = (supersteps.max(1) as usize).min(chunks.len().max(1));
-    let per_step = chunks.len().div_ceil(supersteps);
-    let mut steps = vec![vec![Vec::new(); nodes]; supersteps];
-    for (i, chunk) in chunks.into_iter().enumerate() {
-        let step = i / per_step;
-        steps[step][(i % per_step) % nodes].push(chunk);
+fn run_cell_inner(machine: &MachineSpec, scale: f64, cell: &CellSpec) -> (CellResult, u64, u64) {
+    let scenario = cell.scenario(machine, scale);
+    let mut trace = Vec::new();
+    let outcome = scenario.run_traced(cell.trace.then_some(&mut trace));
+    match outcome {
+        ScenarioOutcome::Single(outcome) => {
+            let cell_result = single_cell_result(cell, &outcome, trace);
+            (cell_result, outcome.stepped_quanta, outcome.total_quanta)
+        }
+        ScenarioOutcome::Cluster(cluster) => {
+            let outcome = &cluster.outcome;
+            let fractions = &cluster.resolved;
+            let n_nodes = fractions.len() as f64;
+            let cell_result = CellResult {
+                spec: cell.clone(),
+                seconds: outcome.seconds,
+                joules: outcome.joules,
+                instructions: outcome.instructions,
+                resolved_cf: fractions.iter().map(|f| f.0).sum::<f64>() / n_nodes,
+                resolved_uf: fractions.iter().map(|f| f.1).sum::<f64>() / n_nodes,
+                report: report_entries(&cluster.reports[0]),
+                residency: cluster
+                    .residency
+                    .iter()
+                    .map(|(&(cf, uf), &ns)| ResidencyEntry { cf, uf, ns })
+                    .collect(),
+                node_joules: outcome.node_joules.clone(),
+                barrier_wait_s: outcome.barrier_wait_s,
+                trace: Vec::new(),
+            };
+            (cell_result, outcome.stepped_quanta, outcome.total_quanta)
+        }
     }
-    cluster::BspApp { steps }
 }
 
-fn run_cell_inner(
-    machine: &MachineSpec,
-    def: &Benchmark,
-    cell: &CellSpec,
-) -> (CellResult, u64, u64) {
-    assert!(cell.nodes > 0, "cell must have at least one node");
-    assert!(
-        !(cell.trace && cell.nodes > 1),
-        "traces are only defined for single-node cells (GridSpec::cells \
-         normalizes this; hand-built CellSpecs must too)"
-    );
-    if let Some(machines) = &cell.machines {
-        assert!(
-            cell.nodes > 1 && machines.len() == cell.nodes,
-            "heterogeneous cells need one machine per node of a multi-node cell"
-        );
-    }
-    if cell.nodes == 1 {
-        let mut trace = Vec::new();
-        let outcome = run_on(
-            machine,
-            def,
-            cell.setup,
-            cell.model,
-            cell.config.clone(),
-            cell.trace.then_some(&mut trace),
-            cell.seed(),
-        );
-        let cell_result = CellResult {
-            spec: cell.clone(),
-            seconds: outcome.seconds,
-            joules: outcome.joules,
-            instructions: outcome.instructions,
-            resolved_cf: outcome.resolved.0,
-            resolved_uf: outcome.resolved.1,
-            report: report_entries(&outcome.report),
-            residency: outcome
-                .residency
-                .iter()
-                .map(|&((cf, uf), ns)| ResidencyEntry { cf, uf, ns })
-                .collect(),
-            node_joules: vec![outcome.joules],
-            barrier_wait_s: 0.0,
-            trace,
-        };
-        (cell_result, outcome.stepped_quanta, outcome.total_quanta)
-    } else {
-        let policy = cell.setup.node_policy(cell.config.clone());
-        let comm = match &cell.bsp {
-            Some(bsp) => CommModel {
-                bytes: bsp.comm_bytes,
-                ..CommModel::default()
-            },
-            None => CommModel::default(),
-        };
-        let mut cl = match &cell.machines {
-            Some(machines) => Cluster::with_nodes(
-                machines
-                    .iter()
-                    .map(|m| (m.clone(), policy.clone()))
-                    .collect(),
-                comm,
-            ),
-            None => Cluster::with_spec(cell.nodes, machine, policy, comm),
-        };
-        let outcome = if let Some(bsp) = &cell.bsp {
-            cl.run(&bsp_app(machine, def, cell.nodes, bsp.supersteps))
-        } else {
-            let seed = cell.seed();
-            cl.run_replicated(|node, n_cores| {
-                // Distinct per-node seeds (node 0 keeps the base seed,
-                // so a 1-node cluster instantiates exactly the
-                // single-node run).
-                def.instantiate(
-                    cell.model,
-                    n_cores,
-                    seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                )
-            })
-        };
-        let reports = cl.reports();
-        let fractions = cl.resolved_fractions();
-        let n_nodes = fractions.len() as f64;
-        let cell_result = CellResult {
-            spec: cell.clone(),
-            seconds: outcome.seconds,
-            joules: outcome.joules,
-            instructions: outcome.instructions,
-            resolved_cf: fractions.iter().map(|f| f.0).sum::<f64>() / n_nodes,
-            resolved_uf: fractions.iter().map(|f| f.1).sum::<f64>() / n_nodes,
-            report: report_entries(&reports[0]),
-            residency: cl
-                .residency()
-                .into_iter()
-                .map(|((cf, uf), ns)| ResidencyEntry { cf, uf, ns })
-                .collect(),
-            node_joules: outcome.node_joules,
-            barrier_wait_s: outcome.barrier_wait_s,
-            trace: Vec::new(),
-        };
-        (cell_result, outcome.stepped_quanta, outcome.total_quanta)
+fn single_cell_result(cell: &CellSpec, outcome: &RunOutcome, trace: Vec<TracePoint>) -> CellResult {
+    CellResult {
+        spec: cell.clone(),
+        seconds: outcome.seconds,
+        joules: outcome.joules,
+        instructions: outcome.instructions,
+        resolved_cf: outcome.resolved.0,
+        resolved_uf: outcome.resolved.1,
+        report: report_entries(&outcome.report),
+        residency: outcome
+            .residency
+            .iter()
+            .map(|&((cf, uf), ns)| ResidencyEntry { cf, uf, ns })
+            .collect(),
+        node_joules: vec![outcome.joules],
+        barrier_wait_s: 0.0,
+        trace,
     }
 }
 
@@ -724,9 +873,9 @@ pub struct BaselineComparison {
 /// relative numbers — the paper's figures must not drift apart.
 ///
 /// Only cells sharing the baseline's cluster shape (same node count,
-/// machines, and BSP decomposition) are compared — a 2-node extra's
+/// machines, and BSP decomposition) are compared — a 2-node cell's
 /// total joules against a single-node baseline is not a saving.
-/// Benchmarks without a `baseline` cell (cluster-shape extras outside
+/// Benchmarks without a `baseline` cell (cluster-shape cells outside
 /// the panel comparison) are skipped entirely.
 ///
 /// # Panics
@@ -792,188 +941,11 @@ pub fn geomean_by_setup(comparisons: &[BaselineComparison]) -> Vec<(String, f64,
 }
 
 // ---------------------------------------------------------------------
-// JSON encoding (hand-rolled against `bench::json`; the serde derives
-// above are offline-shim markers — see `shims/README.md`).
+// JSON encoding of the artifact types (hand-rolled against
+// `bench::json`; the serde derives above are offline-shim markers —
+// see `shims/README.md`). The primitive codecs (machines, policies,
+// configs, setups) live in `bench::scenario` and are shared.
 // ---------------------------------------------------------------------
-
-fn obj(fields: Vec<(&str, Json)>) -> Json {
-    Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
-}
-
-fn opt_u32(v: Option<u32>) -> Json {
-    v.map_or(Json::Null, |x| Json::Num(f64::from(x)))
-}
-
-fn from_opt_u32(j: &Json) -> Result<Option<u32>, JsonError> {
-    match j {
-        Json::Null => Ok(None),
-        other => Ok(Some(other.as_u64()? as u32)),
-    }
-}
-
-impl ToJson for ProgModel {
-    fn to_json(&self) -> Json {
-        Json::Str(
-            match self {
-                ProgModel::OpenMp => "openmp",
-                ProgModel::HClib => "hclib",
-            }
-            .into(),
-        )
-    }
-}
-
-impl FromJson for ProgModel {
-    fn from_json(j: &Json) -> Result<Self, JsonError> {
-        match j.as_str()? {
-            "openmp" => Ok(ProgModel::OpenMp),
-            "hclib" => Ok(ProgModel::HClib),
-            other => Err(JsonError(format!("unknown programming model `{other}`"))),
-        }
-    }
-}
-
-impl ToJson for Policy {
-    fn to_json(&self) -> Json {
-        Json::Str(
-            match self {
-                Policy::Both => "both",
-                Policy::CoreOnly => "core-only",
-                Policy::UncoreOnly => "uncore-only",
-            }
-            .into(),
-        )
-    }
-}
-
-impl FromJson for Policy {
-    fn from_json(j: &Json) -> Result<Self, JsonError> {
-        match j.as_str()? {
-            "both" => Ok(Policy::Both),
-            "core-only" => Ok(Policy::CoreOnly),
-            "uncore-only" => Ok(Policy::UncoreOnly),
-            other => Err(JsonError(format!("unknown policy `{other}`"))),
-        }
-    }
-}
-
-impl ToJson for Setup {
-    fn to_json(&self) -> Json {
-        match self {
-            Setup::Default => obj(vec![("kind", Json::Str("default".into()))]),
-            Setup::Cuttlefish(policy) => obj(vec![
-                ("kind", Json::Str("cuttlefish".into())),
-                ("policy", policy.to_json()),
-            ]),
-            Setup::Pinned(cf, uf) => obj(vec![
-                ("kind", Json::Str("pinned".into())),
-                ("cf", Json::Num(f64::from(cf.0))),
-                ("uf", Json::Num(f64::from(uf.0))),
-            ]),
-        }
-    }
-}
-
-impl FromJson for Setup {
-    fn from_json(j: &Json) -> Result<Self, JsonError> {
-        match j.field("kind")?.as_str()? {
-            "default" => Ok(Setup::Default),
-            "cuttlefish" => Ok(Setup::Cuttlefish(Policy::from_json(j.field("policy")?)?)),
-            "pinned" => Ok(Setup::Pinned(
-                Freq(j.field("cf")?.as_u64()? as u32),
-                Freq(j.field("uf")?.as_u64()? as u32),
-            )),
-            other => Err(JsonError(format!("unknown setup kind `{other}`"))),
-        }
-    }
-}
-
-impl ToJson for Config {
-    fn to_json(&self) -> Json {
-        obj(vec![
-            ("tinv_ns", Json::Num(self.tinv_ns as f64)),
-            ("warmup_ns", Json::Num(self.warmup_ns as f64)),
-            ("policy", self.policy.to_json()),
-            (
-                "samples_per_freq",
-                Json::Num(f64::from(self.samples_per_freq)),
-            ),
-            ("slab_width", Json::Num(self.slab_width)),
-            ("uf_window_mult", Json::Num(self.uf_window_mult)),
-            (
-                "neighbor_inheritance",
-                Json::Bool(self.neighbor_inheritance),
-            ),
-            ("revalidation", Json::Bool(self.revalidation)),
-            ("idle_guard", self.idle_guard.map_or(Json::Null, Json::Num)),
-        ])
-    }
-}
-
-impl FromJson for Config {
-    fn from_json(j: &Json) -> Result<Self, JsonError> {
-        Ok(Config {
-            tinv_ns: j.field("tinv_ns")?.as_u64()?,
-            warmup_ns: j.field("warmup_ns")?.as_u64()?,
-            policy: Policy::from_json(j.field("policy")?)?,
-            samples_per_freq: j.field("samples_per_freq")?.as_u64()? as u32,
-            slab_width: j.field("slab_width")?.as_f64()?,
-            uf_window_mult: j.field("uf_window_mult")?.as_f64()?,
-            neighbor_inheritance: j.field("neighbor_inheritance")?.as_bool()?,
-            revalidation: j.field("revalidation")?.as_bool()?,
-            idle_guard: match j.field("idle_guard")? {
-                Json::Null => None,
-                other => Some(other.as_f64()?),
-            },
-        })
-    }
-}
-
-impl ToJson for FreqDomain {
-    fn to_json(&self) -> Json {
-        obj(vec![
-            ("min", Json::Num(f64::from(self.min().0))),
-            ("max", Json::Num(f64::from(self.max().0))),
-        ])
-    }
-}
-
-impl FromJson for FreqDomain {
-    fn from_json(j: &Json) -> Result<Self, JsonError> {
-        let min = j.field("min")?.as_u64()? as u32;
-        let max = j.field("max")?.as_u64()? as u32;
-        if min == 0 || min > max {
-            return Err(JsonError(format!("invalid frequency domain {min}..{max}")));
-        }
-        Ok(FreqDomain::new(Freq(min), Freq(max)))
-    }
-}
-
-impl ToJson for MachineSpec {
-    fn to_json(&self) -> Json {
-        obj(vec![
-            ("name", Json::Str(self.name.clone())),
-            ("n_cores", Json::Num(self.n_cores as f64)),
-            ("core", self.core.to_json()),
-            ("uncore", self.uncore.to_json()),
-            ("quantum_ns", Json::Num(self.quantum_ns as f64)),
-        ])
-    }
-}
-
-impl FromJson for MachineSpec {
-    fn from_json(j: &Json) -> Result<Self, JsonError> {
-        let spec = MachineSpec {
-            name: j.field("name")?.as_str()?.to_string(),
-            n_cores: j.field("n_cores")?.as_u64()? as usize,
-            core: FreqDomain::from_json(j.field("core")?)?,
-            uncore: FreqDomain::from_json(j.field("uncore")?)?,
-            quantum_ns: j.field("quantum_ns")?.as_u64()?,
-        };
-        spec.validate().map_err(JsonError)?;
-        Ok(spec)
-    }
-}
 
 impl ToJson for CellSpec {
     fn to_json(&self) -> Json {
@@ -1019,6 +991,41 @@ impl FromJson for CellSpec {
                 None => None,
             },
         })
+    }
+}
+
+impl ToJson for Setup {
+    fn to_json(&self) -> Json {
+        match self {
+            Setup::Default => obj(vec![("kind", Json::Str("default".into()))]),
+            Setup::Cuttlefish(policy) => obj(vec![
+                ("kind", Json::Str("cuttlefish".into())),
+                ("policy", policy.to_json()),
+            ]),
+            Setup::Pinned(cf, uf) => obj(vec![
+                ("kind", Json::Str("pinned".into())),
+                ("cf", Json::Num(f64::from(cf.0))),
+                ("uf", Json::Num(f64::from(uf.0))),
+            ]),
+            Setup::Ondemand => obj(vec![("kind", Json::Str("ondemand".into()))]),
+        }
+    }
+}
+
+impl FromJson for Setup {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.field("kind")?.as_str()? {
+            "default" => Ok(Setup::Default),
+            "cuttlefish" => Ok(Setup::Cuttlefish(cuttlefish::Policy::from_json(
+                j.field("policy")?,
+            )?)),
+            "pinned" => Ok(Setup::Pinned(
+                Freq(j.field("cf")?.as_u64()? as u32),
+                Freq(j.field("uf")?.as_u64()? as u32),
+            )),
+            "ondemand" => Ok(Setup::Ondemand),
+            other => Err(JsonError(format!("unknown setup kind `{other}`"))),
+        }
     }
 }
 
@@ -1110,14 +1117,6 @@ impl FromJson for TracePoint {
             watts: j.field("watts")?.as_f64()?,
         })
     }
-}
-
-fn arr<T: ToJson>(items: &[T]) -> Json {
-    Json::Arr(items.iter().map(ToJson::to_json).collect())
-}
-
-fn from_arr<T: FromJson>(j: &Json) -> Result<Vec<T>, JsonError> {
-    j.as_arr()?.iter().map(T::from_json).collect()
 }
 
 impl ToJson for CellResult {
@@ -1223,17 +1222,22 @@ impl FromJson for GridResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cuttlefish::Policy;
 
     #[test]
-    fn enumeration_order_is_bench_nodes_setup_rep() {
+    fn enumeration_order_is_bench_fleet_setup_rep() {
         let mut spec = GridSpec::new("t", 0.05);
-        spec.benchmarks = vec!["A".into(), "B".into()];
-        spec.setups = vec![
-            GridSetup::new("s0", Setup::Default),
-            GridSetup::new("s1", Setup::Cuttlefish(Policy::Both)),
-        ];
-        spec.node_counts = vec![1, 2];
-        spec.reps = 2;
+        spec.push(
+            AxisSet::new(
+                vec!["A".into(), "B".into()],
+                vec![
+                    GridSetup::new("s0", Setup::Default),
+                    GridSetup::new("s1", Setup::Cuttlefish(Policy::Both)),
+                ],
+            )
+            .with_fleets(vec![Fleet::single(), Fleet::uniform(2)])
+            .with_reps(2),
+        );
         let cells = spec.cells();
         assert_eq!(cells.len(), 2 * 2 * 2 * 2);
         assert_eq!(
@@ -1255,11 +1259,37 @@ mod tests {
     }
 
     #[test]
+    fn axis_sets_enumerate_in_declaration_order() {
+        let mut spec = GridSpec::new("t", 0.05);
+        spec.push(AxisSet::new(
+            vec!["A".into()],
+            vec![GridSetup::new("main", Setup::Default)],
+        ));
+        spec.push(
+            AxisSet::new(
+                vec!["B".into()],
+                vec![GridSetup::new("mpi", Setup::Default)],
+            )
+            .with_fleets(vec![Fleet::uniform(4).with_bsp(96, 1.2e9)]),
+        );
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].label, "main");
+        let mpi = &cells[1];
+        assert_eq!((mpi.label.as_str(), mpi.nodes), ("mpi", 4));
+        assert_eq!(mpi.bsp.unwrap().supersteps, 96);
+    }
+
+    #[test]
     fn trace_is_disabled_on_cluster_cells() {
         let mut spec = GridSpec::new("t", 0.05);
-        spec.benchmarks = vec!["A".into()];
-        spec.setups = vec![GridSetup::new("s", Setup::Default).with_trace()];
-        spec.node_counts = vec![1, 2];
+        spec.push(
+            AxisSet::new(
+                vec!["A".into()],
+                vec![GridSetup::new("s", Setup::Default).with_trace()],
+            )
+            .with_fleets(vec![Fleet::single(), Fleet::uniform(2)]),
+        );
         let cells = spec.cells();
         assert!(cells[0].trace);
         assert!(!cells[1].trace);
@@ -1271,6 +1301,7 @@ mod tests {
             Setup::Default,
             Setup::Cuttlefish(Policy::CoreOnly),
             Setup::Pinned(Freq(12), Freq(30)),
+            Setup::Ondemand,
         ] {
             assert_eq!(Setup::from_json(&setup.to_json()).unwrap(), setup);
         }
@@ -1283,5 +1314,28 @@ mod tests {
             Config::from_json(&Config::default().to_json()).unwrap(),
             Config::default()
         );
+    }
+
+    #[test]
+    fn cell_scenario_round_trip_preserves_identity() {
+        let cell = CellSpec {
+            bench: "Heat-ws".into(),
+            model: ProgModel::OpenMp,
+            label: "Cuttlefish-straggler".into(),
+            setup: Setup::Cuttlefish(Policy::Both),
+            config: Config::default(),
+            nodes: 2,
+            rep: 0,
+            trace: false,
+            machines: Some(vec![HASWELL_2650V3.clone(), straggler_spec()]),
+            bsp: Some(BspCell {
+                supersteps: 8,
+                comm_bytes: 24.0e6,
+            }),
+        };
+        let scenario = cell.scenario(&HASWELL_2650V3, 0.02);
+        assert_eq!(scenario.n_nodes(), 2);
+        let back = scenario_cell(&scenario).expect("embeddable");
+        assert_eq!(back, cell);
     }
 }

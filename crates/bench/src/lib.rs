@@ -1,28 +1,31 @@
 //! Evaluation harness shared by the table/figure regenerators.
 //!
-//! One entry point, [`run`], executes a benchmark on the simulated
-//! 20-core machine under one of the paper's four configurations
-//! ([`Setup`]) and returns measured energy / time / frequency
-//! assignments. Everything downstream — savings percentages, EDP,
-//! geometric means, trace series — is arithmetic over [`RunOutcome`]s.
+//! One declarative description, [`scenario::Scenario`], captures an
+//! experiment — machine(s) × frequency policy × workload × topology —
+//! and [`scenario::Scenario::run`] executes it, returning measured
+//! energy / time / frequency assignments. Everything downstream —
+//! savings percentages, EDP, geometric means, trace series — is
+//! arithmetic over [`RunOutcome`]s; the grid runner ([`grid`]) fans
+//! axis-sets of scenarios across worker threads.
 
 use cuttlefish::controller::NodePolicy;
 use cuttlefish::{Config, Policy};
-use simproc::freq::{Freq, MachineSpec, HASWELL_2650V3};
-use simproc::profile::{delta, CounterSnapshot};
-use simproc::SimProcessor;
-use workloads::{Benchmark, ProgModel};
+use simproc::freq::Freq;
 
 pub mod cli;
 pub mod grid;
 pub mod json;
+pub mod scenario;
+
+pub use scenario::{Scenario, ScenarioOutcome, Topology};
 
 /// The benchmark-instantiation seed every harness run uses (reps > 0
 /// fold the repetition index in, so rep 0 reproduces historical runs).
 pub const HARNESS_SEED: u64 = 0xC0FFEE;
 
-/// The execution configurations of the paper: the four Figure 10/11
-/// setups plus the fixed-frequency pins of the Figure 3 sweeps.
+/// The execution configurations of the paper — the four Figure 10/11
+/// setups plus the fixed-frequency pins of the Figure 3 sweeps — and
+/// the ondemand/schedutil-style baseline governor beyond the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Setup {
     /// `performance` governor + firmware Auto uncore.
@@ -31,6 +34,8 @@ pub enum Setup {
     Cuttlefish(Policy),
     /// Core and uncore pinned at a fixed operating point (§3.2).
     Pinned(Freq, Freq),
+    /// The ondemand/schedutil-style utilization-proportional governor.
+    Ondemand,
 }
 
 impl Setup {
@@ -50,6 +55,7 @@ impl Setup {
             Setup::Default => "Default",
             Setup::Cuttlefish(p) => p.name(),
             Setup::Pinned(..) => "Pinned",
+            Setup::Ondemand => "Ondemand",
         }
     }
 
@@ -60,6 +66,7 @@ impl Setup {
             Setup::Default => NodePolicy::Default,
             Setup::Cuttlefish(policy) => NodePolicy::Cuttlefish(cfg.with_policy(policy)),
             Setup::Pinned(cf, uf) => NodePolicy::Pinned { cf, uf },
+            Setup::Ondemand => NodePolicy::Ondemand,
         }
     }
 }
@@ -114,95 +121,6 @@ pub struct TracePoint {
     pub cf_ghz: f64,
     pub uf_ghz: f64,
     pub watts: f64,
-}
-
-/// Run `bench` under `setup` on the paper's Haswell machine;
-/// optionally collect a `Tinv`-rate trace.
-pub fn run(
-    bench: &Benchmark,
-    setup: Setup,
-    model: ProgModel,
-    cfg: Config,
-    trace: Option<&mut Vec<TracePoint>>,
-) -> RunOutcome {
-    run_on(
-        &HASWELL_2650V3,
-        bench,
-        setup,
-        model,
-        cfg,
-        trace,
-        HARNESS_SEED,
-    )
-}
-
-/// [`run`], generalized over the machine and instantiation seed — the
-/// single-node cell executor of the scenario grid ([`grid`]).
-pub fn run_on(
-    machine: &MachineSpec,
-    bench: &Benchmark,
-    setup: Setup,
-    model: ProgModel,
-    cfg: Config,
-    trace: Option<&mut Vec<TracePoint>>,
-    seed: u64,
-) -> RunOutcome {
-    let mut proc = SimProcessor::new(machine.clone());
-    let mut wl = bench.instantiate(model, proc.n_cores(), seed);
-
-    let mut controller = setup.node_policy(cfg).build(&mut proc);
-
-    let start_e = proc.total_energy_joules();
-    let start_t = proc.now_ns();
-
-    if let Some(points) = trace {
-        // Traced runs sample counters on a fixed 20-quantum cadence, so
-        // they step every quantum; untraced runs go through the
-        // event-driven loop (identical numerics, fast-forwarded idle).
-        let mut quanta = 0u64;
-        let mut last = CounterSnapshot::capture(&proc).expect("counters readable");
-        while !proc.workload_drained(wl.as_mut()) {
-            proc.step(wl.as_mut());
-            controller.on_quantum(&mut proc);
-            quanta += 1;
-            if quanta.is_multiple_of(20) {
-                let now = CounterSnapshot::capture(&proc).expect("counters readable");
-                if let Some(s) = delta(&last, &now) {
-                    points.push(TracePoint {
-                        t_s: proc.now_seconds(),
-                        tipi: s.tipi,
-                        jpi: s.jpi,
-                        cf_ghz: proc.core_freq().ghz(),
-                        uf_ghz: proc.uncore_freq().ghz(),
-                        watts: proc.last_quantum().power_watts,
-                    });
-                }
-                last = now;
-            }
-        }
-    } else {
-        cuttlefish::controller::drive(&mut proc, wl.as_mut(), controller.as_mut());
-    }
-
-    let report = controller.report();
-    let resolved = controller.resolved_fractions();
-
-    RunOutcome {
-        bench: bench.name.clone(),
-        setup: setup.name(),
-        seconds: (proc.now_ns() - start_t) as f64 * 1e-9,
-        joules: proc.total_energy_joules() - start_e,
-        instructions: proc.total_instructions(),
-        report,
-        resolved,
-        residency: proc
-            .frequency_residency()
-            .iter()
-            .map(|(&point, &ns)| (point, ns))
-            .collect(),
-        stepped_quanta: proc.stepped_quanta(),
-        total_quanta: proc.total_quanta(),
-    }
 }
 
 /// Percentage saving of `tuned` relative to `base` (positive = tuned
@@ -268,7 +186,6 @@ pub fn harness_scale() -> workloads::Scale {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use workloads::Scale;
 
     #[test]
     fn geomean_matches_hand_computation() {
@@ -305,45 +222,17 @@ mod tests {
     }
 
     #[test]
-    fn default_and_cuttlefish_runs_complete() {
-        let suite = workloads::openmp_suite(Scale(0.05));
-        let uts = &suite[0];
-        let d = run(
-            uts,
-            Setup::Default,
-            ProgModel::OpenMp,
-            Config::default(),
-            None,
+    fn setup_names_cover_every_arm() {
+        assert_eq!(Setup::Default.name(), "Default");
+        assert_eq!(
+            Setup::Cuttlefish(Policy::CoreOnly).name(),
+            "Cuttlefish-Core"
         );
-        assert!(d.seconds > 0.0 && d.joules > 0.0);
-        let c = run(
-            uts,
-            Setup::Cuttlefish(Policy::Both),
-            ProgModel::OpenMp,
-            Config::default(),
-            None,
-        );
-        assert!(c.seconds > 0.0 && c.joules > 0.0);
-        assert!(!c.report.is_empty(), "daemon must have discovered ranges");
-    }
-
-    #[test]
-    fn trace_collection_samples_at_tinv() {
-        let suite = workloads::openmp_suite(Scale(0.05));
-        let mut points = Vec::new();
-        let o = run(
-            &suite[1],
-            Setup::Default,
-            ProgModel::OpenMp,
-            Config::default(),
-            Some(&mut points),
-        );
-        // ~1 point per 20 ms of virtual time.
-        let expect = o.seconds / 0.020;
-        assert!(
-            (points.len() as f64) > expect * 0.8 && (points.len() as f64) < expect * 1.2,
-            "expected ~{expect} points, got {}",
-            points.len()
+        assert_eq!(Setup::Pinned(Freq(12), Freq(22)).name(), "Pinned");
+        assert_eq!(Setup::Ondemand.name(), "Ondemand");
+        assert_eq!(
+            Setup::Ondemand.node_policy(Config::default()),
+            NodePolicy::Ondemand
         );
     }
 }

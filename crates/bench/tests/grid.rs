@@ -1,24 +1,27 @@
 //! Scenario-grid integration tests: the shard-invariance contract the
 //! CI artifacts depend on, the typed JSON round-trip, and the
-//! heterogeneous / bulk-synchronous cell shapes.
+//! heterogeneous / bulk-synchronous fleet-axis shapes.
 
-use bench::grid::{straggler_spec, BspCell, CellSpec, GridResult, GridSetup, GridSpec};
+use bench::grid::{straggler_spec, AxisSet, Fleet, GridResult, GridSetup, GridSpec};
 use bench::json::{FromJson, Json, ToJson};
 use bench::Setup;
-use cuttlefish::{Config, Policy};
+use cuttlefish::Policy;
 use simproc::freq::HASWELL_2650V3;
-use workloads::ProgModel;
 
 /// A small but representative grid: two benchmarks, a baseline and a
 /// tuned setup (one traced), single-node and 2-node cluster cells.
 fn tiny_spec() -> GridSpec {
     let mut spec = GridSpec::new("test-grid", 0.02);
-    spec.benchmarks = vec!["UTS".into(), "SOR-irt".into()];
-    spec.setups = vec![
-        GridSetup::new("Default", Setup::Default).with_trace(),
-        GridSetup::new("Cuttlefish", Setup::Cuttlefish(Policy::Both)),
-    ];
-    spec.node_counts = vec![1, 2];
+    spec.push(
+        AxisSet::new(
+            vec!["UTS".into(), "SOR-irt".into()],
+            vec![
+                GridSetup::new("Default", Setup::Default).with_trace(),
+                GridSetup::new("Cuttlefish", Setup::Cuttlefish(Policy::Both)),
+            ],
+        )
+        .with_fleets(vec![Fleet::single(), Fleet::uniform(2)]),
+    );
     spec
 }
 
@@ -35,11 +38,19 @@ fn shard_count_does_not_change_artifact_bytes() {
 
 #[test]
 fn grid_result_round_trips_through_json() {
-    let mut spec = tiny_spec();
     // Round-trip only needs one node count; keep the test fast but
     // include a rep > 0 so non-default seeds serialize too.
-    spec.node_counts = vec![1];
-    spec.reps = 2;
+    let mut spec = GridSpec::new("test-grid", 0.02);
+    spec.push(
+        AxisSet::new(
+            vec!["UTS".into(), "SOR-irt".into()],
+            vec![
+                GridSetup::new("Default", Setup::Default).with_trace(),
+                GridSetup::new("Cuttlefish", Setup::Cuttlefish(Policy::Both)),
+            ],
+        )
+        .with_reps(2),
+    );
     let result = spec.run(4);
 
     let text = result.to_json_string();
@@ -63,10 +74,14 @@ fn grid_result_round_trips_through_json() {
 
 #[test]
 fn cluster_cells_aggregate_per_node_measurements() {
-    let mut spec = tiny_spec();
-    spec.benchmarks = vec!["UTS".into()];
-    spec.node_counts = vec![2];
-    spec.setups = vec![GridSetup::new("Default", Setup::Default)];
+    let mut spec = GridSpec::new("test-grid", 0.02);
+    spec.push(
+        AxisSet::new(
+            vec!["UTS".into()],
+            vec![GridSetup::new("Default", Setup::Default)],
+        )
+        .with_fleets(vec![Fleet::uniform(2)]),
+    );
     let result = spec.run(2);
     let cell = &result.cells[0];
     assert_eq!(cell.spec.nodes, 2);
@@ -77,30 +92,26 @@ fn cluster_cells_aggregate_per_node_measurements() {
     assert!(!cell.residency.is_empty());
 }
 
-/// A heterogeneous BSP cell the cartesian axes cannot express: one
-/// paper node plus one straggler, bulk-synchronous supersteps.
-fn straggler_cell() -> CellSpec {
-    CellSpec {
-        bench: "Heat-ws".into(),
-        model: ProgModel::OpenMp,
-        label: "Cuttlefish-straggler".into(),
-        setup: Setup::Cuttlefish(Policy::Both),
-        config: Config::default(),
-        nodes: 2,
-        rep: 0,
-        trace: false,
-        machines: Some(vec![HASWELL_2650V3.clone(), straggler_spec()]),
-        bsp: Some(BspCell {
-            supersteps: 8,
-            comm_bytes: 24.0e6,
-        }),
-    }
+/// A heterogeneous BSP fleet the uniform axes could not express before
+/// the fleet axis existed: one paper node plus one straggler,
+/// bulk-synchronous supersteps.
+fn straggler_fleet() -> Fleet {
+    Fleet::hetero(vec![HASWELL_2650V3.clone(), straggler_spec()]).with_bsp(8, 24.0e6)
 }
 
 #[test]
-fn extra_cells_append_after_the_cartesian_axes() {
+fn fleet_axes_enumerate_after_earlier_axis_sets() {
     let mut spec = tiny_spec();
-    spec.extra.push(straggler_cell());
+    spec.push(
+        AxisSet::new(
+            vec!["Heat-ws".into()],
+            vec![GridSetup::new(
+                "Cuttlefish-straggler",
+                Setup::Cuttlefish(Policy::Both),
+            )],
+        )
+        .with_fleets(vec![straggler_fleet()]),
+    );
     let cells = spec.cells();
     assert_eq!(cells.len(), 2 * 2 * 2 + 1);
     let last = cells.last().unwrap();
@@ -109,11 +120,22 @@ fn extra_cells_append_after_the_cartesian_axes() {
 }
 
 #[test]
-fn heterogeneous_bsp_cell_runs_and_round_trips() {
+fn heterogeneous_bsp_fleet_runs_and_round_trips() {
     let mut spec = GridSpec::new("hetero", 0.02);
-    spec.benchmarks = vec!["Heat-ws".into()];
-    spec.setups = vec![GridSetup::new("Default", Setup::Default)];
-    spec.extra.push(straggler_cell());
+    spec.push(AxisSet::new(
+        vec!["Heat-ws".into()],
+        vec![GridSetup::new("Default", Setup::Default)],
+    ));
+    spec.push(
+        AxisSet::new(
+            vec!["Heat-ws".into()],
+            vec![GridSetup::new(
+                "Cuttlefish-straggler",
+                Setup::Cuttlefish(Policy::Both),
+            )],
+        )
+        .with_fleets(vec![straggler_fleet()]),
+    );
     let (result, timing) = spec.run_timed(2);
     assert_eq!(result.cells.len(), 2);
     assert_eq!(timing.cells.len(), 2);
@@ -148,15 +170,25 @@ fn heterogeneous_bsp_cell_runs_and_round_trips() {
 fn uniform_cells_serialize_without_hetero_keys() {
     // The machines/bsp keys must not leak into plain cells: their JSON
     // stays byte-compatible with pre-heterogeneity artifacts.
-    let mut spec = tiny_spec();
-    spec.node_counts = vec![1];
-    spec.benchmarks = vec!["UTS".into()];
-    spec.setups = vec![GridSetup::new("Default", Setup::Default)];
+    let mut spec = GridSpec::new("test-grid", 0.02);
+    spec.push(AxisSet::new(
+        vec!["UTS".into()],
+        vec![GridSetup::new("Default", Setup::Default)],
+    ));
     let result = spec.run(1);
     let cell_json = result.cells[0].spec.to_json().to_pretty();
     assert!(!cell_json.contains("machines"));
     assert!(!cell_json.contains("bsp"));
-    let hetero_json = straggler_cell().to_json().to_pretty();
+
+    let mut hetero = GridSpec::new("h", 0.02);
+    hetero.push(
+        AxisSet::new(
+            vec!["Heat-ws".into()],
+            vec![GridSetup::new("S", Setup::Cuttlefish(Policy::Both))],
+        )
+        .with_fleets(vec![straggler_fleet()]),
+    );
+    let hetero_json = hetero.cells()[0].to_json().to_pretty();
     assert!(hetero_json.contains("machines"));
     assert!(hetero_json.contains("supersteps"));
 }

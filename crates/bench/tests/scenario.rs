@@ -1,0 +1,297 @@
+//! Scenario-codec integration tests: property-based round-trips
+//! through the JSON codec, rejection of malformed scenario files, and
+//! the contract that a scenario file reproduces a grid cell bit for
+//! bit.
+
+use bench::grid::{run_scenario_timed, straggler_spec, AxisSet, Fleet, GridSetup, GridSpec};
+use bench::scenario::{Scenario, Topology, SCENARIO_SCHEMA};
+use bench::{Setup, HARNESS_SEED};
+use cuttlefish::controller::NodePolicy;
+use cuttlefish::{Config, Policy};
+use proptest::collection;
+use proptest::prelude::*;
+use simproc::freq::{Freq, HASWELL_2650V3};
+use workloads::{ChunkPhase, ProgModel, SyntheticSpec, WorkloadSpec};
+
+/// Work-sharing benchmarks (the only ones a BSP topology accepts).
+const WS_BENCHES: [&str; 5] = ["SOR-ws", "Heat-ws", "MiniFE", "HPCCG", "AMG"];
+/// The full Table 1 suite.
+const ALL_BENCHES: [&str; 10] = [
+    "UTS", "SOR-irt", "SOR-rt", "SOR-ws", "Heat-irt", "Heat-rt", "Heat-ws", "MiniFE", "HPCCG",
+    "AMG",
+];
+
+fn policy(pick: u32, tinv_ms: u64) -> NodePolicy {
+    match pick % 4 {
+        0 => NodePolicy::Default,
+        1 => NodePolicy::Cuttlefish(Config::default().with_tinv_ms(tinv_ms).with_policy(
+            if tinv_ms.is_multiple_of(2) {
+                Policy::Both
+            } else {
+                Policy::CoreOnly
+            },
+        )),
+        2 => NodePolicy::Pinned {
+            cf: Freq(12 + (tinv_ms % 11) as u32),
+            uf: Freq(12 + (tinv_ms % 18) as u32),
+        },
+        _ => NodePolicy::Ondemand,
+    }
+}
+
+/// Build a *valid* scenario from raw sampled integers: every
+/// consistency rule (BSP needs work-sharing benchmarks, traces need a
+/// single node, weights need synthetic workloads) is applied here, so
+/// the property exercises the codec over the whole valid space.
+#[allow(clippy::too_many_arguments)]
+fn scenario_from(
+    synthetic: bool,
+    bench_idx: usize,
+    hclib: bool,
+    scale_step: u32,
+    nodes_n: usize,
+    policy_pick: u32,
+    tinv_ms: u64,
+    rep: u32,
+    bsp: bool,
+    supersteps: u32,
+    comm_step: u32,
+    trace: bool,
+    weighted: bool,
+    hetero: bool,
+    phases: Vec<ChunkPhase>,
+) -> Scenario {
+    let workload = if synthetic {
+        WorkloadSpec::Synthetic(SyntheticSpec {
+            phases,
+            total_chunks: Some(1000),
+        })
+    } else {
+        let name = if bsp {
+            WS_BENCHES[bench_idx % WS_BENCHES.len()]
+        } else {
+            ALL_BENCHES[bench_idx % ALL_BENCHES.len()]
+        };
+        WorkloadSpec::bench(
+            name,
+            if hclib {
+                ProgModel::HClib
+            } else {
+                ProgModel::OpenMp
+            },
+            f64::from(scale_step) * 0.01,
+        )
+    };
+    let mut builder = Scenario::workload(workload).label(format!("case-{policy_pick}"));
+    for i in 0..nodes_n {
+        let machine = if hetero && i == nodes_n - 1 {
+            straggler_spec()
+        } else {
+            HASWELL_2650V3.clone()
+        };
+        builder = builder.node(&machine, policy(policy_pick, tinv_ms));
+    }
+    if bsp && nodes_n > 1 {
+        if weighted && synthetic {
+            builder = builder.bsp_weighted(
+                supersteps,
+                f64::from(comm_step) * 1.0e6,
+                (0..nodes_n as u32).map(|i| i % 3 + 1).collect(),
+            );
+        } else {
+            builder = builder.bsp(supersteps, f64::from(comm_step) * 1.0e6);
+        }
+    }
+    if trace && nodes_n == 1 {
+        builder = builder.trace();
+    }
+    builder.rep(rep).build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scenario_json_round_trip_is_lossless(
+        (synthetic_pick, bench_idx, hclib_pick, scale_step) in (0u32..2, 0usize..10, 0u32..2, 1u32..9),
+        (nodes_n, policy_pick, tinv_ms, rep) in (1usize..5, 0u32..4, 1u64..80, 0u32..5),
+        (bsp_pick, supersteps, comm_step, trace_pick) in (0u32..2, 1u32..16, 0u32..100, 0u32..2),
+        (weighted_pick, hetero_pick) in (0u32..2, 0u32..2),
+        phases in collection::vec(
+            (1u64..5, 1u64..2_000_000, 0u64..60_000, 0u64..9_000, 1u32..12, 1u32..16).prop_map(
+                |(chunks, instructions, misses_local, misses_remote, cpi_d, mlp)| ChunkPhase {
+                    chunks,
+                    instructions,
+                    misses_local,
+                    misses_remote,
+                    cpi: f64::from(cpi_d) * 0.1,
+                    mlp: f64::from(mlp),
+                },
+            ),
+            1..4,
+        ),
+    ) {
+        let scenario = scenario_from(
+            synthetic_pick == 1,
+            bench_idx,
+            hclib_pick == 1,
+            scale_step,
+            nodes_n,
+            policy_pick,
+            tinv_ms,
+            rep,
+            bsp_pick == 1,
+            supersteps,
+            comm_step,
+            trace_pick == 1,
+            weighted_pick == 1,
+            hetero_pick == 1,
+            phases,
+        );
+        let text = scenario.to_json_string();
+        let parsed = Scenario::from_json_str(&text)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}\n{text}")))?;
+        prop_assert_eq!(&parsed, &scenario, "typed round-trip must be lossless");
+        prop_assert_eq!(
+            parsed.to_json_string(),
+            text,
+            "re-serialization must be byte-identical"
+        );
+    }
+}
+
+/// A minimal valid scenario document, as a mutable Json tree.
+fn valid_doc() -> bench::json::Json {
+    use bench::json::ToJson;
+    Scenario::bench("UTS", ProgModel::OpenMp, 0.05)
+        .policy(NodePolicy::Default)
+        .build()
+        .to_json()
+}
+
+fn set_field(doc: &mut bench::json::Json, key: &str, value: bench::json::Json) {
+    if let bench::json::Json::Obj(fields) = doc {
+        if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+            return;
+        }
+        fields.push((key.to_string(), value));
+    }
+}
+
+#[test]
+fn malformed_scenario_files_are_rejected() {
+    use bench::json::Json;
+
+    // Not JSON at all.
+    assert!(Scenario::from_json_str("not json").is_err());
+    // Valid JSON, wrong schema tag.
+    let mut doc = valid_doc();
+    set_field(&mut doc, "schema", Json::Str("something/else".into()));
+    assert!(Scenario::from_json_str(&doc.to_pretty()).is_err());
+    // Missing required field.
+    let doc = Json::Obj(vec![("schema".into(), Json::Str(SCENARIO_SCHEMA.into()))]);
+    assert!(Scenario::from_json_str(&doc.to_pretty()).is_err());
+    // Unknown policy kind.
+    let text = valid_doc()
+        .to_pretty()
+        .replace("\"default\"", "\"turbo-nonsense\"");
+    assert!(Scenario::from_json_str(&text).is_err());
+    // Empty node list.
+    let mut doc = valid_doc();
+    set_field(&mut doc, "nodes", Json::Arr(vec![]));
+    assert!(Scenario::from_json_str(&doc.to_pretty()).is_err());
+    // Single-node topology with a 2-node fleet.
+    let mut doc = valid_doc();
+    if let Json::Obj(fields) = &mut doc {
+        let nodes = fields
+            .iter_mut()
+            .find(|(k, _)| k == "nodes")
+            .expect("nodes field");
+        if let Json::Arr(items) = &mut nodes.1 {
+            let dup = items[0].clone();
+            items.push(dup);
+        }
+    }
+    assert!(Scenario::from_json_str(&doc.to_pretty()).is_err());
+    // Unknown benchmark name.
+    let text = valid_doc().to_pretty().replace("\"UTS\"", "\"NoSuch\"");
+    assert!(Scenario::from_json_str(&text).is_err());
+    // Invalid machine (frequency domain containing 0).
+    let text = valid_doc().to_pretty().replace("\"min\": 12", "\"min\": 0");
+    assert!(Scenario::from_json_str(&text).is_err());
+    // Trace on a cluster.
+    let s = Scenario::bench("UTS", ProgModel::OpenMp, 0.05)
+        .nodes(2, &HASWELL_2650V3, NodePolicy::Default)
+        .build();
+    let mut doc = {
+        use bench::json::ToJson;
+        s.to_json()
+    };
+    set_field(&mut doc, "trace", Json::Bool(true));
+    assert!(Scenario::from_json_str(&doc.to_pretty()).is_err());
+    // Negative duration.
+    let mut doc = valid_doc();
+    set_field(&mut doc, "duration_s", Json::Num(-1.0));
+    assert!(Scenario::from_json_str(&doc.to_pretty()).is_err());
+}
+
+#[test]
+fn scenario_axis_grid_is_shard_invariant() {
+    // A grid whose cells exist only because of the scenario fleet axis:
+    // heterogeneous straggler BSP next to uniform replicated cells.
+    let mut spec = GridSpec::new("scenario-axis", 0.02);
+    spec.push(
+        AxisSet::new(
+            vec!["Heat-ws".into()],
+            vec![
+                GridSetup::new("Default", Setup::Default),
+                GridSetup::new("Cuttlefish", Setup::Cuttlefish(Policy::Both)),
+            ],
+        )
+        .with_fleets(vec![
+            Fleet::uniform(2),
+            Fleet::hetero(vec![HASWELL_2650V3.clone(), straggler_spec()]).with_bsp(6, 24.0e6),
+        ]),
+    );
+    let serial = spec.run(1).to_json_string();
+    let sharded = spec.run(8).to_json_string();
+    assert_eq!(
+        serial, sharded,
+        "scenario-axis grids must stay shard-invariant"
+    );
+}
+
+#[test]
+fn scenario_file_reproduces_grid_cell_bit_for_bit() {
+    // The acceptance contract behind `--scenario`: a scenario document
+    // describing a grid cell, parsed back from its own JSON, runs to
+    // the identical artifact cell bytes.
+    let mut spec = GridSpec::new("one-cell", 0.02);
+    spec.push(AxisSet::new(
+        vec!["UTS".into()],
+        vec![GridSetup::new("Default", Setup::Default).with_trace()],
+    ));
+    let grid_cell_json = {
+        use bench::json::ToJson;
+        spec.run(1).cells[0].to_json().to_pretty()
+    };
+
+    let scenario = spec.cells()[0].scenario(&spec.machine, spec.scale);
+    assert_eq!(scenario.seed, HARNESS_SEED);
+    assert_eq!(scenario.topology, Topology::SingleNode);
+    // Round-trip the scenario through its file format first: the rerun
+    // must work from JSON alone.
+    let reparsed = Scenario::from_json_str(&scenario.to_json_string()).expect("file parses");
+    let (result, timing) = run_scenario_timed(&reparsed).expect("scenario runs");
+    assert_eq!(result.cells.len(), 1);
+    assert_eq!(timing.cells.len(), 1);
+    let scenario_cell_json = {
+        use bench::json::ToJson;
+        result.cells[0].to_json().to_pretty()
+    };
+    assert_eq!(
+        scenario_cell_json, grid_cell_json,
+        "a scenario-file run must reproduce the grid cell bit for bit"
+    );
+}

@@ -51,34 +51,24 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Build `n_nodes` Haswell nodes under `policy`.
+    /// Build `n_nodes` Haswell nodes under `policy` — a thin
+    /// convenience over [`Cluster::with_nodes`], the one constructor.
     pub fn new(n_nodes: usize, policy: NodePolicy, comm: CommModel) -> Self {
-        Self::with_spec(n_nodes, &HASWELL_2650V3, policy, comm)
-    }
-
-    /// Build `n_nodes` nodes of an arbitrary machine under `policy` —
-    /// the per-cell constructor the scenario-grid runner uses: one
-    /// `(MachineSpec, NodePolicy, node count)` triple fully describes
-    /// the cluster, so cells can be built from declarative specs.
-    pub fn with_spec(
-        n_nodes: usize,
-        spec: &MachineSpec,
-        policy: NodePolicy,
-        comm: CommModel,
-    ) -> Self {
         assert!(n_nodes > 0);
         Self::with_nodes(
             (0..n_nodes)
-                .map(|_| (spec.clone(), policy.clone()))
+                .map(|_| (HASWELL_2650V3.clone(), policy.clone()))
                 .collect(),
             comm,
         )
     }
 
-    /// Build a heterogeneous cluster: each node gets its own machine
-    /// spec and frequency policy — mixed fleets, straggler nodes, and
-    /// per-node governor comparisons (the §4.6 imbalance study wants
-    /// slow *hardware*, not just more chunks).
+    /// The cluster constructor: each node gets its own machine spec
+    /// and frequency policy — uniform fleets, mixed fleets, straggler
+    /// nodes, per-node governor comparisons (the §4.6 imbalance study
+    /// wants slow *hardware*, not just more chunks). Declarative
+    /// callers go through `bench::scenario::Scenario`, which feeds its
+    /// `nodes` list straight in here.
     pub fn with_nodes(nodes: Vec<(MachineSpec, NodePolicy)>, comm: CommModel) -> Self {
         assert!(!nodes.is_empty());
         // Specs may differ in cores and frequency domains, but the

@@ -37,13 +37,18 @@ pub struct Handle {
 }
 
 impl Handle {
-    /// Signal the daemon, join it, and restore platform state.
-    pub fn stop(mut self) {
+    /// Signal the daemon, join it, restore platform state, and return
+    /// the final per-TIPI-range report — the daemon's complete learned
+    /// state, published one last time on the way out, so callers need
+    /// no racy post-join [`report`](Handle::report) read.
+    pub fn stop(mut self) -> Vec<NodeReport> {
         self.shutdown();
+        self.published.lock().report.clone()
     }
 
     /// Current per-TIPI-range report (Table 2 view) — refreshed each
-    /// `Tinv` by the daemon.
+    /// `Tinv` by the daemon while running; [`stop`](Handle::stop)
+    /// returns the final one.
     pub fn report(&self) -> Vec<NodeReport> {
         self.published.lock().report.clone()
     }
@@ -53,6 +58,14 @@ impl Handle {
         self.published.lock().total_samples
     }
 
+    /// Idempotent: the join handle is taken exactly once, so a
+    /// [`stop`](Handle::stop) followed by the implicit [`Drop`] (or
+    /// any repeated drop path) is a no-op. A daemon that panicked
+    /// mid-publish leaves the join `Err` (swallowed — the handle's
+    /// job is shutdown, not re-raising) and possibly a poisoned
+    /// publish mutex; the parking_lot-style lock recovers poisoned
+    /// state instead of panicking, so the final report read above
+    /// still returns the last consistent publication.
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(t) = self.thread.take() {
@@ -104,6 +117,14 @@ pub fn start<B: PowerBackend + 'static>(mut backend: B, cfg: Config) -> Handle {
                     p.report = daemon.report();
                     p.total_samples = daemon.total_samples();
                 }
+            }
+            // Final publication: a stop() racing the last tick (or
+            // arriving during warm-up) still observes the daemon's
+            // complete learned state.
+            {
+                let mut p = published2.lock();
+                p.report = daemon.report();
+                p.total_samples = daemon.total_samples();
             }
             backend.restore();
         })
@@ -168,10 +189,10 @@ mod tests {
 
         // The daemon must have sampled and discovered the TIPI range.
         assert!(handle.total_samples() > 10, "daemon should have ticked");
-        let report = handle.report();
-        assert!(!report.is_empty());
 
-        handle.stop();
+        // stop() returns the final report — no re-read after join.
+        let report = handle.stop();
+        assert!(!report.is_empty());
         // After stop, the session restore puts the controls back.
         let mut p = proc.lock();
         let mut wl = Steady(chunk);

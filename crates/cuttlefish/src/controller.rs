@@ -268,6 +268,114 @@ impl FrequencyController for Pinned {
     }
 }
 
+/// An ondemand/schedutil-style software governor — the classic
+/// utilization-proportional baseline the kernel ships, here as proof
+/// that the policy axis is open: one `impl` plus one [`NodePolicy`]
+/// arm, and every consumer (harness grid, cluster, scenario JSON,
+/// examples) can run it.
+///
+/// Each quantum it reads the engine's utilization telemetry and steers
+/// each domain toward `margin ×` the proportional target — core
+/// frequency follows mean pipeline utilization (schedutil's
+/// `1.25 · f_max · util`), uncore frequency follows the achieved
+/// memory-traffic fraction — moving at most [`max_step`](Self) ratio
+/// steps per quantum (the kernel's rate limit, and what keeps the
+/// decision sequence deterministic and oscillation-bounded).
+#[derive(Debug, Clone)]
+pub struct Ondemand {
+    /// Headroom multiplier over the proportional target (schedutil's
+    /// 1.25).
+    pub margin: f64,
+    /// Ratio steps each domain may move per quantum.
+    pub max_step: u32,
+    quanta: u64,
+}
+
+impl Default for Ondemand {
+    fn default() -> Self {
+        Ondemand {
+            margin: 1.25,
+            max_step: 2,
+            quanta: 0,
+        }
+    }
+}
+
+impl Ondemand {
+    /// Governor with the schedutil-like defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn step_toward(cur: Freq, target: Freq, max_step: u32) -> Freq {
+        if target.0 > cur.0 {
+            Freq(cur.0 + (target.0 - cur.0).min(max_step))
+        } else {
+            Freq(cur.0 - (cur.0 - target.0).min(max_step))
+        }
+    }
+
+    /// The `(core, uncore)` operating point this governor asks for at
+    /// the given utilization signals (before the per-quantum rate
+    /// limit).
+    pub fn targets(&self, proc: &SimProcessor, util: f64, traffic: f64) -> (Freq, Freq) {
+        let spec = proc.spec();
+        let want = |max: Freq, signal: f64| {
+            Freq((self.margin * signal.clamp(0.0, 1.0) * f64::from(max.0)).ceil() as u32)
+        };
+        (
+            spec.core.clamp(want(spec.core.max(), util)),
+            spec.uncore.clamp(want(spec.uncore.max(), traffic)),
+        )
+    }
+
+    fn is_idle_stable(&self, proc: &SimProcessor) -> bool {
+        let stats = proc.last_quantum();
+        let (cf, uf) = self.targets(proc, 0.0, 0.0);
+        stats.instructions == 0.0
+            && stats.achieved_bw == 0.0
+            && proc.core_freq() == cf
+            && proc.uncore_freq() == uf
+    }
+}
+
+impl FrequencyController for Ondemand {
+    fn on_quantum(&mut self, proc: &mut SimProcessor) {
+        let stats = proc.last_quantum();
+        let traffic = stats.achieved_bw / proc.perf_model().dram_peak_bw;
+        let (cf_t, uf_t) = self.targets(proc, stats.mean_util, traffic);
+        let cf = Self::step_toward(proc.core_freq(), cf_t, self.max_step);
+        let uf = Self::step_toward(proc.uncore_freq(), uf_t, self.max_step);
+        proc.set_core_freq(cf);
+        proc.set_uncore_freq(uf);
+        self.quanta += 1;
+    }
+
+    fn report(&self) -> Vec<NodeReport> {
+        // Utilization-driven, not MAP-driven: no per-range optima.
+        static_report("ondemand", None, None, self.quanta)
+    }
+
+    fn name(&self) -> &'static str {
+        "Ondemand"
+    }
+
+    fn idle_quanta_capacity(&self, proc: &SimProcessor) -> u64 {
+        // At the idle fixed point (zero signals, both domains already at
+        // the idle targets) every further on_quantum re-writes the same
+        // frequencies — idempotent — and only counts the quantum.
+        if self.is_idle_stable(proc) {
+            u64::MAX
+        } else {
+            0
+        }
+    }
+
+    fn note_idle_quanta(&mut self, quanta: u64) {
+        self.quanta += quanta;
+    }
+}
+
 /// Frequency policy for a node — the factory input shared by the
 /// evaluation harness, the cluster simulator, and the examples.
 ///
@@ -288,6 +396,8 @@ pub enum NodePolicy {
         /// Uncore frequency to pin.
         uf: Freq,
     },
+    /// The ondemand/schedutil-style utilization-proportional governor.
+    Ondemand,
 }
 
 impl NodePolicy {
@@ -297,6 +407,7 @@ impl NodePolicy {
             NodePolicy::Default => "Default",
             NodePolicy::Cuttlefish(cfg) => cfg.policy.name(),
             NodePolicy::Pinned { .. } => "Pinned",
+            NodePolicy::Ondemand => "Ondemand",
         }
     }
 
@@ -318,6 +429,7 @@ impl NodePolicy {
                 proc.set_uncore_freq(*uf);
                 Box::new(Pinned::new(*cf, *uf))
             }
+            NodePolicy::Ondemand => Box::new(Ondemand::new()),
         }
     }
 }
@@ -413,6 +525,95 @@ mod tests {
         assert_eq!((*cf, *uf), (15, 20));
         let (rc, ru) = ctrl.resolved_fractions();
         assert_eq!((rc, ru), (1.0, 1.0));
+    }
+
+    #[test]
+    fn ondemand_tracks_the_bound_resource() {
+        // Memory-bound streaming: cores stall, so CF sinks well below
+        // max while the uncore chases the saturated traffic signal.
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut ctrl = NodePolicy::Ondemand.build(&mut proc);
+        let mut wl = Steady(memory_chunk());
+        for _ in 0..400 {
+            proc.step(&mut wl);
+            ctrl.on_quantum(&mut proc);
+        }
+        assert!(
+            proc.core_freq() < Freq(20),
+            "stalled cores must not stay near max, got {}",
+            proc.core_freq()
+        );
+        assert!(
+            proc.uncore_freq() > Freq(25),
+            "saturated traffic must raise the uncore, got {}",
+            proc.uncore_freq()
+        );
+        assert_eq!(ctrl.name(), "Ondemand");
+        let report = ctrl.report();
+        assert_eq!(report.len(), 1);
+        assert!(report[0].occurrences >= 400);
+
+        // Compute-bound: pipeline saturated, no traffic — CF at max,
+        // uncore at the floor.
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut ctrl = NodePolicy::Ondemand.build(&mut proc);
+        let compute = Chunk::new(1_000_000, 0, 0).with_profile(CostProfile::new(1.0, 6.0));
+        let mut wl = Steady(compute);
+        for _ in 0..400 {
+            proc.step(&mut wl);
+            ctrl.on_quantum(&mut proc);
+        }
+        assert_eq!(proc.core_freq(), HASWELL_2650V3.core.max());
+        assert_eq!(proc.uncore_freq(), HASWELL_2650V3.uncore.min());
+    }
+
+    #[test]
+    fn ondemand_idle_fast_forward_matches_stepping() {
+        struct Never;
+        impl Workload for Never {
+            fn next_chunk(&mut self, _: usize, _: u64) -> Option<Chunk> {
+                None
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+            fn next_wake_ns(&self, _: u64) -> Option<u64> {
+                None
+            }
+        }
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut ctrl = Ondemand::new();
+        let mut wl = Steady(memory_chunk());
+        for _ in 0..100 {
+            proc.step(&mut wl);
+            FrequencyController::on_quantum(&mut ctrl, &mut proc);
+        }
+        // Busy machine: must be stepped for real.
+        assert_eq!(ctrl.idle_quanta_capacity(&proc), 0);
+        // Idle down to the fixed point by real stepping.
+        let mut guard = 0;
+        while ctrl.idle_quanta_capacity(&proc) == 0 {
+            proc.step(&mut Never);
+            FrequencyController::on_quantum(&mut ctrl, &mut proc);
+            guard += 1;
+            assert!(guard < 1000, "ondemand must reach its idle fixed point");
+        }
+        // From the fixed point, skipping equals stepping bit for bit.
+        let mut p2 = proc.clone();
+        let mut c2 = ctrl.clone();
+        for _ in 0..37 {
+            proc.step(&mut Never);
+            FrequencyController::on_quantum(&mut ctrl, &mut proc);
+        }
+        p2.advance_idle_quanta(37);
+        c2.note_idle_quanta(37);
+        assert_eq!(proc.core_freq(), p2.core_freq());
+        assert_eq!(proc.uncore_freq(), p2.uncore_freq());
+        assert_eq!(
+            proc.total_energy_joules().to_bits(),
+            p2.total_energy_joules().to_bits()
+        );
+        assert_eq!(ctrl.quanta, c2.quanta);
     }
 
     #[test]

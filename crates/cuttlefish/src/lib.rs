@@ -72,7 +72,7 @@ pub mod node;
 pub mod tipi;
 pub mod ufrange;
 
-pub use controller::{FrequencyController, NodePolicy, Pinned};
+pub use controller::{FrequencyController, NodePolicy, Ondemand, Pinned};
 pub use daemon::Daemon;
 pub use tipi::TipiSlab;
 

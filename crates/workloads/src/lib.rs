@@ -32,7 +32,10 @@ pub mod heat;
 pub mod hpccg;
 pub mod minife;
 pub mod sor;
+pub mod spec;
 pub mod uts;
+
+pub use spec::{ChunkPhase, SyntheticSpec, SyntheticWorkload, WorkloadSpec};
 
 use simproc::engine::Workload;
 use tasking::{TaskDag, WorkSharingScheduler, WorkStealingScheduler};

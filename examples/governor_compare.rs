@@ -4,14 +4,14 @@
 //! multigrid levels — the hardest case for a tuner. This example
 //! prints a side-by-side per-second view of the Default governor and
 //! Cuttlefish: frequencies, power, and what the daemon has learned.
+//! Both runs are the same Scenario description with one field changed.
 //!
 //! Run with: `cargo run --release --example governor_compare`
 
+use bench::Scenario;
 use cuttlefish::controller::NodePolicy;
 use cuttlefish::Config;
-use simproc::freq::HASWELL_2650V3;
-use simproc::SimProcessor;
-use workloads::{amg, ProgModel, Scale};
+use workloads::ProgModel;
 
 struct Row {
     t: f64,
@@ -21,10 +21,11 @@ struct Row {
 }
 
 fn run(policy: NodePolicy) -> (Vec<Row>, f64, f64) {
-    let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
-    let bench = amg::benchmark(Scale(0.25));
-    let mut wl = bench.instantiate(ProgModel::OpenMp, proc.n_cores(), 3);
-    let mut controller = policy.build(&mut proc);
+    let scenario = Scenario::bench("AMG", ProgModel::OpenMp, 0.25)
+        .policy(policy)
+        .seed(3)
+        .build();
+    let (mut proc, mut wl, mut controller) = scenario.build_single_node();
     let mut rows = Vec::new();
     let mut q = 0u64;
     while !proc.workload_drained(wl.as_mut()) {

@@ -9,14 +9,13 @@
 //!
 //! Run with: `cargo run --release --example irregular_tasks`
 
+use bench::Scenario;
 use cuttlefish::controller::NodePolicy;
 use cuttlefish::Config;
-use simproc::freq::HASWELL_2650V3;
-use simproc::SimProcessor;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tasking::threaded::{Pool, Scope};
-use workloads::{uts, ProgModel, Scale};
+use workloads::{uts, ProgModel};
 
 /// Count an unbalanced tree by spawning a task per subtree.
 fn count_tree(scope: &Scope<'_>, id: u64, depth: u32, nodes: Arc<AtomicU64>) {
@@ -55,11 +54,14 @@ fn main() {
         t0.elapsed()
     );
 
-    // Part 2: the UTS benchmark under Cuttlefish on the simulated machine.
-    let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
-    let bench = uts::benchmark(Scale(0.2));
-    let mut wl = bench.instantiate(ProgModel::HClib, proc.n_cores(), 11);
-    let mut controller = NodePolicy::Cuttlefish(Config::default()).build(&mut proc);
+    // Part 2: the UTS benchmark under Cuttlefish on the simulated
+    // machine — one declarative Scenario (HClib model = work-stealing
+    // scheduler), stepped by hand to read the final machine state.
+    let scenario = Scenario::bench("UTS", ProgModel::HClib, 0.2)
+        .policy(NodePolicy::Cuttlefish(Config::default()))
+        .seed(11)
+        .build();
+    let (mut proc, mut wl, mut controller) = scenario.build_single_node();
     while !proc.workload_drained(wl.as_mut()) {
         proc.step(wl.as_mut());
         controller.on_quantum(&mut proc);

@@ -7,20 +7,31 @@
 //! with one slow node, the fast nodes wait at the barrier — Cuttlefish
 //! does not reclaim that slack by slowing them just-in-time.
 //!
+//! Every cluster here is one declarative [`Scenario`]: four nodes, a
+//! synthetic stencil phase, a BSP topology — the imbalanced case is
+//! the same description with per-node weights.
+//!
 //! Run with: `cargo run --release --example mpi_hybrid`
 
-use cluster::{BspApp, Cluster, CommModel, NodePolicy};
+use bench::{Scenario, ScenarioOutcome};
+use cuttlefish::controller::NodePolicy;
 use cuttlefish::Config;
-use simproc::engine::Chunk;
-use simproc::freq::Freq;
-use simproc::perf::CostProfile;
+use simproc::freq::{Freq, HASWELL_2650V3};
+use workloads::{ChunkPhase, SyntheticSpec};
 
-fn stencil_chunks() -> Vec<Chunk> {
-    (0..120)
-        .map(|_| {
-            Chunk::new(30_000_000, 1_390_000, 590_000).with_profile(CostProfile::new(0.55, 12.0))
-        })
-        .collect()
+/// One superstep of the memory-bound stencil: ~0.4 s per node.
+fn stencil() -> SyntheticSpec {
+    SyntheticSpec {
+        phases: vec![ChunkPhase {
+            chunks: 120,
+            instructions: 30_000_000,
+            misses_local: 1_390_000,
+            misses_remote: 590_000,
+            cpi: 0.55,
+            mlp: 12.0,
+        }],
+        total_chunks: None,
+    }
 }
 
 fn cuttlefish_cfg() -> Config {
@@ -31,47 +42,58 @@ fn cuttlefish_cfg() -> Config {
     }
 }
 
-fn report(label: &str, app: &BspApp) {
-    let base = Cluster::new(app.n_nodes(), NodePolicy::Default, CommModel::default()).run(app);
-    let mut tuned_cluster = Cluster::new(
-        app.n_nodes(),
-        NodePolicy::Cuttlefish(cuttlefish_cfg()),
-        CommModel::default(),
-    );
-    let tuned = tuned_cluster.run(app);
+/// 4 stencil nodes under `policy`, 40 supersteps; `weights` loads
+/// individual ranks (empty = balanced).
+fn cluster(policy: NodePolicy, weights: Vec<u32>) -> ScenarioOutcome {
+    let mut builder = Scenario::synthetic(stencil()).nodes(4, &HASWELL_2650V3, policy);
+    builder = if weights.is_empty() {
+        builder.bsp(40, 4.0e6)
+    } else {
+        builder.bsp_weighted(40, 4.0e6, weights)
+    };
+    builder.build().run()
+}
+
+fn report(label: &str, weights: Vec<u32>) {
+    let base = cluster(NodePolicy::Default, weights.clone());
+    let tuned = cluster(NodePolicy::Cuttlefish(cuttlefish_cfg()), weights.clone());
+    let tuned_cluster = tuned.cluster().expect("cluster outcome");
     println!("== {label}");
     println!(
         "   Default:    {:>6.2} s  {:>6.0} J   (barrier wait {:>5.2} node-s)",
-        base.seconds, base.joules, base.barrier_wait_s
+        base.seconds(),
+        base.joules(),
+        base.cluster()
+            .expect("cluster outcome")
+            .outcome
+            .barrier_wait_s
     );
     println!(
         "   Cuttlefish: {:>6.2} s  {:>6.0} J   energy {:+.1}%, time {:+.1}%",
-        tuned.seconds,
-        tuned.joules,
-        (1.0 - tuned.joules / base.joules) * 100.0,
-        (tuned.seconds / base.seconds - 1.0) * 100.0
+        tuned.seconds(),
+        tuned.joules(),
+        (1.0 - tuned.joules() / base.joules()) * 100.0,
+        (tuned.seconds() / base.seconds() - 1.0) * 100.0
     );
     // The same cluster driven by a third controller — an oracle pin at
     // the memory-bound optimum Cuttlefish discovers (Table 2: CF 1.2,
     // UF 2.2) — shows what the exploration costs relative to knowing
     // the answer up front.
-    let oracle = Cluster::new(
-        app.n_nodes(),
+    let oracle = cluster(
         NodePolicy::Pinned {
             cf: Freq(12),
             uf: Freq(22),
         },
-        CommModel::default(),
-    )
-    .run(app);
+        weights,
+    );
     println!(
         "   Oracle pin: {:>6.2} s  {:>6.0} J   energy {:+.1}%, time {:+.1}%",
-        oracle.seconds,
-        oracle.joules,
-        (1.0 - oracle.joules / base.joules) * 100.0,
-        (oracle.seconds / base.seconds - 1.0) * 100.0
+        oracle.seconds(),
+        oracle.joules(),
+        (1.0 - oracle.joules() / base.joules()) * 100.0,
+        (oracle.seconds() / base.seconds() - 1.0) * 100.0
     );
-    for (i, rep) in tuned_cluster.reports().iter().enumerate() {
+    for (i, rep) in tuned_cluster.reports.iter().enumerate() {
         for r in rep.iter().filter(|r| r.is_frequent()) {
             println!(
                 "   node {i}: TIPI {} → CFopt {:?}, UFopt {:?}",
@@ -85,11 +107,11 @@ fn report(label: &str, app: &BspApp) {
 
 fn main() {
     println!("MPI+X: 4 nodes x 20 cores, BSP stencil, 40 supersteps\n");
-    report("balanced ranks", &BspApp::uniform(4, 40, stencil_chunks));
+    report("balanced ranks", Vec::new());
     println!();
     report(
         "rank 0 does 2x work (the §4.6 slack case — no reclamation)",
-        &BspApp::imbalanced(4, 40, 0, 2, stencil_chunks),
+        vec![2, 1, 1, 1],
     );
     println!("\nEach node tunes its own memory access pattern. The imbalanced");
     println!("case shows two §4.6 effects at once: (1) barrier wait that a");

@@ -2,43 +2,39 @@
 //!
 //! Mirrors the paper's two-call usage: wrap the region you want tuned
 //! (here: the whole simulated execution) and let the daemon discover
-//! the memory access pattern and pick frequencies.
+//! the memory access pattern and pick frequencies. The experiment is
+//! described once, declaratively, through the Scenario builder — the
+//! same description could be serialized to JSON and run by any
+//! figure/table bin via `--scenario`.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use bench::Scenario;
 use cuttlefish::controller::NodePolicy;
 use cuttlefish::Config;
-use simproc::engine::{Chunk, Workload};
-use simproc::freq::HASWELL_2650V3;
-use simproc::perf::CostProfile;
-use simproc::SimProcessor;
-
-/// A steady memory-bound kernel: every core streams chunks with
-/// TIPI ≈ 0.064 (the paper's Heat-like MAP).
-struct Streaming;
-
-impl Workload for Streaming {
-    fn next_chunk(&mut self, _core: usize, _now_ns: u64) -> Option<Chunk> {
-        Some(Chunk::new(1_000_000, 56_000, 8_000).with_profile(CostProfile::new(0.55, 12.0)))
-    }
-    fn is_done(&self) -> bool {
-        false
-    }
-}
+use workloads::{ChunkPhase, SyntheticSpec};
 
 fn main() {
-    let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+    // A steady memory-bound kernel: every core streams chunks with
+    // TIPI ≈ 0.064 (the paper's Heat-like MAP), endlessly.
+    let scenario = Scenario::synthetic(SyntheticSpec {
+        phases: vec![ChunkPhase::streaming(1)],
+        total_chunks: None,
+    })
+    .policy(NodePolicy::Cuttlefish(Config::default()))
+    .duration_s(15.0)
+    .build();
+
+    // For interactive stepping the builder hands out the parts —
+    // machine, workload, controller — exactly as Scenario::run() would
+    // construct them. Swapping the policy (Default / Pinned / Ondemand
+    // / a future governor) is one line above.
+    let (mut proc, mut wl, mut controller) = scenario.build_single_node();
     println!("machine: {} ({} cores)", proc.spec().name, proc.n_cores());
 
-    // cuttlefish::start() — the controller owns the daemon and its MSR
-    // session; stop() restores the frequency settings. Swapping the
-    // policy (Default / Pinned / a future governor) is this one line.
-    let mut controller = NodePolicy::Cuttlefish(Config::default()).build(&mut proc);
-
-    let mut wl = Streaming;
     let seconds = 15;
     for quantum in 0..(seconds * 1000) {
-        proc.step(&mut wl);
+        proc.step(wl.as_mut());
         controller.on_quantum(&mut proc);
         if quantum % 1000 == 999 {
             println!(
@@ -66,7 +62,7 @@ fn main() {
 
     // cuttlefish::stop().
     controller.stop(&mut proc);
-    proc.step(&mut wl);
+    proc.step(wl.as_mut());
     println!(
         "after stop(): CF {}  UF {} (restored)",
         proc.core_freq(),

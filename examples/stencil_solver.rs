@@ -3,40 +3,36 @@
 //!
 //! Shows what a user of the library sees: the same solver, four energy
 //! outcomes — and why adapting both frequency domains beats adapting
-//! either alone.
+//! either alone. Each run is one declarative [`Scenario`] differing
+//! only in its node policy.
 //!
 //! Run with: `cargo run --release --example stencil_solver`
 
+use bench::Scenario;
 use cuttlefish::controller::NodePolicy;
 use cuttlefish::{Config, Policy};
-use simproc::freq::HASWELL_2650V3;
-use simproc::SimProcessor;
-use workloads::{heat, ProgModel, Scale, Style};
+use workloads::ProgModel;
 
-fn run_one(policy: &NodePolicy) -> (f64, f64) {
-    let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
-    let bench = heat::benchmark(Style::WorkSharing, Scale(0.25));
-    let mut wl = bench.instantiate(ProgModel::OpenMp, proc.n_cores(), 7);
-
-    let mut controller = policy.build(&mut proc);
-
-    while !proc.workload_drained(wl.as_mut()) {
-        proc.step(wl.as_mut());
-        controller.on_quantum(&mut proc);
-    }
-    (proc.now_seconds(), proc.total_energy_joules())
+fn run_one(policy: NodePolicy) -> (f64, f64) {
+    let outcome = Scenario::bench("Heat-ws", ProgModel::OpenMp, 0.25)
+        .policy(policy)
+        .seed(7)
+        .build()
+        .run();
+    (outcome.seconds(), outcome.joules())
 }
 
 fn main() {
     println!("Heat diffusion, 32K x 32K grid (scaled), work-sharing, 20 cores\n");
-    let (t0, e0) = run_one(&NodePolicy::Default);
+    let (t0, e0) = run_one(NodePolicy::Default);
     println!("{:<18} {:>8.2} s {:>8.0} J  (baseline)", "Default", t0, e0);
     for policy in [Policy::Both, Policy::CoreOnly, Policy::UncoreOnly] {
         let node_policy = NodePolicy::Cuttlefish(Config::default().with_policy(policy));
-        let (t, e) = run_one(&node_policy);
+        let name = node_policy.name();
+        let (t, e) = run_one(node_policy);
         println!(
             "{:<18} {:>8.2} s {:>8.0} J  energy {:+.1}%, time {:+.1}%",
-            node_policy.name(),
+            name,
             t,
             e,
             (1.0 - e / e0) * 100.0,

@@ -1,54 +1,36 @@
 //! Proof that the `FrequencyController` refactor is behaviour
-//! preserving: driving a fixed workload through the trait objects
-//! built by `NodePolicy::build` yields bit-identical energy, timing,
+//! preserving: driving a fixed workload through the trait objects the
+//! Scenario builder constructs yields bit-identical energy, timing,
 //! and frequency residency to calling the concrete controllers'
 //! inherent `on_quantum` methods — plus policy smoke tests through the
 //! `cluster` path.
 
+use bench::Scenario;
 use cluster::{BspApp, Cluster, CommModel};
 use cuttlefish::controller::NodePolicy;
 use cuttlefish::driver::CuttlefishDriver;
 use cuttlefish::{Config, Policy};
-use simproc::engine::{Chunk, SimProcessor, Workload};
+use simproc::engine::{Chunk, SimProcessor};
 use simproc::freq::{Freq, HASWELL_2650V3};
 use simproc::governor::DefaultGovernor;
 use simproc::perf::CostProfile;
 use std::collections::BTreeMap;
+use workloads::{ChunkPhase, SyntheticSpec, WorkloadSpec};
 
-/// A phase-changing workload: alternates memory-bound and
-/// compute-bound chunks so the controllers actually move frequencies.
-struct Phased {
-    handed: u64,
-    budget: u64,
+/// A phase-changing workload description: alternates memory-bound and
+/// compute-bound chunks (~2 virtual seconds per phase at these sizes)
+/// so the controllers actually move frequencies. `WorkloadSpec` is the
+/// single construction path — both the concrete-controller arm and the
+/// Scenario-built arm instantiate the identical stream from it.
+fn phased() -> WorkloadSpec {
+    phased_capped(CHUNKS)
 }
 
-impl Phased {
-    fn new(chunks: u64) -> Self {
-        Phased {
-            handed: 0,
-            budget: chunks,
-        }
-    }
-}
-
-impl Workload for Phased {
-    fn next_chunk(&mut self, _core: usize, _now_ns: u64) -> Option<Chunk> {
-        if self.handed >= self.budget {
-            return None;
-        }
-        self.handed += 1;
-        // ~2 virtual seconds per phase at these chunk sizes.
-        let memory_phase = (self.handed / 2_000).is_multiple_of(2);
-        Some(if memory_phase {
-            Chunk::new(1_000_000, 56_000, 8_000).with_profile(CostProfile::new(0.55, 12.0))
-        } else {
-            Chunk::new(1_000_000, 800, 200).with_profile(CostProfile::new(0.9, 4.0))
-        })
-    }
-
-    fn is_done(&self) -> bool {
-        self.handed >= self.budget
-    }
+fn phased_capped(chunks: u64) -> WorkloadSpec {
+    WorkloadSpec::Synthetic(SyntheticSpec {
+        phases: vec![ChunkPhase::streaming(2_000), ChunkPhase::compute(2_000)],
+        total_chunks: Some(chunks),
+    })
 }
 
 struct Fingerprint {
@@ -85,30 +67,38 @@ fn assert_identical(direct: &Fingerprint, via_trait: &Fingerprint, label: &str) 
 
 const CHUNKS: u64 = 160_000; // ~8 virtual seconds across 20 cores
 
+/// Run the Scenario-built arm: machine, workload, and controller all
+/// come out of the builder; the stepping loop matches the direct arm's
+/// plain per-quantum loop.
+fn via_scenario(
+    workload: WorkloadSpec,
+    policy: NodePolicy,
+) -> (Fingerprint, Vec<cuttlefish::daemon::NodeReport>) {
+    let scenario = Scenario::workload(workload).policy(policy).build();
+    let (mut proc, mut wl, mut ctrl) = scenario.build_single_node();
+    while !proc.workload_drained(wl.as_mut()) {
+        proc.step(wl.as_mut());
+        ctrl.on_quantum(&mut proc);
+    }
+    let report = ctrl.report();
+    (fingerprint(&proc), report)
+}
+
 #[test]
 fn default_governor_trait_dispatch_is_bit_identical() {
     // Direct: the concrete type's inherent on_quantum.
     let direct = {
         let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
         let mut governor = DefaultGovernor::new();
-        let mut wl = Phased::new(CHUNKS);
-        while !proc.workload_drained(&wl) {
-            proc.step(&mut wl);
+        let mut wl = phased().build(proc.n_cores(), 0);
+        while !proc.workload_drained(wl.as_mut()) {
+            proc.step(wl.as_mut());
             governor.on_quantum(&mut proc);
         }
         fingerprint(&proc)
     };
-    // Via the factory and dynamic dispatch.
-    let via_trait = {
-        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
-        let mut ctrl = NodePolicy::Default.build(&mut proc);
-        let mut wl = Phased::new(CHUNKS);
-        while !proc.workload_drained(&wl) {
-            proc.step(&mut wl);
-            ctrl.on_quantum(&mut proc);
-        }
-        fingerprint(&proc)
-    };
+    // Via the Scenario builder and dynamic dispatch.
+    let (via_trait, _) = via_scenario(phased(), NodePolicy::Default);
     assert_identical(&direct, &via_trait, "DefaultGovernor");
 }
 
@@ -117,23 +107,14 @@ fn cuttlefish_driver_trait_dispatch_is_bit_identical() {
     let direct = {
         let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
         let mut driver = CuttlefishDriver::new(&proc, Config::default());
-        let mut wl = Phased::new(CHUNKS);
-        while !proc.workload_drained(&wl) {
-            proc.step(&mut wl);
+        let mut wl = phased().build(proc.n_cores(), 0);
+        while !proc.workload_drained(wl.as_mut()) {
+            proc.step(wl.as_mut());
             driver.on_quantum(&mut proc);
         }
         (fingerprint(&proc), driver.daemon().report())
     };
-    let via_trait = {
-        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
-        let mut ctrl = NodePolicy::Cuttlefish(Config::default()).build(&mut proc);
-        let mut wl = Phased::new(CHUNKS);
-        while !proc.workload_drained(&wl) {
-            proc.step(&mut wl);
-            ctrl.on_quantum(&mut proc);
-        }
-        (fingerprint(&proc), ctrl.report())
-    };
+    let via_trait = via_scenario(phased(), NodePolicy::Cuttlefish(Config::default()));
     assert_identical(&direct.0, &via_trait.0, "CuttlefishDriver");
     // The daemon's learned state is identical too.
     assert_eq!(direct.1.len(), via_trait.1.len(), "same TIPI ranges");
@@ -154,22 +135,13 @@ fn pinned_equals_manual_frequency_pinning() {
         let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
         proc.set_core_freq(cf);
         proc.set_uncore_freq(uf);
-        let mut wl = Phased::new(CHUNKS / 4);
-        while !proc.workload_drained(&wl) {
-            proc.step(&mut wl);
+        let mut wl = phased_capped(CHUNKS / 4).build(proc.n_cores(), 0);
+        while !proc.workload_drained(wl.as_mut()) {
+            proc.step(wl.as_mut());
         }
         fingerprint(&proc)
     };
-    let via_trait = {
-        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
-        let mut ctrl = NodePolicy::Pinned { cf, uf }.build(&mut proc);
-        let mut wl = Phased::new(CHUNKS / 4);
-        while !proc.workload_drained(&wl) {
-            proc.step(&mut wl);
-            ctrl.on_quantum(&mut proc);
-        }
-        fingerprint(&proc)
-    };
+    let (via_trait, _) = via_scenario(phased_capped(CHUNKS / 4), NodePolicy::Pinned { cf, uf });
     assert_identical(&direct, &via_trait, "Pinned");
 }
 
@@ -277,6 +249,34 @@ fn small_bsp_chunks() -> Vec<Chunk> {
             Chunk::new(30_000_000, 1_390_000, 590_000).with_profile(CostProfile::new(0.55, 12.0))
         })
         .collect()
+}
+
+/// The same §4.6 weighted-imbalance shape, constructed purely through
+/// the Scenario builder (no hand-built `BspApp`): a 2-node synthetic
+/// BSP scenario whose node 0 carries 3× the work must attribute the
+/// wait to node 1 only.
+#[test]
+fn scenario_built_bsp_cluster_attributes_waits() {
+    let outcome = Scenario::synthetic(SyntheticSpec {
+        phases: vec![ChunkPhase {
+            chunks: 40,
+            instructions: 30_000_000,
+            misses_local: 1_390_000,
+            misses_remote: 590_000,
+            cpi: 0.55,
+            mlp: 12.0,
+        }],
+        total_chunks: None,
+    })
+    .nodes(2, &HASWELL_2650V3, NodePolicy::Default)
+    .bsp_weighted(6, 4.0e6, vec![3, 1])
+    .build()
+    .run();
+    let cluster = outcome.cluster().expect("cluster outcome");
+    let waits = &cluster.outcome.node_barrier_wait_s;
+    assert_eq!(waits.len(), 2);
+    assert!(waits[0] < 1e-9, "the loaded node never waits");
+    assert!(waits[1] > 1.0, "the light node waits, got {}", waits[1]);
 }
 
 #[test]

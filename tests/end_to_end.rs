@@ -2,37 +2,34 @@
 //! schedulers → simulated processor → Cuttlefish runtime, checking the
 //! paper's headline claims at reduced scale.
 
-use bench::{run, Setup};
+use bench::{RunOutcome, Scenario, Setup};
 use cuttlefish::{Config, Policy};
-use workloads::{openmp_suite, Benchmark, ProgModel, Scale};
+use workloads::ProgModel;
 
 const SCALE: f64 = 0.2;
 
-fn find<'a>(suite: &'a [Benchmark], name: &str) -> &'a Benchmark {
-    suite
-        .iter()
-        .find(|b| b.name == name)
-        .expect("benchmark present")
+/// One single-node experiment, described and executed through the
+/// Scenario builder — the workspace's single construction path.
+fn run(name: &str, setup: Setup, model: ProgModel, cfg: Config) -> RunOutcome {
+    Scenario::bench(name, model, SCALE)
+        .policy(setup.node_policy(cfg))
+        .build()
+        .run()
+        .single()
+        .expect("single-node scenario")
+        .clone()
 }
 
 #[test]
 fn cuttlefish_saves_energy_on_memory_bound_benchmarks() {
-    let suite = openmp_suite(Scale(SCALE));
     for name in ["Heat-irt", "MiniFE", "HPCCG", "AMG"] {
-        let b = find(&suite, name);
-        let base = run(
-            b,
-            Setup::Default,
-            ProgModel::OpenMp,
-            Config::default(),
-            None,
-        );
+        let b = name;
+        let base = run(b, Setup::Default, ProgModel::OpenMp, Config::default());
         let tuned = run(
             b,
             Setup::Cuttlefish(Policy::Both),
             ProgModel::OpenMp,
             Config::default(),
-            None,
         );
         let saving = 1.0 - tuned.joules / base.joules;
         let slowdown = tuned.seconds / base.seconds - 1.0;
@@ -51,22 +48,14 @@ fn cuttlefish_saves_energy_on_memory_bound_benchmarks() {
 
 #[test]
 fn cuttlefish_saves_energy_on_compute_bound_benchmarks() {
-    let suite = openmp_suite(Scale(SCALE));
     for name in ["UTS", "SOR-irt"] {
-        let b = find(&suite, name);
-        let base = run(
-            b,
-            Setup::Default,
-            ProgModel::OpenMp,
-            Config::default(),
-            None,
-        );
+        let b = name;
+        let base = run(b, Setup::Default, ProgModel::OpenMp, Config::default());
         let tuned = run(
             b,
             Setup::Cuttlefish(Policy::Both),
             ProgModel::OpenMp,
             Config::default(),
-            None,
         );
         let saving = 1.0 - tuned.joules / base.joules;
         assert!(
@@ -82,21 +71,13 @@ fn cuttlefish_core_loses_on_compute_bound_as_in_paper() {
     // §5.1: "Compared to the Default, Cuttlefish-Core required more
     // energy in UTS, SOR-irt, SOR-rt and SOR-ws" — because it pins the
     // uncore at max where the Default's firmware would have lowered it.
-    let suite = openmp_suite(Scale(SCALE));
-    let b = find(&suite, "UTS");
-    let base = run(
-        b,
-        Setup::Default,
-        ProgModel::OpenMp,
-        Config::default(),
-        None,
-    );
+    let b = "UTS";
+    let base = run(b, Setup::Default, ProgModel::OpenMp, Config::default());
     let core_only = run(
         b,
         Setup::Cuttlefish(Policy::CoreOnly),
         ProgModel::OpenMp,
         Config::default(),
-        None,
     );
     assert!(
         core_only.joules > base.joules,
@@ -110,22 +91,14 @@ fn cuttlefish_core_loses_on_compute_bound_as_in_paper() {
 fn policy_ordering_matches_paper_on_memory_bound() {
     // For memory-bound benchmarks: Both > Uncore-only and Both >
     // Core-only in energy savings (§5.1).
-    let suite = openmp_suite(Scale(SCALE));
-    let b = find(&suite, "Heat-irt");
-    let base = run(
-        b,
-        Setup::Default,
-        ProgModel::OpenMp,
-        Config::default(),
-        None,
-    );
+    let b = "Heat-irt";
+    let base = run(b, Setup::Default, ProgModel::OpenMp, Config::default());
     let joules = |p: Policy| {
         run(
             b,
             Setup::Cuttlefish(p),
             ProgModel::OpenMp,
             Config::default(),
-            None,
         )
         .joules
     };
@@ -142,15 +115,12 @@ fn policy_ordering_matches_paper_on_memory_bound() {
 
 #[test]
 fn frequency_assignments_match_table2() {
-    let suite = openmp_suite(Scale(SCALE));
-
     // Compute-bound: CFopt max, UFopt near min.
     let o = run(
-        find(&suite, "UTS"),
+        "UTS",
         Setup::Cuttlefish(Policy::Both),
         ProgModel::OpenMp,
         Config::default(),
-        None,
     );
     let frequent: Vec<_> = o.report.iter().filter(|r| r.is_frequent()).collect();
     assert!(!frequent.is_empty());
@@ -164,11 +134,10 @@ fn frequency_assignments_match_table2() {
 
     // Memory-bound: CFopt near min, UFopt at the knee.
     let o = run(
-        find(&suite, "Heat-irt"),
+        "Heat-irt",
         Setup::Cuttlefish(Policy::Both),
         ProgModel::OpenMp,
         Config::default(),
-        None,
     );
     let frequent: Vec<_> = o.report.iter().filter(|r| r.is_frequent()).collect();
     assert!(!frequent.is_empty());
@@ -189,18 +158,11 @@ fn frequency_assignments_match_table2() {
 fn obliviousness_openmp_vs_hclib() {
     // §5.2: the same benchmark under a different programming model
     // yields similar savings and the same frequency conclusions.
-    let suite = openmp_suite(Scale(SCALE));
-    let b = find(&suite, "Heat-irt");
+    let b = "Heat-irt";
     let mut savings = Vec::new();
     for model in [ProgModel::OpenMp, ProgModel::HClib] {
-        let base = run(b, Setup::Default, model, Config::default(), None);
-        let tuned = run(
-            b,
-            Setup::Cuttlefish(Policy::Both),
-            model,
-            Config::default(),
-            None,
-        );
+        let base = run(b, Setup::Default, model, Config::default());
+        let tuned = run(b, Setup::Cuttlefish(Policy::Both), model, Config::default());
         savings.push(1.0 - tuned.joules / base.joules);
         // Frequency conclusions identical across models.
         let freq = tuned
@@ -223,15 +185,8 @@ fn obliviousness_openmp_vs_hclib() {
 fn tinv_sensitivity_trend() {
     // Table 3: larger Tinv → no more saving than smaller Tinv (within
     // noise), and savings stay positive across the sweep.
-    let suite = openmp_suite(Scale(SCALE));
-    let b = find(&suite, "Heat-irt");
-    let base = run(
-        b,
-        Setup::Default,
-        ProgModel::OpenMp,
-        Config::default(),
-        None,
-    );
+    let b = "Heat-irt";
+    let base = run(b, Setup::Default, ProgModel::OpenMp, Config::default());
     let mut savings = Vec::new();
     for tinv in [10u64, 40] {
         let tuned = run(
@@ -239,7 +194,6 @@ fn tinv_sensitivity_trend() {
             Setup::Cuttlefish(Policy::Both),
             ProgModel::OpenMp,
             Config::default().with_tinv_ms(tinv),
-            None,
         );
         savings.push(1.0 - tuned.joules / base.joules);
     }
