@@ -78,6 +78,14 @@ cargo run --release -q -p bench "$LOCKED" --bin fig2 -- \
   --json "$SCEN_DIR/fig2-uts-default.json" >/dev/null
 cargo run --release -q -p bench "$LOCKED" --bin bench_diff -- \
   --exact scenarios/fig2-uts-default.expected.json "$SCEN_DIR/fig2-uts-default.json"
+# The oracle governor from a file: the committed scenario carries the
+# operating-point table inline, and its artifact must be bit-identical
+# to the fig10 smoke grid's derived-table Oracle cell.
+cargo run --release -q -p bench "$LOCKED" --bin fig10 -- \
+  --scenario scenarios/fig10-heat-oracle.json \
+  --json "$SCEN_DIR/fig10-heat-oracle.json" >/dev/null
+cargo run --release -q -p bench "$LOCKED" --bin bench_diff -- \
+  --exact scenarios/fig10-heat-oracle.expected.json "$SCEN_DIR/fig10-heat-oracle.json"
 
 stage "bench smoke"
 # Every figure/table bin runs its reduced grid and writes a typed JSON

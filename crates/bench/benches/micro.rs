@@ -164,6 +164,7 @@ fn bench_grid_cell(c: &mut Criterion) {
         trace: false,
         machines: None,
         bsp: None,
+        oracle: None,
     };
     c.bench_function("grid_cell_uts_tiny", |b| {
         b.iter(|| black_box(run_cell(&HASWELL_2650V3, scale, &cell)))

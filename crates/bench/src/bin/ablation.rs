@@ -20,7 +20,7 @@ use bench::grid::{
 };
 use bench::{render_table, Setup};
 use cuttlefish::explore::Exploration;
-use cuttlefish::{Config, Policy};
+use cuttlefish::{Config, PidGains, Policy};
 
 const USAGE: &str = "ablation [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
 
@@ -40,6 +40,32 @@ const VARIANTS: [(&str, bool, bool); 4] = [
     ("neither", false, false),
 ];
 
+/// Gain variants of the PID uncore tracker, as (label, gains): the
+/// default loop, a stiff low-headroom loop, and a sluggish one —
+/// sensitivity of the feedback alternative to Algorithm 3.
+fn pid_variants() -> Vec<(&'static str, PidGains)> {
+    vec![
+        ("PID default", PidGains::default()),
+        (
+            "PID stiff (sp=0.95)",
+            PidGains {
+                kp: 16.0,
+                ki: 0.8,
+                setpoint: 0.95,
+                ..PidGains::default()
+            },
+        ),
+        (
+            "PID sluggish (kp=1)",
+            PidGains {
+                kp: 1.0,
+                ki: 0.05,
+                ..PidGains::default()
+            },
+        ),
+    ]
+}
+
 fn spec(args: &GridArgs) -> GridSpec {
     let mut spec = GridSpec::new("ablation", args.scale());
     let mut setups = vec![GridSetup::new("Default", Setup::Default)];
@@ -56,6 +82,16 @@ fn spec(args: &GridArgs) -> GridSpec {
         spec.full_suite()
     };
     spec.push(AxisSet::new(benchmarks, setups));
+    // PID-gain sensitivity on the memory-bound work-sharing kernel
+    // (its own axis-set, appended so the historical cells keep their
+    // artifact positions; shares the Heat-ws Default baseline above).
+    spec.push(AxisSet::new(
+        vec!["Heat-ws".into()],
+        pid_variants()
+            .into_iter()
+            .map(|(label, gains)| GridSetup::new(label, Setup::PidUncore(gains)))
+            .collect(),
+    ));
     spec
 }
 
@@ -121,8 +157,37 @@ fn main() {
     args.finish_timed(&result, &timing);
 
     render_part1(&result);
+    render_pid_gains(&result);
     render_dvfs_vs_ddcm();
     render_probe_counts();
+}
+
+// ---- Part 1b: PID uncore-loop gain sensitivity ----------------------
+fn render_pid_gains(result: &GridResult) {
+    let comparisons = compare_to_baseline(result, "Default");
+    let mut rows = Vec::new();
+    for (label, gains) in pid_variants() {
+        let Some(c) = comparisons
+            .iter()
+            .find(|c| c.bench == "Heat-ws" && c.label == label)
+        else {
+            continue;
+        };
+        rows.push(vec![
+            label.to_string(),
+            format!("kp={} ki={} sp={}", gains.kp, gains.ki, gains.setpoint),
+            format!("{:+.1}%", c.energy_saving_pct),
+            format!("{:+.1}%", c.time_degradation_pct),
+        ]);
+    }
+    if rows.is_empty() {
+        return;
+    }
+    println!("PID uncore-loop gains on Heat-ws (vs Default):");
+    println!(
+        "{}",
+        render_table(&["variant", "gains", "energy savings", "slowdown"], &rows)
+    );
 }
 
 // ---- Part 1: §4.4/§4.5 on/off over the suite ------------------------

@@ -17,7 +17,7 @@ use bench::grid::{
     GridResult, GridSetup, GridSpec,
 };
 use bench::{render_table, Setup};
-use cuttlefish::Policy;
+use cuttlefish::{PidGains, Policy};
 use simproc::freq::HASWELL_2650V3;
 
 const USAGE: &str = "fig10 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
@@ -83,6 +83,20 @@ fn spec(args: &GridArgs) -> GridSpec {
             )
             .with_fleets(vec![Fleet::hetero(machines).with_bsp(96, 1.2e9)]),
         );
+        // The paper's central claim, end to end: the static oracle
+        // (its Table 2 operating points derived from a traced Default
+        // run of this very cell) and the PID feedback alternative on
+        // the memory-bound headline benchmark, sharing the single-node
+        // Default baseline — their rows land next to Cuttlefish's and
+        // Ondemand's in the panel comparison, making "online search ≈
+        // static oracle" a number this binary prints.
+        spec.push(AxisSet::new(
+            vec!["Heat-irt".into()],
+            vec![
+                GridSetup::new("Oracle", Setup::Oracle),
+                GridSetup::new("PidUncore", Setup::PidUncore(PidGains::default())),
+            ],
+        ));
     } else {
         let full = spec.full_suite();
         spec.push(AxisSet::new(full, paper_setups()));

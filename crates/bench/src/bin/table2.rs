@@ -6,12 +6,17 @@
 //! Default execution's settings (CF pinned 2.3; firmware uncore 2.2
 //! for compute-bound, 3.0 for memory-bound).
 //!
+//! A second section reports the paper's central §5 comparison as a
+//! number: the energy gap between Cuttlefish's *online* search and the
+//! *static oracle* (its per-phase table derived from the benchmark's
+//! traced Default run) on the same cells.
+//!
 //! Usage: `cargo run --release -p bench --bin table2 --
 //!         [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]`
 
 use bench::cli::GridArgs;
 use bench::grid::{AxisSet, CellResult, GridResult, GridSetup, GridSpec};
-use bench::{render_table, Setup};
+use bench::{render_table, saving_pct, Setup};
 use cuttlefish::Policy;
 
 const USAGE: &str = "table2 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
@@ -29,7 +34,13 @@ fn spec(args: &GridArgs) -> GridSpec {
     } else {
         spec.full_suite()
     };
-    spec.push(AxisSet::new(benchmarks, setups));
+    spec.push(AxisSet::new(benchmarks.clone(), setups));
+    // The oracle column, appended as its own axis-set so the historical
+    // cells keep their positions (and bytes) in the artifact.
+    spec.push(AxisSet::new(
+        benchmarks,
+        vec![GridSetup::new("Oracle", Setup::Oracle)],
+    ));
     spec
 }
 
@@ -115,6 +126,53 @@ fn render(result: &GridResult) {
                 "UFopt",
                 "Def CF",
                 "Def UF",
+            ],
+            &rows
+        )
+    );
+
+    render_oracle_gap(result);
+}
+
+/// The §5 headline as a table: per benchmark, energy savings of the
+/// online search and of the static oracle relative to Default, and
+/// the gap between them (positive = the online search used more energy
+/// than the statically-known optimum; the paper's claim is that this
+/// gap is small).
+fn render_oracle_gap(result: &GridResult) {
+    let mut rows = Vec::new();
+    for bench in result.benches() {
+        let (Some(default), Some(cuttlefish), Some(oracle)) = (
+            result.cell(bench, "Default"),
+            result.cell(bench, "Cuttlefish"),
+            result.cell(bench, "Oracle"),
+        ) else {
+            continue;
+        };
+        rows.push(vec![
+            bench.to_string(),
+            format!("{:+.1}%", saving_pct(default.joules, cuttlefish.joules)),
+            format!("{:+.1}%", saving_pct(default.joules, oracle.joules)),
+            format!("{:+.1}%", (cuttlefish.joules / oracle.joules - 1.0) * 100.0),
+            format!(
+                "{:+.1}%",
+                (cuttlefish.seconds / oracle.seconds - 1.0) * 100.0
+            ),
+        ]);
+    }
+    if rows.is_empty() {
+        return;
+    }
+    println!("Cuttlefish vs Oracle (paper §5: online search ≈ static oracle):");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "Cuttlefish energy-sav",
+                "Oracle energy-sav",
+                "energy gap",
+                "time gap",
             ],
             &rows
         )

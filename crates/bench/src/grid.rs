@@ -25,6 +25,7 @@ use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::scenario::{arr, from_arr, from_opt_u32, obj, opt_u32, Scenario, ScenarioOutcome};
 use crate::{RunOutcome, Setup, TracePoint, HARNESS_SEED};
 use crossbeam::deque::{Injector, Steal};
+use cuttlefish::controller::{OracleDerivation, OracleTable, PidGains, TraceSample};
 use cuttlefish::Config;
 use serde::{Deserialize, Serialize};
 use simproc::freq::{Freq, FreqDomain, MachineSpec, HASWELL_2650V3};
@@ -249,6 +250,7 @@ impl GridSpec {
                                 trace: setup.trace && fleet.nodes == 1,
                                 machines: fleet.machines.clone(),
                                 bsp: fleet.bsp,
+                                oracle: None,
                             });
                         }
                     }
@@ -381,6 +383,14 @@ pub struct CellSpec {
     /// Bulk-synchronous decomposition for multi-node cells (see
     /// [`Fleet::bsp`]).
     pub bsp: Option<BspCell>,
+    /// Operating-point table of a [`Setup::Oracle`] cell. `None` — the
+    /// grid-declared form — derives the table deterministically from a
+    /// traced Default run of the same cell when the cell expands
+    /// ([`CellSpec::scenario`]); the executed result records the table
+    /// it ran with, so the artifact bytes are identical whether the
+    /// table was derived or supplied. Non-oracle cells keep the key
+    /// omitted (their historical byte-exact encoding).
+    pub oracle: Option<OracleTable>,
 }
 
 /// Parameters of a strong-scaled BSP cell.
@@ -404,6 +414,12 @@ impl CellSpec {
     /// Expand into the [`Scenario`] this cell runs: `machine` is the
     /// grid's uniform machine (used for every node the cell doesn't
     /// override) and `scale` the grid's workload scale.
+    ///
+    /// For a [`Setup::Oracle`] cell without an explicit
+    /// [`oracle`](CellSpec::oracle) table this *derives* one — it runs
+    /// the cell's Default setup with a trace and feeds the samples to
+    /// `OracleTable::from_trace` — so expanding such a cell costs one
+    /// extra deterministic simulation.
     pub fn scenario(&self, machine: &MachineSpec, scale: f64) -> Scenario {
         assert!(self.nodes > 0, "cell must have at least one node");
         if let Some(machines) = &self.machines {
@@ -412,7 +428,13 @@ impl CellSpec {
                 "heterogeneous cells need one machine per node of a multi-node cell"
             );
         }
-        let policy = self.setup.node_policy(self.config.clone());
+        let policy = match self.setup {
+            Setup::Oracle => cuttlefish::NodePolicy::Oracle(match &self.oracle {
+                Some(table) => table.clone(),
+                None => self.derive_oracle_table(machine, scale),
+            }),
+            other => other.node_policy(self.config.clone()),
+        };
         let node_machines: Vec<MachineSpec> = match &self.machines {
             Some(machines) => machines.clone(),
             None => vec![machine.clone(); self.nodes],
@@ -441,6 +463,72 @@ impl CellSpec {
             trace: self.trace,
         }
     }
+
+    /// Derive this cell's oracle table the way the paper builds its
+    /// oracle: run the identical workload under the Default setup with
+    /// a trace, then identify the frequent phases and their settling
+    /// points from the samples (`OracleTable::from_trace`). Fully
+    /// deterministic — same cell, same table, every time — which is
+    /// what lets a derived-oracle grid cell and a scenario file
+    /// carrying the table inline produce identical artifact bytes.
+    ///
+    /// # Panics
+    /// Panics for multi-node cells (traces are single-node; give
+    /// cluster oracle cells an explicit table) and when the trace
+    /// yields no usable table.
+    fn derive_oracle_table(&self, machine: &MachineSpec, scale: f64) -> OracleTable {
+        assert_eq!(
+            self.nodes, 1,
+            "oracle tables are derived from single-node Default traces; \
+             multi-node oracle cells need an explicit table"
+        );
+        let workload = WorkloadSpec::Bench {
+            name: self.bench.clone(),
+            model: self.model,
+            scale,
+        };
+        let probe = Scenario {
+            label: format!("{}-oracle-derive", self.label),
+            workload: workload.clone(),
+            nodes: vec![(machine.clone(), cuttlefish::NodePolicy::Default)],
+            topology: crate::scenario::Topology::SingleNode,
+            seed: self.seed(),
+            duration_s: None,
+            trace: true,
+        };
+        let mut points = Vec::new();
+        probe.run_traced(Some(&mut points));
+        let samples: Vec<TraceSample> = points
+            .iter()
+            .map(|p| TraceSample {
+                tipi: p.tipi,
+                jpi: p.jpi,
+                watts: p.watts,
+                cf: Freq((p.cf_ghz * 10.0).round() as u32),
+                uf: Freq((p.uf_ghz * 10.0).round() as u32),
+            })
+            .collect();
+        let params = OracleDerivation {
+            tipi_range: workload.paper_tipi_range(),
+            ..OracleDerivation::default()
+        };
+        // The probe's models are the run's models: both come from
+        // `SimProcessor::new(machine)`.
+        let model_source = simproc::SimProcessor::new(machine.clone());
+        OracleTable::from_trace(
+            &samples,
+            machine,
+            model_source.perf_model(),
+            model_source.power_model(),
+            &params,
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "cell {}/{} cannot derive an oracle table: {e}",
+                self.bench, self.label
+            )
+        })
+    }
 }
 
 /// Derive the artifact cell identity of a free-standing [`Scenario`]
@@ -464,11 +552,19 @@ pub fn scenario_cell(scenario: &Scenario) -> Result<CellSpec, String> {
     if scenario.nodes.iter().any(|(_, p)| p != policy0) {
         return Err("per-node policies cannot be embedded in a grid artifact".into());
     }
+    let mut oracle = None;
     let (setup, config) = match policy0 {
         cuttlefish::NodePolicy::Default => (Setup::Default, Config::default()),
         cuttlefish::NodePolicy::Cuttlefish(cfg) => (Setup::Cuttlefish(cfg.policy), cfg.clone()),
         cuttlefish::NodePolicy::Pinned { cf, uf } => (Setup::Pinned(*cf, *uf), Config::default()),
         cuttlefish::NodePolicy::Ondemand => (Setup::Ondemand, Config::default()),
+        cuttlefish::NodePolicy::Oracle(table) => {
+            oracle = Some(table.clone());
+            (Setup::Oracle, Config::default())
+        }
+        cuttlefish::NodePolicy::PidUncore { config, gains } => {
+            (Setup::PidUncore(*gains), config.clone())
+        }
     };
     let machines = if scenario.nodes.len() > 1 && scenario.nodes.iter().any(|(m, _)| m != machine0)
     {
@@ -503,6 +599,7 @@ pub fn scenario_cell(scenario: &Scenario) -> Result<CellSpec, String> {
         trace: scenario.trace,
         machines,
         bsp,
+        oracle,
     })
 }
 
@@ -741,6 +838,16 @@ pub fn run_cell_timed(
 
 fn run_cell_inner(machine: &MachineSpec, scale: f64, cell: &CellSpec) -> (CellResult, u64, u64) {
     let scenario = cell.scenario(machine, scale);
+    // The result records the cell *as executed*: an oracle cell that
+    // derived its table carries the derived table, so the artifact
+    // bytes match a scenario file shipping the same table inline.
+    let cell = &{
+        let mut executed = cell.clone();
+        if let cuttlefish::NodePolicy::Oracle(table) = &scenario.nodes[0].1 {
+            executed.oracle = Some(table.clone());
+        }
+        executed
+    };
     let mut trace = Vec::new();
     let outcome = scenario.run_traced(cell.trace.then_some(&mut trace));
     match outcome {
@@ -959,13 +1066,16 @@ impl ToJson for CellSpec {
             ("rep", Json::Num(f64::from(self.rep))),
             ("trace", Json::Bool(self.trace)),
         ];
-        // Only heterogeneous / BSP cells carry these keys: plain cells
-        // keep their historical byte-exact encoding.
+        // Only heterogeneous / BSP / oracle cells carry these keys:
+        // plain cells keep their historical byte-exact encoding.
         if let Some(machines) = &self.machines {
             fields.push(("machines", arr(machines)));
         }
         if let Some(bsp) = &self.bsp {
             fields.push(("bsp", bsp.to_json()));
+        }
+        if let Some(oracle) = &self.oracle {
+            fields.push(("oracle", oracle.to_json()));
         }
         obj(fields)
     }
@@ -990,6 +1100,10 @@ impl FromJson for CellSpec {
                 Some(b) => Some(BspCell::from_json(b)?),
                 None => None,
             },
+            oracle: match j.get("oracle") {
+                Some(o) => Some(OracleTable::from_json(o)?),
+                None => None,
+            },
         })
     }
 }
@@ -1008,6 +1122,11 @@ impl ToJson for Setup {
                 ("uf", Json::Num(f64::from(uf.0))),
             ]),
             Setup::Ondemand => obj(vec![("kind", Json::Str("ondemand".into()))]),
+            Setup::Oracle => obj(vec![("kind", Json::Str("oracle".into()))]),
+            Setup::PidUncore(gains) => obj(vec![
+                ("kind", Json::Str("pid-uncore".into())),
+                ("gains", gains.to_json()),
+            ]),
         }
     }
 }
@@ -1024,6 +1143,8 @@ impl FromJson for Setup {
                 Freq(j.field("uf")?.as_u64()? as u32),
             )),
             "ondemand" => Ok(Setup::Ondemand),
+            "oracle" => Ok(Setup::Oracle),
+            "pid-uncore" => Ok(Setup::PidUncore(PidGains::from_json(j.field("gains")?)?)),
             other => Err(JsonError(format!("unknown setup kind `{other}`"))),
         }
     }
@@ -1332,6 +1453,7 @@ mod tests {
                 supersteps: 8,
                 comm_bytes: 24.0e6,
             }),
+            oracle: None,
         };
         let scenario = cell.scenario(&HASWELL_2650V3, 0.02);
         assert_eq!(scenario.n_nodes(), 2);

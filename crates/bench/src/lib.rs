@@ -8,7 +8,7 @@
 //! arithmetic over [`RunOutcome`]s; the grid runner ([`grid`]) fans
 //! axis-sets of scenarios across worker threads.
 
-use cuttlefish::controller::NodePolicy;
+use cuttlefish::controller::{NodePolicy, PidGains};
 use cuttlefish::{Config, Policy};
 use simproc::freq::Freq;
 
@@ -25,8 +25,9 @@ pub const HARNESS_SEED: u64 = 0xC0FFEE;
 
 /// The execution configurations of the paper — the four Figure 10/11
 /// setups plus the fixed-frequency pins of the Figure 3 sweeps — and
-/// the ondemand/schedutil-style baseline governor beyond the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// the governors beyond the paper's four: the ondemand/schedutil-style
+/// baseline, the static Table 2 oracle, and the PID uncore tracker.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Setup {
     /// `performance` governor + firmware Auto uncore.
     Default,
@@ -36,6 +37,13 @@ pub enum Setup {
     Pinned(Freq, Freq),
     /// The ondemand/schedutil-style utilization-proportional governor.
     Ondemand,
+    /// The static per-phase oracle (§5's comparison baseline). The
+    /// operating-point table is *derived per cell* from a traced
+    /// Default run of the same scenario unless the cell carries an
+    /// explicit one — see `grid::CellSpec::scenario`.
+    Oracle,
+    /// PID uncore tracking over the Cuttlefish core-only search.
+    PidUncore(PidGains),
 }
 
 impl Setup {
@@ -56,17 +64,29 @@ impl Setup {
             Setup::Cuttlefish(p) => p.name(),
             Setup::Pinned(..) => "Pinned",
             Setup::Ondemand => "Ondemand",
+            Setup::Oracle => "Oracle",
+            Setup::PidUncore(_) => "PidUncore",
         }
     }
 
     /// The node policy this setup builds its controller from; `cfg`
-    /// parameterizes the Cuttlefish setups (Tinv, slab width, ...).
+    /// parameterizes the Cuttlefish setups (Tinv, slab width, ...) and
+    /// the PID setup's delegated core search.
+    ///
+    /// # Panics
+    /// Panics for [`Setup::Oracle`]: its operating-point table lives
+    /// on the grid cell (explicit or derived), so oracle policies are
+    /// resolved by `grid::CellSpec::scenario`, not here.
     pub fn node_policy(self, cfg: Config) -> NodePolicy {
         match self {
             Setup::Default => NodePolicy::Default,
             Setup::Cuttlefish(policy) => NodePolicy::Cuttlefish(cfg.with_policy(policy)),
             Setup::Pinned(cf, uf) => NodePolicy::Pinned { cf, uf },
             Setup::Ondemand => NodePolicy::Ondemand,
+            Setup::Oracle => {
+                panic!("oracle setups resolve their table through CellSpec::scenario")
+            }
+            Setup::PidUncore(gains) => NodePolicy::PidUncore { config: cfg, gains },
         }
     }
 }

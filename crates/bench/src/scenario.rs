@@ -31,9 +31,9 @@
 
 use crate::{RunOutcome, TracePoint, HARNESS_SEED};
 use cluster::{BspApp, Cluster, CommModel};
-use cuttlefish::controller::NodePolicy;
+use cuttlefish::controller::{NodePolicy, OracleEntry, OracleTable, PidGains};
 use cuttlefish::daemon::NodeReport;
-use cuttlefish::{Config, Policy};
+use cuttlefish::{Config, Policy, TipiSlab};
 use simproc::freq::{Freq, FreqDomain, MachineSpec, HASWELL_2650V3};
 use simproc::profile::{delta, CounterSnapshot};
 use simproc::SimProcessor;
@@ -164,8 +164,9 @@ impl Scenario {
         if self.nodes.is_empty() {
             return Err("scenario needs at least one node".into());
         }
-        for (machine, _) in &self.nodes {
+        for (machine, policy) in &self.nodes {
             machine.validate()?;
+            policy.validate()?;
         }
         let quantum = self.nodes[0].0.quantum_ns;
         if self.nodes.iter().any(|(m, _)| m.quantum_ns != quantum) {
@@ -833,6 +834,72 @@ impl FromJson for MachineSpec {
     }
 }
 
+impl ToJson for OracleEntry {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("slab", Json::Num(f64::from(self.slab.0))),
+            ("cf", Json::Num(f64::from(self.cf.0))),
+            ("uf", Json::Num(f64::from(self.uf.0))),
+        ])
+    }
+}
+
+impl FromJson for OracleEntry {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(OracleEntry {
+            slab: TipiSlab(j.field("slab")?.as_u64()? as u32),
+            cf: Freq(j.field("cf")?.as_u64()? as u32),
+            uf: Freq(j.field("uf")?.as_u64()? as u32),
+        })
+    }
+}
+
+impl ToJson for OracleTable {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("slab_width", Json::Num(self.slab_width)),
+            ("tinv_ns", Json::Num(self.tinv_ns as f64)),
+            ("entries", arr(&self.entries)),
+        ])
+    }
+}
+
+impl FromJson for OracleTable {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let table = OracleTable {
+            slab_width: j.field("slab_width")?.as_f64()?,
+            tinv_ns: j.field("tinv_ns")?.as_u64()?,
+            entries: from_arr(j.field("entries")?)?,
+        };
+        table.validate().map_err(JsonError)?;
+        Ok(table)
+    }
+}
+
+impl ToJson for PidGains {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("kp", Json::Num(self.kp)),
+            ("ki", Json::Num(self.ki)),
+            ("kd", Json::Num(self.kd)),
+            ("setpoint", Json::Num(self.setpoint)),
+        ])
+    }
+}
+
+impl FromJson for PidGains {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let gains = PidGains {
+            kp: j.field("kp")?.as_f64()?,
+            ki: j.field("ki")?.as_f64()?,
+            kd: j.field("kd")?.as_f64()?,
+            setpoint: j.field("setpoint")?.as_f64()?,
+        };
+        gains.validate().map_err(JsonError)?;
+        Ok(gains)
+    }
+}
+
 impl ToJson for NodePolicy {
     fn to_json(&self) -> Json {
         match self {
@@ -847,6 +914,15 @@ impl ToJson for NodePolicy {
                 ("uf", Json::Num(f64::from(uf.0))),
             ]),
             NodePolicy::Ondemand => obj(vec![("kind", Json::Str("ondemand".into()))]),
+            NodePolicy::Oracle(table) => obj(vec![
+                ("kind", Json::Str("oracle".into())),
+                ("table", table.to_json()),
+            ]),
+            NodePolicy::PidUncore { config, gains } => obj(vec![
+                ("kind", Json::Str("pid-uncore".into())),
+                ("config", config.to_json()),
+                ("gains", gains.to_json()),
+            ]),
         }
     }
 }
@@ -863,6 +939,27 @@ impl FromJson for NodePolicy {
                 uf: Freq(j.field("uf")?.as_u64()? as u32),
             }),
             "ondemand" => Ok(NodePolicy::Ondemand),
+            // The table may be inline (`table`) or referenced
+            // (`table_file`, resolved relative to the process CWD and
+            // holding a bare serialized `OracleTable`). Files always
+            // re-serialize inline.
+            "oracle" => {
+                let table = match j.get("table") {
+                    Some(t) => OracleTable::from_json(t)?,
+                    None => {
+                        let path = j.field("table_file")?.as_str()?;
+                        let text = std::fs::read_to_string(path).map_err(|e| {
+                            JsonError(format!("cannot read oracle table_file `{path}`: {e}"))
+                        })?;
+                        OracleTable::from_json(&Json::parse(&text)?)?
+                    }
+                };
+                Ok(NodePolicy::Oracle(table))
+            }
+            "pid-uncore" => Ok(NodePolicy::PidUncore {
+                config: Config::from_json(j.field("config")?)?,
+                gains: PidGains::from_json(j.field("gains")?)?,
+            }),
             other => Err(JsonError(format!("unknown node policy `{other}`"))),
         }
     }

@@ -1,0 +1,66 @@
+//! `docs/GOVERNORS.md` promises that every JSON block it shows is a
+//! runnable scenario file. This test keeps that promise: it extracts
+//! each fenced ```json block and decodes it through the
+//! `cuttlefish/scenario/v1` codec, so a schema change that would break
+//! the documented snippets breaks CI instead.
+
+use bench::scenario::Scenario;
+
+/// The fenced ```json blocks of a markdown document, in order.
+fn json_blocks(markdown: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in markdown.lines() {
+        match &mut current {
+            None if line.trim_start().starts_with("```json") => current = Some(String::new()),
+            None => {}
+            Some(block) => {
+                if line.trim_start().starts_with("```") {
+                    blocks.push(current.take().expect("open block"));
+                } else {
+                    block.push_str(line);
+                    block.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```json fence");
+    blocks
+}
+
+#[test]
+fn every_governors_md_snippet_is_a_valid_scenario() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/GOVERNORS.md");
+    let text = std::fs::read_to_string(path).expect("docs/GOVERNORS.md exists");
+    let blocks = json_blocks(&text);
+    // One snippet per governor: the guide documents all six.
+    assert!(
+        blocks.len() >= 6,
+        "expected a snippet per governor, found {}",
+        blocks.len()
+    );
+    let mut labels = Vec::new();
+    for (i, block) in blocks.iter().enumerate() {
+        let scenario = Scenario::from_json_str(block).unwrap_or_else(|e| {
+            panic!("GOVERNORS.md json block #{i} is not a valid scenario: {e}\n{block}")
+        });
+        labels.push(scenario.label.clone());
+        // Documented snippets must also round-trip: what the page
+        // shows is what a tool would write back.
+        let reparsed = Scenario::from_json_str(&scenario.to_json_string()).expect("round-trips");
+        assert_eq!(reparsed, scenario, "snippet #{i} round-trips losslessly");
+    }
+    for governor in [
+        "Default",
+        "Pinned-1.2-2.2",
+        "Cuttlefish",
+        "Ondemand",
+        "Oracle",
+        "PidUncore",
+    ] {
+        assert!(
+            labels.iter().any(|l| l == governor),
+            "no snippet for {governor} (found {labels:?})"
+        );
+    }
+}

@@ -6,8 +6,8 @@
 use bench::grid::{run_scenario_timed, straggler_spec, AxisSet, Fleet, GridSetup, GridSpec};
 use bench::scenario::{Scenario, Topology, SCENARIO_SCHEMA};
 use bench::{Setup, HARNESS_SEED};
-use cuttlefish::controller::NodePolicy;
-use cuttlefish::{Config, Policy};
+use cuttlefish::controller::{NodePolicy, OracleEntry, OracleTable, PidGains};
+use cuttlefish::{Config, Policy, TipiSlab};
 use proptest::collection;
 use proptest::prelude::*;
 use simproc::freq::{Freq, HASWELL_2650V3};
@@ -22,7 +22,7 @@ const ALL_BENCHES: [&str; 10] = [
 ];
 
 fn policy(pick: u32, tinv_ms: u64) -> NodePolicy {
-    match pick % 4 {
+    match pick % 6 {
         0 => NodePolicy::Default,
         1 => NodePolicy::Cuttlefish(Config::default().with_tinv_ms(tinv_ms).with_policy(
             if tinv_ms.is_multiple_of(2) {
@@ -35,7 +35,32 @@ fn policy(pick: u32, tinv_ms: u64) -> NodePolicy {
             cf: Freq(12 + (tinv_ms % 11) as u32),
             uf: Freq(12 + (tinv_ms % 18) as u32),
         },
-        _ => NodePolicy::Ondemand,
+        3 => NodePolicy::Ondemand,
+        4 => NodePolicy::Oracle(OracleTable {
+            slab_width: 0.004,
+            tinv_ns: tinv_ms * 1_000_000,
+            entries: vec![
+                OracleEntry {
+                    slab: TipiSlab(0),
+                    cf: Freq(23),
+                    uf: Freq(12 + (tinv_ms % 5) as u32),
+                },
+                OracleEntry {
+                    slab: TipiSlab(1 + (tinv_ms % 40) as u32),
+                    cf: Freq(12 + (tinv_ms % 11) as u32),
+                    uf: Freq(22),
+                },
+            ],
+        }),
+        _ => NodePolicy::PidUncore {
+            config: Config::default().with_tinv_ms(tinv_ms),
+            gains: PidGains {
+                kp: 0.5 * (tinv_ms % 16) as f64 + 0.5,
+                ki: 0.05 * (tinv_ms % 8) as f64,
+                kd: 0.25 * (tinv_ms % 3) as f64,
+                setpoint: 0.5 + 0.1 * (tinv_ms % 5) as f64,
+            },
+        },
     }
 }
 
@@ -114,7 +139,7 @@ proptest! {
     #[test]
     fn scenario_json_round_trip_is_lossless(
         (synthetic_pick, bench_idx, hclib_pick, scale_step) in (0u32..2, 0usize..10, 0u32..2, 1u32..9),
-        (nodes_n, policy_pick, tinv_ms, rep) in (1usize..5, 0u32..4, 1u64..80, 0u32..5),
+        (nodes_n, policy_pick, tinv_ms, rep) in (1usize..5, 0u32..6, 1u64..80, 0u32..5),
         (bsp_pick, supersteps, comm_step, trace_pick) in (0u32..2, 1u32..16, 0u32..100, 0u32..2),
         (weighted_pick, hetero_pick) in (0u32..2, 0u32..2),
         phases in collection::vec(
@@ -234,6 +259,119 @@ fn malformed_scenario_files_are_rejected() {
     let mut doc = valid_doc();
     set_field(&mut doc, "duration_s", Json::Num(-1.0));
     assert!(Scenario::from_json_str(&doc.to_pretty()).is_err());
+}
+
+/// A valid scenario document under `policy`, as text.
+fn doc_with_policy(policy: &NodePolicy) -> String {
+    use bench::json::ToJson;
+    let mut s = Scenario::bench("UTS", ProgModel::OpenMp, 0.05)
+        .policy(NodePolicy::Default)
+        .build();
+    s.nodes[0].1 = policy.clone();
+    s.to_json().to_pretty()
+}
+
+#[test]
+fn malformed_oracle_and_pid_scenarios_are_rejected() {
+    let table = OracleTable {
+        slab_width: 0.004,
+        tinv_ns: 20_000_000,
+        entries: vec![OracleEntry {
+            slab: TipiSlab(16),
+            cf: Freq(12),
+            uf: Freq(22),
+        }],
+    };
+    // The valid forms parse.
+    assert!(Scenario::from_json_str(&doc_with_policy(&NodePolicy::Oracle(table.clone()))).is_ok());
+    assert!(
+        Scenario::from_json_str(&doc_with_policy(&NodePolicy::PidUncore {
+            config: Config::default(),
+            gains: PidGains::default(),
+        }))
+        .is_ok()
+    );
+    // Empty oracle table.
+    let empty = doc_with_policy(&NodePolicy::Oracle(table.clone()))
+        .replace("\"entries\": [", "\"entries_unused\": [")
+        .replace("\"table\": {", "\"table\": {\"entries\": [],");
+    assert!(Scenario::from_json_str(&empty).is_err(), "empty table");
+    // Out-of-order / duplicate slabs.
+    let mut dup = table.clone();
+    dup.entries.push(dup.entries[0]);
+    assert!(
+        Scenario::from_json_str(&doc_with_policy(&NodePolicy::Oracle(dup))).is_err(),
+        "duplicate slabs"
+    );
+    // Zero slab width.
+    let text = doc_with_policy(&NodePolicy::Oracle(table.clone())).replace("0.004", "0");
+    assert!(Scenario::from_json_str(&text).is_err(), "zero slab width");
+    // Missing table and table_file.
+    let text = doc_with_policy(&NodePolicy::Oracle(table.clone())).replace("table", "tabel");
+    assert!(Scenario::from_json_str(&text).is_err(), "no table at all");
+    // A dangling table_file reference.
+    let text = doc_with_policy(&NodePolicy::Oracle(table)).replace(
+        "\"kind\": \"oracle\",",
+        "\"kind\": \"oracle\", \"table_file\": \"/no/such/table.json\", \"unused\":",
+    );
+    assert!(
+        Scenario::from_json_str(&text).is_err(),
+        "dangling table_file"
+    );
+    // Setpoint outside (0, 1].
+    let bad = doc_with_policy(&NodePolicy::PidUncore {
+        config: Config::default(),
+        gains: PidGains {
+            setpoint: 0.625,
+            ..PidGains::default()
+        },
+    })
+    .replace("0.625", "1.5");
+    assert!(Scenario::from_json_str(&bad).is_err(), "setpoint > 1");
+    // Negative gain.
+    let bad = doc_with_policy(&NodePolicy::PidUncore {
+        config: Config::default(),
+        gains: PidGains {
+            kp: 0.625,
+            ..PidGains::default()
+        },
+    })
+    .replace("0.625", "-2");
+    assert!(Scenario::from_json_str(&bad).is_err(), "negative gain");
+}
+
+/// A `table_file` reference loads the same table the inline form
+/// carries, and re-serializes inline.
+#[test]
+fn oracle_table_file_reference_loads() {
+    use bench::json::ToJson;
+    let table = OracleTable {
+        slab_width: 0.004,
+        tinv_ns: 20_000_000,
+        entries: vec![OracleEntry {
+            slab: TipiSlab(16),
+            cf: Freq(12),
+            uf: Freq(22),
+        }],
+    };
+    let dir = std::env::temp_dir().join("cuttlefish-oracle-table-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("table.json");
+    std::fs::write(&path, table.to_json().to_pretty()).expect("write table");
+    let by_ref = doc_with_policy(&NodePolicy::Oracle(table.clone())).replace(
+        "\"table\": {",
+        &format!(
+            "\"table_file\": {}, \"unused\": {{",
+            bench::json::Json::Str(path.display().to_string()).to_pretty()
+        ),
+    );
+    let parsed = Scenario::from_json_str(&by_ref).expect("file-referenced table parses");
+    assert_eq!(parsed.nodes[0].1, NodePolicy::Oracle(table));
+    let reserialized = parsed.to_json_string();
+    assert!(
+        reserialized.contains("\"table\"") && !reserialized.contains("table_file"),
+        "file references re-serialize inline"
+    );
 }
 
 #[test]

@@ -1,7 +1,9 @@
 //! The unified frequency-control plane: every way of driving the two
 //! frequency knobs of a simulated package — the firmware-like
-//! [`DefaultGovernor`], the paper's [`CuttlefishDriver`], or a fixed
-//! [`Pinned`] operating point — behind one object-safe trait.
+//! [`DefaultGovernor`], the paper's [`CuttlefishDriver`], a fixed
+//! [`Pinned`] operating point, the [`Ondemand`] utilization baseline,
+//! the static [`Oracle`] table, or the [`PidUncore`] feedback tracker —
+//! behind one object-safe trait.
 //!
 //! Before this module existed, every consumer (the evaluation harness,
 //! the cluster simulator, each example) carried its own
@@ -9,15 +11,67 @@
 //! controller meant editing all of them. Now consumers hold a
 //! `Box<dyn FrequencyController>` built by [`NodePolicy::build`], and a
 //! new governor is one `impl` plus one factory arm.
+//!
+//! # The `FrequencyController` contract
+//!
+//! Every implementation must honour the same call protocol, because
+//! the engine's virtual-clock layer (PR 3) is allowed to *skip* calls
+//! and the observable outcome must not change:
+//!
+//! 1. **Construction** happens through [`NodePolicy::build`], which
+//!    may apply an initial actuation (e.g. [`Pinned`] sets its
+//!    operating point before the first quantum; [`Oracle`] leaves the
+//!    machine at its boot frequencies until the first profile tick).
+//! 2. **Per quantum**, the engine calls [`SimProcessor::step`] and
+//!    then [`FrequencyController::on_quantum`] — always in that order,
+//!    exactly once each. `on_quantum` observes the quantum that just
+//!    ran ([`SimProcessor::last_quantum`], counter MSRs) and sets the
+//!    frequencies the *next* quantum will run at.
+//! 3. **Idle fast-forward.** When every core is parked and the
+//!    workload declares a wake-free stretch, the engine may replace
+//!    `k` step/`on_quantum` pairs with one
+//!    [`SimProcessor::advance_idle_quanta`]`(k)` plus one
+//!    [`note_idle_quanta`]`(k)` — but only for
+//!    `k ≤` [`idle_quanta_capacity`]. The pair of methods forms a
+//!    contract: `idle_quanta_capacity` must return how many
+//!    consecutive idle quanta `on_quantum` would neither touch the
+//!    machine nor mutate any state beyond what `note_idle_quanta`
+//!    replays, and `note_idle_quanta` must replay that bookkeeping
+//!    **bit-identically** (floating-point state included — see
+//!    [`DefaultGovernor::skip_idle_quanta`] replaying its EWMA decay).
+//!    Returning 0 (the default) always degrades to real stepping and
+//!    is always correct; capacities are a pure optimization that must
+//!    be observationally invisible. Tick-scheduled controllers
+//!    ([`CuttlefishDriver`], [`Oracle`]) bound the capacity by their
+//!    next scheduled tick (`next_tick_ns`), so ticks always execute
+//!    for real; fixed-point controllers ([`Pinned`], [`Ondemand`],
+//!    [`PidUncore`]) report unbounded capacity only from an
+//!    *absorbing* idle state where every skipped call would have been
+//!    idempotent.
+//! 4. **Shutdown**: [`stop`](FrequencyController::stop) restores any
+//!    platform state captured at attach time (the library's
+//!    `cuttlefish::stop()`); controllers that captured nothing do
+//!    nothing.
+//!
+//! The equivalence suites (`tests/controller_equivalence.rs`,
+//! `crates/simproc/tests/event_clock.rs`) enforce the bit-exactness
+//! half of this contract for every shipped controller.
+//!
+//! [`note_idle_quanta`]: FrequencyController::note_idle_quanta
+//! [`idle_quanta_capacity`]: FrequencyController::idle_quanta_capacity
 
 use crate::daemon::NodeReport;
 use crate::driver::CuttlefishDriver;
 use crate::tipi::TipiSlab;
-use crate::Config;
+use crate::{Config, Policy};
 use serde::{Deserialize, Serialize};
-use simproc::freq::Freq;
+use simproc::freq::{Freq, MachineSpec};
 use simproc::governor::DefaultGovernor;
+use simproc::perf::{PerfModel, LINE_BYTES};
+use simproc::power::PowerModel;
+use simproc::profile::{delta, CounterSnapshot};
 use simproc::SimProcessor;
+use std::collections::BTreeMap;
 
 /// A frequency controller driving one simulated package.
 ///
@@ -376,6 +430,732 @@ impl FrequencyController for Ondemand {
     }
 }
 
+/// One row of an [`OracleTable`]: the statically-known optimal
+/// operating point for one TIPI range (one Table 2 row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleEntry {
+    /// The TIPI range this point applies to.
+    pub slab: TipiSlab,
+    /// Core frequency to set, deci-GHz.
+    pub cf: Freq,
+    /// Uncore frequency to set, deci-GHz.
+    pub uf: Freq,
+}
+
+/// A static per-phase operating-point table — the paper's §5 oracle
+/// baseline, replaying Table 2's per-benchmark core+uncore optima.
+///
+/// Entries are keyed by quantized TIPI range (the paper's memory
+/// access pattern identity), kept in strictly ascending slab order;
+/// [`OracleTable::nearest`] resolves phases the table has no exact row
+/// for to the closest known one. Tables are built either explicitly
+/// (hand-written from Table 2) or by [`OracleTable::from_trace`],
+/// which derives one from a traced `Default` run the way the paper
+/// builds its oracle from profiled executions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleTable {
+    /// TIPI slab width the entries are quantized with (§3.2).
+    pub slab_width: f64,
+    /// Profile interval of the replaying controller, nanoseconds.
+    pub tinv_ns: u64,
+    /// Per-range optima, strictly ascending by slab.
+    pub entries: Vec<OracleEntry>,
+}
+
+/// Parameters of [`OracleTable::from_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleDerivation {
+    /// TIPI slab width for the derived table.
+    pub slab_width: f64,
+    /// Profile interval for the derived table, nanoseconds.
+    pub tinv_ns: u64,
+    /// Minimum share of trace samples a slab needs to earn an entry
+    /// (the paper's "frequently occurring" threshold is 0.10).
+    pub min_share: f64,
+    /// Optional TIPI window (e.g. the benchmark's Table 1 range):
+    /// samples more than one slab outside it are treated as noise
+    /// (warm-up transients, idle tails) and dropped.
+    pub tipi_range: Option<(f64, f64)>,
+}
+
+impl Default for OracleDerivation {
+    fn default() -> Self {
+        OracleDerivation {
+            slab_width: 0.004,
+            tinv_ns: 20_000_000,
+            min_share: 0.10,
+            tipi_range: None,
+        }
+    }
+}
+
+/// One `Tinv`-rate observation of a traced run, as consumed by
+/// [`OracleTable::from_trace`]: the interval's TIPI/JPI plus the
+/// operating point and package power it was measured at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSample {
+    /// TOR inserts per instruction over the interval.
+    pub tipi: f64,
+    /// Joules per instruction over the interval.
+    pub jpi: f64,
+    /// Package power over the interval, watts.
+    pub watts: f64,
+    /// Core frequency the interval ran at.
+    pub cf: Freq,
+    /// Uncore frequency the interval ran at.
+    pub uf: Freq,
+}
+
+impl OracleTable {
+    /// Check the invariants [`Oracle`] relies on.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.slab_width.is_finite() && self.slab_width > 0.0) {
+            return Err(format!("invalid oracle slab width {}", self.slab_width));
+        }
+        if self.tinv_ns == 0 {
+            return Err("oracle tinv_ns must be at least one nanosecond".into());
+        }
+        if self.entries.is_empty() {
+            return Err("oracle table needs at least one entry".into());
+        }
+        for pair in self.entries.windows(2) {
+            if pair[0].slab >= pair[1].slab {
+                return Err(format!(
+                    "oracle entries must be strictly ascending by slab ({} then {})",
+                    pair[0].slab, pair[1].slab
+                ));
+            }
+        }
+        if let Some(e) = self.entries.iter().find(|e| e.cf.0 == 0 || e.uf.0 == 0) {
+            return Err(format!("oracle entry for {} has a zero frequency", e.slab));
+        }
+        Ok(())
+    }
+
+    /// Index of the entry nearest to `slab` (ties resolve to the lower
+    /// slab — deterministic).
+    ///
+    /// # Panics
+    /// Panics on an empty table — construction is guarded by
+    /// [`validate`](Self::validate).
+    pub fn nearest(&self, slab: TipiSlab) -> usize {
+        assert!(!self.entries.is_empty(), "oracle table must not be empty");
+        let mut best = 0;
+        let mut best_gap = u32::MAX;
+        for (i, e) in self.entries.iter().enumerate() {
+            let gap = e.slab.0.abs_diff(slab.0);
+            if gap < best_gap {
+                best = i;
+                best_gap = gap;
+            }
+        }
+        best
+    }
+
+    /// Derive an oracle table from a traced `Default` run, mirroring
+    /// how the paper builds its oracle from profiled executions.
+    ///
+    /// For every frequent TIPI slab the trace visits, the phase is
+    /// *identified* from its samples — the package-power model is
+    /// inverted for the mean core utilization, which splits the
+    /// observed seconds-per-instruction into a pipeline component
+    /// (scaling as `1/CF`) and an exposed-stall component (scaling
+    /// with the uncore miss latency) — and the identified phase is
+    /// then swept analytically over every `(CF, UF)` operating point
+    /// of `spec` under the machine's perf/power models (latency bound,
+    /// bandwidth roofline, package power). The JPI-argmin point
+    /// becomes the slab's entry — the settling points of Table 2, but
+    /// computed from one profiled run instead of an exhaustive sweep.
+    ///
+    /// Returns an error when no slab clears `params.min_share` with at
+    /// least one identifiable sample.
+    pub fn from_trace(
+        samples: &[TraceSample],
+        spec: &MachineSpec,
+        perf: &PerfModel,
+        power: &PowerModel,
+        params: &OracleDerivation,
+    ) -> Result<OracleTable, String> {
+        #[derive(Default)]
+        struct Acc {
+            seen: u64,
+            ok: u64,
+            tipi: f64,
+            cpi: f64,
+            stall1: f64,
+            /// Samples contributing to `stall1` (unsaturated only —
+            /// see below).
+            stall1_n: u64,
+        }
+        /// Above this achieved/cap fraction a sample counts as
+        /// bandwidth-saturated: its observed stall is roofline-driven
+        /// (`stall_lat · overload` with the product pinned by the cap),
+        /// so the latency component is unidentifiable from it.
+        const SATURATED: f64 = 0.95;
+        /// Memory-level parallelism assumed for slabs whose every
+        /// sample is saturated (mid-range of the Table 1 profiles).
+        const FALLBACK_MLP: f64 = 8.0;
+        let n = spec.n_cores as f64;
+        let mut accs: BTreeMap<u32, Acc> = BTreeMap::new();
+        let mut total = 0u64;
+        for s in samples {
+            if !(s.tipi.is_finite() && s.tipi >= 0.0 && s.jpi > 0.0 && s.watts > 0.0) {
+                continue;
+            }
+            if let Some((lo, hi)) = params.tipi_range {
+                if s.tipi < lo - params.slab_width || s.tipi > hi + params.slab_width {
+                    continue;
+                }
+            }
+            let slab = TipiSlab::quantize(s.tipi, params.slab_width).0;
+            total += 1;
+            let acc = accs.entry(slab).or_default();
+            acc.seen += 1;
+            // Identify the phase behind the sample. Chip instruction
+            // rate and achieved traffic follow from JPI and power;
+            // inverting the package-power model for the core-dynamic
+            // term yields the mean pipeline utilization, which splits
+            // the observed seconds/instruction into its pipeline and
+            // exposed-stall components.
+            let r_inst = s.watts / s.jpi;
+            let spi = n / r_inst;
+            let traffic = (r_inst * s.tipi * LINE_BYTES / perf.dram_peak_bw).clamp(0.0, 1.0);
+            let vc = power.v_core.volts(s.cf);
+            let vu = power.v_uncore.volts(s.uf);
+            let act = power.act_floor + power.act_slope * traffic;
+            let core_watts = s.watts
+                - power.p_base
+                - power.s_uncore * vu * vu
+                - power.k_uncore * vu * vu * s.uf.hz() * act;
+            if core_watts <= 0.0 {
+                continue;
+            }
+            let eff = core_watts / (power.k_core * vc * vc * s.cf.hz()) / n;
+            let util = ((eff - power.halt_fraction) / (1.0 - power.halt_fraction)).clamp(0.0, 1.0);
+            let compute = util * spi;
+            let stall = spi - compute;
+            let cpi = compute * s.cf.hz();
+            if !(cpi.is_finite() && cpi > 0.0 && stall.is_finite() && stall >= 0.0) {
+                continue;
+            }
+            acc.ok += 1;
+            acc.tipi += s.tipi;
+            acc.cpi += cpi;
+            // The latency-stall coefficient is only identifiable when
+            // the sample ran below the bandwidth roofline; saturated
+            // samples observe `stall_lat · overload`, which any
+            // latency value is consistent with.
+            let achieved = r_inst * s.tipi * LINE_BYTES;
+            if achieved < SATURATED * perf.bandwidth_cap(s.uf) {
+                acc.stall1 += stall / perf.t_miss_local(s.uf);
+                acc.stall1_n += 1;
+            }
+        }
+
+        let mut entries = Vec::new();
+        for (slab, acc) in &accs {
+            if acc.ok == 0 || (acc.seen as f64) < params.min_share * total as f64 {
+                continue;
+            }
+            let k = acc.ok as f64;
+            let phase = Phase {
+                tipi: acc.tipi / k,
+                cpi: acc.cpi / k,
+                stall1: if acc.stall1_n > 0 {
+                    acc.stall1 / acc.stall1_n as f64
+                } else {
+                    (acc.tipi / k) / FALLBACK_MLP
+                },
+            };
+            let (cf, uf) = argmin_jpi(spec, perf, power, &phase);
+            entries.push(OracleEntry {
+                slab: TipiSlab(*slab),
+                cf,
+                uf,
+            });
+        }
+        let table = OracleTable {
+            slab_width: params.slab_width,
+            tinv_ns: params.tinv_ns,
+            entries,
+        };
+        table.validate().map_err(|e| {
+            format!("trace yields no usable oracle table ({total} samples considered): {e}")
+        })?;
+        Ok(table)
+    }
+}
+
+/// An identified phase: mean TIPI, pipeline cycles per instruction,
+/// and exposed stall per unit miss latency.
+struct Phase {
+    tipi: f64,
+    cpi: f64,
+    stall1: f64,
+}
+
+/// Predicted steady-state JPI of an identified phase at operating
+/// point `(cf, uf)`: latency-bound time per instruction under the
+/// bandwidth roofline, times the package power the machine burns
+/// sustaining it.
+fn predict_jpi(
+    spec: &MachineSpec,
+    perf: &PerfModel,
+    power: &PowerModel,
+    phase: &Phase,
+    cf: Freq,
+    uf: Freq,
+) -> f64 {
+    let n = spec.n_cores as f64;
+    let t_lat = phase.cpi / cf.hz() + phase.stall1 * perf.t_miss_local(uf);
+    let t_bw = if phase.tipi > 0.0 {
+        n * phase.tipi * LINE_BYTES / perf.bandwidth_cap(uf)
+    } else {
+        0.0
+    };
+    let t = t_lat.max(t_bw);
+    let util = (phase.cpi / cf.hz()) / t;
+    let eff_sum = n * power.core_effective(util);
+    let traffic = ((n * phase.tipi * LINE_BYTES / t) / perf.dram_peak_bw).clamp(0.0, 1.0);
+    let watts = power.package_watts(cf, uf, eff_sum, traffic);
+    watts * t / n
+}
+
+/// The operating point the paper's search settles on for an identified
+/// phase, via the same coordinate order Cuttlefish explores in: the
+/// core axis first with the uncore at max (Algorithm 2), then the
+/// uncore axis at the resolved core optimum (Algorithm 3). This is
+/// what Table 2 reports — and it can differ by a ratio step from the
+/// joint argmin, exactly as a real sequential search does. Sweeps are
+/// ascending with a strict-less comparison, so ties resolve to the
+/// lower frequency — deterministic.
+fn argmin_jpi(
+    spec: &MachineSpec,
+    perf: &PerfModel,
+    power: &PowerModel,
+    phase: &Phase,
+) -> (Freq, Freq) {
+    let sweep = |freqs: &mut dyn Iterator<Item = (Freq, Freq)>| -> (Freq, Freq) {
+        let mut best = (spec.core.max(), spec.uncore.max());
+        let mut best_jpi = f64::INFINITY;
+        for (cf, uf) in freqs {
+            let jpi = predict_jpi(spec, perf, power, phase, cf, uf);
+            if jpi < best_jpi {
+                best = (cf, uf);
+                best_jpi = jpi;
+            }
+        }
+        best
+    };
+    let (cf_opt, _) = sweep(&mut spec.core.iter().map(|cf| (cf, spec.uncore.max())));
+    sweep(&mut spec.uncore.iter().map(|uf| (cf_opt, uf)))
+}
+
+/// The static-oracle controller: wakes every `Tinv` like the
+/// Cuttlefish daemon, identifies the last interval's TIPI range, and
+/// sets the operating point its [`OracleTable`] prescribes — no
+/// search, no exploration cost. This is the paper's §5 comparison
+/// baseline: Cuttlefish's claim is that its *online* linear descent
+/// matches the energy savings of exactly this statically-known table.
+///
+/// The `Tinv` wake-up is a scheduled event on the engine's virtual
+/// clock (epoch-anchored `next_tick_ns`, like [`CuttlefishDriver`]):
+/// between ticks `on_quantum` is a pure time comparison, so
+/// [`idle_quanta_capacity`](FrequencyController::idle_quanta_capacity)
+/// reports the stretch up to (but excluding) the next tick and idle
+/// fast-forwarding stays bit-exact.
+///
+/// ```
+/// use cuttlefish::controller::{FrequencyController, NodePolicy, Oracle, OracleEntry, OracleTable};
+/// use cuttlefish::TipiSlab;
+/// use simproc::engine::{Chunk, Workload};
+/// use simproc::freq::{Freq, HASWELL_2650V3};
+/// use simproc::perf::CostProfile;
+///
+/// // A memory-bound stream; the table prescribes the Table 2 point.
+/// struct Stream;
+/// impl Workload for Stream {
+///     fn next_chunk(&mut self, _c: usize, _t: u64) -> Option<Chunk> {
+///         Some(Chunk::new(1_000_000, 56_000, 8_000).with_profile(CostProfile::new(0.55, 12.0)))
+///     }
+///     fn is_done(&self) -> bool { false }
+/// }
+/// let table = OracleTable {
+///     slab_width: 0.004,
+///     tinv_ns: 20_000_000,
+///     entries: vec![OracleEntry { slab: TipiSlab(16), cf: Freq(12), uf: Freq(22) }],
+/// };
+/// let mut proc = simproc::SimProcessor::new(HASWELL_2650V3.clone());
+/// let mut ctrl = NodePolicy::Oracle(table).build(&mut proc);
+/// let mut wl = Stream;
+/// for _ in 0..100 {
+///     proc.step(&mut wl);
+///     ctrl.on_quantum(&mut proc);
+/// }
+/// // After the first profile tick the oracle point is applied.
+/// assert_eq!(proc.core_freq(), Freq(12));
+/// assert_eq!(proc.uncore_freq(), Freq(22));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    table: OracleTable,
+    quantum_ns: u64,
+    /// `Tinv` quantized to whole quanta, in ns (≥ one quantum).
+    tinv_step_ns: u64,
+    epoch_ns: Option<u64>,
+    next_tick_ns: u64,
+    last: Option<CounterSnapshot>,
+    /// Per-entry tick attributions (parallel to `table.entries`).
+    hits: Vec<u64>,
+    ticks: u64,
+}
+
+impl Oracle {
+    /// Controller for `proc` replaying `table`.
+    ///
+    /// # Panics
+    /// Panics on an invalid table ([`OracleTable::validate`]) — file
+    /// and scenario paths validate before construction.
+    pub fn new(proc: &SimProcessor, table: OracleTable) -> Self {
+        table
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid oracle table: {e}"));
+        let quantum_ns = proc.spec().quantum_ns;
+        let hits = vec![0; table.entries.len()];
+        let tinv_step_ns = (table.tinv_ns / quantum_ns).max(1) * quantum_ns;
+        Oracle {
+            table,
+            quantum_ns,
+            tinv_step_ns,
+            epoch_ns: None,
+            next_tick_ns: 0,
+            last: None,
+            hits,
+            ticks: 0,
+        }
+    }
+
+    /// [`OracleTable::from_trace`], wrapped into a ready controller.
+    pub fn from_trace(
+        proc: &SimProcessor,
+        samples: &[TraceSample],
+        params: &OracleDerivation,
+    ) -> Result<Self, String> {
+        let table = OracleTable::from_trace(
+            samples,
+            proc.spec(),
+            proc.perf_model(),
+            proc.power_model(),
+            params,
+        )?;
+        Ok(Oracle::new(proc, table))
+    }
+
+    /// The table being replayed.
+    pub fn table(&self) -> &OracleTable {
+        &self.table
+    }
+}
+
+impl FrequencyController for Oracle {
+    fn on_quantum(&mut self, proc: &mut SimProcessor) {
+        let now_ns = proc.now_ns();
+        if self.epoch_ns.is_none() {
+            // Anchor the tick schedule one quantum back (the step that
+            // just ran), exactly like the Cuttlefish driver; the
+            // machine keeps its boot operating point until the first
+            // profiled interval identifies the phase.
+            let epoch = now_ns.saturating_sub(self.quantum_ns);
+            self.epoch_ns = Some(epoch);
+            self.next_tick_ns = epoch + self.tinv_step_ns;
+            self.last = CounterSnapshot::capture(proc).ok();
+            return;
+        }
+        if now_ns < self.next_tick_ns {
+            return;
+        }
+        while self.next_tick_ns <= now_ns {
+            self.next_tick_ns += self.tinv_step_ns;
+        }
+        let now = match CounterSnapshot::capture(proc) {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        if let Some(prev) = self.last.replace(now) {
+            if let Some(sample) = delta(&prev, &now) {
+                let slab = TipiSlab::quantize(sample.tipi, self.table.slab_width);
+                let idx = self.table.nearest(slab);
+                self.hits[idx] += 1;
+                self.ticks += 1;
+                let entry = self.table.entries[idx];
+                proc.set_core_freq(entry.cf);
+                proc.set_uncore_freq(entry.uf);
+            }
+        }
+    }
+
+    fn report(&self) -> Vec<NodeReport> {
+        let total = self.ticks.max(1) as f64;
+        self.table
+            .entries
+            .iter()
+            .zip(&self.hits)
+            .map(|(e, &hits)| NodeReport {
+                slab: e.slab,
+                label: e.slab.label(self.table.slab_width),
+                cf_opt: Some(e.cf),
+                uf_opt: Some(e.uf),
+                occurrences: hits,
+                share: hits as f64 / total,
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Oracle"
+    }
+
+    fn idle_quanta_capacity(&self, proc: &SimProcessor) -> u64 {
+        // Between ticks on_quantum is a pure clock comparison; the
+        // tick itself (a counter snapshot feeding the next interval's
+        // delta) must run for real.
+        if self.epoch_ns.is_none() {
+            return 0;
+        }
+        let now_ns = proc.now_ns();
+        if self.next_tick_ns <= now_ns {
+            return 0;
+        }
+        (self.next_tick_ns - now_ns) / self.quantum_ns - 1
+    }
+    // note_idle_quanta: nothing to replay — the tick schedule is
+    // anchored to the engine's virtual clock, not to call counts.
+}
+
+/// Gains and setpoint of the [`PidUncore`] feedback loop.
+///
+/// The controlled variable is the fraction of the uncore's sustainable
+/// bandwidth the workload actually achieves
+/// (`achieved_bw / (bw_per_uncore_ghz · UF)`, in `0..=1`): driving it
+/// to `setpoint` keeps the uncore just fast enough that memory traffic
+/// retains `1 − setpoint` headroom, instead of exploring for the JPI
+/// minimum like Algorithm 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PidGains {
+    /// Proportional gain, ratio steps per unit error.
+    pub kp: f64,
+    /// Integral gain, ratio steps per unit accumulated error.
+    pub ki: f64,
+    /// Derivative gain, ratio steps per unit error slope.
+    pub kd: f64,
+    /// Target bandwidth-utilization fraction, in `(0, 1]`.
+    pub setpoint: f64,
+}
+
+impl Default for PidGains {
+    fn default() -> Self {
+        PidGains {
+            kp: 8.0,
+            ki: 0.4,
+            kd: 0.0,
+            setpoint: 0.9,
+        }
+    }
+}
+
+impl PidGains {
+    /// Check the invariants [`PidUncore`] relies on.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [("kp", self.kp), ("ki", self.ki), ("kd", self.kd)] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("PID gain {name} must be finite and >= 0, got {v}"));
+            }
+        }
+        if !(self.setpoint.is_finite() && self.setpoint > 0.0 && self.setpoint <= 1.0) {
+            return Err(format!(
+                "PID setpoint must lie in (0, 1], got {}",
+                self.setpoint
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Anti-windup clamp on the PID integral term, in error·quanta.
+const PID_INTEGRAL_CLAMP: f64 = 25.0;
+
+/// A feedback-control alternative to Algorithm 3's uncore exploration
+/// window: a per-quantum PID loop drives the uncore so that achieved
+/// memory traffic sits at a fixed fraction of the uncore's sustainable
+/// bandwidth, while core DVFS is delegated unchanged to the Cuttlefish
+/// core search (a [`CuttlefishDriver`] running `Policy::CoreOnly` —
+/// its tick-scheduled uncore write is overridden every quantum by the
+/// loop, so the PID owns that knob).
+///
+/// ```
+/// use cuttlefish::controller::{FrequencyController, NodePolicy, PidGains};
+/// use cuttlefish::Config;
+/// use simproc::engine::{Chunk, Workload};
+/// use simproc::freq::HASWELL_2650V3;
+/// use simproc::perf::CostProfile;
+///
+/// struct Stream;
+/// impl Workload for Stream {
+///     fn next_chunk(&mut self, _c: usize, _t: u64) -> Option<Chunk> {
+///         Some(Chunk::new(1_000_000, 56_000, 8_000).with_profile(CostProfile::new(0.55, 12.0)))
+///     }
+///     fn is_done(&self) -> bool { false }
+/// }
+/// let mut proc = simproc::SimProcessor::new(HASWELL_2650V3.clone());
+/// let mut ctrl = NodePolicy::PidUncore {
+///     config: Config::default(),
+///     gains: PidGains::default(),
+/// }
+/// .build(&mut proc);
+/// let mut wl = Stream;
+/// for _ in 0..600 {
+///     proc.step(&mut wl);
+///     ctrl.on_quantum(&mut proc);
+/// }
+/// // Saturating traffic settles the uncore near the bandwidth knee,
+/// // well below max — without any exploration.
+/// assert!(proc.uncore_freq() < HASWELL_2650V3.uncore.max());
+/// ```
+#[derive(Debug)]
+pub struct PidUncore {
+    gains: PidGains,
+    core: CuttlefishDriver,
+    /// Continuous uncore setting, in ratio units (rounded on write).
+    level: f64,
+    integral: f64,
+    last_err: f64,
+    quanta: u64,
+}
+
+impl PidUncore {
+    /// Controller for `proc`: PID on the uncore, Cuttlefish core-only
+    /// search (from `config`, its policy forced to `CoreOnly`) on the
+    /// cores.
+    ///
+    /// # Panics
+    /// Panics on invalid gains ([`PidGains::validate`]) — file and
+    /// scenario paths validate before construction.
+    pub fn new(proc: &SimProcessor, config: Config, gains: PidGains) -> Self {
+        gains
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid PID gains: {e}"));
+        let core = CuttlefishDriver::new(proc, config.with_policy(Policy::CoreOnly));
+        PidUncore {
+            gains,
+            core,
+            level: f64::from(proc.uncore_freq().0),
+            integral: 0.0,
+            last_err: 0.0,
+            quanta: 0,
+        }
+    }
+
+    /// The gains in effect.
+    pub fn gains(&self) -> &PidGains {
+        &self.gains
+    }
+
+    /// The delegated core-search driver (reports, tests).
+    pub fn core_driver(&self) -> &CuttlefishDriver {
+        &self.core
+    }
+
+    /// The error signal at the current machine state. The controlled
+    /// variable is traffic relative to the *uncore-sustainable*
+    /// bandwidth (`bw_per_uncore_ghz · UF`), deliberately not the
+    /// DRAM-capped roofline: a workload pinned at the DRAM peak can
+    /// never fall below a setpoint measured against the capped value,
+    /// which would wind the loop up to max instead of settling it just
+    /// above the knee with `1 − setpoint` headroom.
+    fn error(&self, proc: &SimProcessor) -> f64 {
+        let sustainable = proc.perf_model().bw_per_uncore_ghz * proc.uncore_freq().ghz();
+        let measured = if sustainable > 0.0 {
+            (proc.last_quantum().achieved_bw / sustainable).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        measured - self.gains.setpoint
+    }
+
+    /// True when, on a fully-parked machine, every further
+    /// `on_quantum` would be idempotent: zero signals, the integral
+    /// saturated at its anti-windup clamp, the continuous level (and
+    /// the machine) pinned at the domain floor, and the derivative
+    /// term zero. From this absorbing state only the quanta counter
+    /// advances, which `note_idle_quanta` replays.
+    fn is_idle_stable(&self, proc: &SimProcessor) -> bool {
+        let stats = proc.last_quantum();
+        let err = -self.gains.setpoint;
+        let floor = f64::from(proc.spec().uncore.min().0);
+        stats.instructions == 0.0
+            && stats.achieved_bw == 0.0
+            && self.integral == -PID_INTEGRAL_CLAMP
+            && self.last_err == err
+            && self.level == floor
+            && proc.uncore_freq() == proc.spec().uncore.min()
+    }
+}
+
+impl FrequencyController for PidUncore {
+    fn on_quantum(&mut self, proc: &mut SimProcessor) {
+        // Core search first: on its Tinv ticks the driver writes both
+        // knobs (CoreOnly pins the uncore request at max); the PID
+        // write below lands after it, so the uncore knob is always the
+        // loop's.
+        self.core.on_quantum(proc);
+        let err = self.error(proc);
+        self.integral = (self.integral + err).clamp(-PID_INTEGRAL_CLAMP, PID_INTEGRAL_CLAMP);
+        let derivative = err - self.last_err;
+        self.last_err = err;
+        let u = self.gains.kp * err + self.gains.ki * self.integral + self.gains.kd * derivative;
+        let dom = &proc.spec().uncore;
+        self.level = (self.level + u).clamp(f64::from(dom.min().0), f64::from(dom.max().0));
+        proc.set_uncore_freq(Freq(self.level.round() as u32));
+        self.quanta += 1;
+    }
+
+    fn report(&self) -> Vec<NodeReport> {
+        // The core search's discovered ranges (CF optima); the uncore
+        // is feedback-tracked, not per-range resolved.
+        self.core.daemon().report()
+    }
+
+    fn name(&self) -> &'static str {
+        "PidUncore"
+    }
+
+    fn resolved_fractions(&self) -> (f64, f64) {
+        self.core.daemon().resolved_fractions()
+    }
+
+    fn stop(&mut self, proc: &mut SimProcessor) {
+        self.core.stop(proc);
+    }
+
+    fn idle_quanta_capacity(&self, proc: &SimProcessor) -> u64 {
+        // Both halves must consent: the PID from its absorbing idle
+        // fixed point, the core driver up to its next scheduled tick.
+        if self.is_idle_stable(proc) {
+            self.core.idle_quanta_capacity(proc)
+        } else {
+            0
+        }
+    }
+
+    fn note_idle_quanta(&mut self, quanta: u64) {
+        // The PID state is absorbing at the fixed point (the integral
+        // sits exactly on its clamp, the error is constant, the level
+        // exactly on the floor); only the quanta count advances. The
+        // core driver's schedule is clock-anchored — nothing to replay.
+        self.quanta += quanta;
+    }
+}
+
 /// Frequency policy for a node — the factory input shared by the
 /// evaluation harness, the cluster simulator, and the examples.
 ///
@@ -398,6 +1178,16 @@ pub enum NodePolicy {
     },
     /// The ondemand/schedutil-style utilization-proportional governor.
     Ondemand,
+    /// The static per-phase operating-point oracle (Table 2 replay).
+    Oracle(OracleTable),
+    /// PID uncore tracking over a Cuttlefish core-only search.
+    PidUncore {
+        /// Configuration of the delegated core search (its policy is
+        /// forced to `CoreOnly` at build time).
+        config: Config,
+        /// Gains and setpoint of the uncore loop.
+        gains: PidGains,
+    },
 }
 
 impl NodePolicy {
@@ -408,6 +1198,19 @@ impl NodePolicy {
             NodePolicy::Cuttlefish(cfg) => cfg.policy.name(),
             NodePolicy::Pinned { .. } => "Pinned",
             NodePolicy::Ondemand => "Ondemand",
+            NodePolicy::Oracle(_) => "Oracle",
+            NodePolicy::PidUncore { .. } => "PidUncore",
+        }
+    }
+
+    /// Check the policy's own parameters (oracle tables, PID gains).
+    /// Scenario validation and the JSON decoders report violations as
+    /// errors; [`build`](Self::build) panics on them.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            NodePolicy::Oracle(table) => table.validate(),
+            NodePolicy::PidUncore { gains, .. } => gains.validate(),
+            _ => Ok(()),
         }
     }
 
@@ -430,6 +1233,10 @@ impl NodePolicy {
                 Box::new(Pinned::new(*cf, *uf))
             }
             NodePolicy::Ondemand => Box::new(Ondemand::new()),
+            NodePolicy::Oracle(table) => Box::new(Oracle::new(proc, table.clone())),
+            NodePolicy::PidUncore { config, gains } => {
+                Box::new(PidUncore::new(proc, config.clone(), *gains))
+            }
         }
     }
 }
@@ -614,6 +1421,270 @@ mod tests {
             p2.total_energy_joules().to_bits()
         );
         assert_eq!(ctrl.quanta, c2.quanta);
+    }
+
+    /// The Table 2 memory-bound operating point (driver tests pin the
+    /// same ranges on the same chunks).
+    fn memory_table() -> OracleTable {
+        OracleTable {
+            slab_width: 0.004,
+            tinv_ns: 20_000_000,
+            entries: vec![OracleEntry {
+                slab: TipiSlab(16),
+                cf: Freq(12),
+                uf: Freq(22),
+            }],
+        }
+    }
+
+    #[test]
+    fn oracle_table_validation_rejects_bad_shapes() {
+        assert!(memory_table().validate().is_ok());
+        let empty = OracleTable {
+            entries: Vec::new(),
+            ..memory_table()
+        };
+        assert!(empty.validate().is_err());
+        let bad_width = OracleTable {
+            slab_width: 0.0,
+            ..memory_table()
+        };
+        assert!(bad_width.validate().is_err());
+        let mut dup = memory_table();
+        dup.entries.push(dup.entries[0]);
+        assert!(dup.validate().is_err());
+        let mut zero = memory_table();
+        zero.entries[0].cf = Freq(0);
+        assert!(zero.validate().is_err());
+    }
+
+    #[test]
+    fn oracle_nearest_resolves_unknown_slabs() {
+        let table = OracleTable {
+            entries: vec![
+                OracleEntry {
+                    slab: TipiSlab(0),
+                    cf: Freq(23),
+                    uf: Freq(12),
+                },
+                OracleEntry {
+                    slab: TipiSlab(16),
+                    cf: Freq(12),
+                    uf: Freq(22),
+                },
+            ],
+            ..memory_table()
+        };
+        assert_eq!(table.nearest(TipiSlab(0)), 0);
+        assert_eq!(table.nearest(TipiSlab(3)), 0);
+        assert_eq!(table.nearest(TipiSlab(14)), 1);
+        assert_eq!(table.nearest(TipiSlab(40)), 1);
+        // Equidistant resolves to the lower slab.
+        assert_eq!(table.nearest(TipiSlab(8)), 0);
+    }
+
+    #[test]
+    fn oracle_replays_its_table_and_reports_it() {
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut ctrl = NodePolicy::Oracle(memory_table()).build(&mut proc);
+        let mut wl = Steady(memory_chunk());
+        // Before the first tick the boot operating point holds.
+        for _ in 0..10 {
+            proc.step(&mut wl);
+            ctrl.on_quantum(&mut proc);
+        }
+        assert_eq!(proc.core_freq(), Freq(23));
+        for _ in 0..200 {
+            proc.step(&mut wl);
+            ctrl.on_quantum(&mut proc);
+        }
+        assert_eq!(proc.core_freq(), Freq(12), "table point applied");
+        assert_eq!(proc.uncore_freq(), Freq(22));
+        assert_eq!(ctrl.name(), "Oracle");
+        let report = ctrl.report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].cf_opt, Some(Freq(12)));
+        assert_eq!(report[0].uf_opt, Some(Freq(22)));
+        assert!(report[0].occurrences >= 9, "one hit per Tinv tick");
+        assert_eq!(ctrl.resolved_fractions(), (1.0, 1.0));
+    }
+
+    #[test]
+    fn oracle_idle_capacity_stops_at_the_next_tick() {
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut ctrl = NodePolicy::Oracle(memory_table()).build(&mut proc);
+        assert_eq!(ctrl.idle_quanta_capacity(&proc), 0, "pre-epoch");
+        let mut wl = Steady(memory_chunk());
+        proc.step(&mut wl);
+        ctrl.on_quantum(&mut proc);
+        // Epoch anchored one quantum back; 20 ms tick = 20 quanta, so
+        // 18 whole quanta may pass before the tick must run for real.
+        assert_eq!(ctrl.idle_quanta_capacity(&proc), 18);
+    }
+
+    /// `from_trace` must rediscover Table 2's settling points — the
+    /// very frequencies the Cuttlefish driver converges to on the same
+    /// chunks (see `driver::tests`) — from nothing but a traced
+    /// Default-governor run.
+    #[test]
+    fn oracle_from_trace_reproduces_table2_settling_points() {
+        /// Phase-alternating workload: 0.5 s streaming, 0.5 s compute.
+        struct Phased;
+        impl Workload for Phased {
+            fn next_chunk(&mut self, _c: usize, t: u64) -> Option<Chunk> {
+                if (t / 500_000_000).is_multiple_of(2) {
+                    Some(memory_chunk())
+                } else {
+                    Some(Chunk::new(1_000_000, 800, 200).with_profile(CostProfile::new(0.9, 4.0)))
+                }
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut gov = DefaultGovernor::new();
+        let mut wl = Phased;
+        let mut last = CounterSnapshot::capture(&proc).unwrap();
+        let mut samples = Vec::new();
+        for q in 1..=8_000u64 {
+            proc.step(&mut wl);
+            gov.on_quantum(&mut proc);
+            if q.is_multiple_of(20) {
+                let now = CounterSnapshot::capture(&proc).unwrap();
+                if let Some(s) = delta(&last, &now) {
+                    samples.push(TraceSample {
+                        tipi: s.tipi,
+                        jpi: s.jpi,
+                        watts: proc.last_quantum().power_watts,
+                        cf: proc.core_freq(),
+                        uf: proc.uncore_freq(),
+                    });
+                }
+                last = now;
+            }
+        }
+        let oracle =
+            Oracle::from_trace(&proc, &samples, &OracleDerivation::default()).expect("derives");
+        let table = oracle.table();
+        // Memory-bound phase (TIPI 0.064, slab 16): Table 2's Heat-like
+        // settling point — cores driven down, uncore at the knee.
+        let mem = table
+            .entries
+            .iter()
+            .find(|e| e.slab == TipiSlab(16))
+            .expect("frequent memory-bound slab derived");
+        assert!(mem.cf <= Freq(14), "CFopt driven down, got {}", mem.cf);
+        assert!(
+            (Freq(20)..=Freq(24)).contains(&mem.uf),
+            "UFopt at the knee, got {}",
+            mem.uf
+        );
+        // Compute-bound phase (TIPI 0.001, slab 0): UTS-like — CF at
+        // max (race to idle), uncore at its floor.
+        let comp = table
+            .entries
+            .iter()
+            .find(|e| e.slab == TipiSlab(0))
+            .expect("frequent compute-bound slab derived");
+        assert_eq!(comp.cf, Freq(23), "CFopt pinned at max");
+        assert!(comp.uf <= Freq(14), "UFopt at the floor, got {}", comp.uf);
+    }
+
+    #[test]
+    fn pid_gains_validation_rejects_bad_shapes() {
+        assert!(PidGains::default().validate().is_ok());
+        for bad in [
+            PidGains {
+                kp: f64::NAN,
+                ..PidGains::default()
+            },
+            PidGains {
+                ki: -1.0,
+                ..PidGains::default()
+            },
+            PidGains {
+                setpoint: 0.0,
+                ..PidGains::default()
+            },
+            PidGains {
+                setpoint: 1.5,
+                ..PidGains::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn pid_uncore_tracks_traffic_and_delegates_core_search() {
+        // Memory-bound streaming: the loop settles the uncore well
+        // below max (bandwidth headroom instead of max clocking).
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut ctrl = NodePolicy::PidUncore {
+            config: Config {
+                warmup_ns: 500_000_000,
+                ..Config::default()
+            },
+            gains: PidGains::default(),
+        }
+        .build(&mut proc);
+        let mut wl = Steady(memory_chunk());
+        for _ in 0..6_000 {
+            proc.step(&mut wl);
+            ctrl.on_quantum(&mut proc);
+        }
+        assert_eq!(ctrl.name(), "PidUncore");
+        assert!(
+            proc.uncore_freq() < HASWELL_2650V3.uncore.max(),
+            "saturating traffic must not pin the uncore at max, got {}",
+            proc.uncore_freq()
+        );
+        assert!(
+            proc.uncore_freq() >= Freq(18),
+            "the loop must keep serving the traffic, got {}",
+            proc.uncore_freq()
+        );
+        // The delegated core search ran: its daemon profiled samples.
+        let report = ctrl.report();
+        assert!(!report.is_empty(), "core search discovered ranges");
+
+        // Compute-bound: no traffic — the loop sinks the uncore to the
+        // domain floor.
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut ctrl = NodePolicy::PidUncore {
+            config: Config::default(),
+            gains: PidGains::default(),
+        }
+        .build(&mut proc);
+        let compute = Chunk::new(1_000_000, 0, 0).with_profile(CostProfile::new(1.0, 6.0));
+        let mut wl = Steady(compute);
+        for _ in 0..1_000 {
+            proc.step(&mut wl);
+            ctrl.on_quantum(&mut proc);
+        }
+        assert_eq!(proc.uncore_freq(), HASWELL_2650V3.uncore.min());
+    }
+
+    #[test]
+    fn policy_validation_covers_the_new_arms() {
+        assert!(NodePolicy::Default.validate().is_ok());
+        assert!(NodePolicy::Oracle(memory_table()).validate().is_ok());
+        assert!(NodePolicy::Oracle(OracleTable {
+            entries: Vec::new(),
+            ..memory_table()
+        })
+        .validate()
+        .is_err());
+        assert!(NodePolicy::PidUncore {
+            config: Config::default(),
+            gains: PidGains {
+                setpoint: -0.5,
+                ..PidGains::default()
+            },
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

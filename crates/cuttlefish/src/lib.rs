@@ -72,7 +72,10 @@ pub mod node;
 pub mod tipi;
 pub mod ufrange;
 
-pub use controller::{FrequencyController, NodePolicy, Ondemand, Pinned};
+pub use controller::{
+    FrequencyController, NodePolicy, Ondemand, Oracle, OracleDerivation, OracleEntry, OracleTable,
+    PidGains, PidUncore, Pinned, TraceSample,
+};
 pub use daemon::Daemon;
 pub use tipi::TipiSlab;
 

@@ -201,6 +201,23 @@ impl WorkloadSpec {
         }
     }
 
+    /// The phase signature of this workload: the TIPI window its
+    /// phases live in (Table 1's per-benchmark range for benchmarks, a
+    /// per-phase min/max for synthetic streams). This is the key an
+    /// oracle-table derivation filters trace samples with — readings
+    /// outside the window are warm-up or idle noise, not a phase.
+    pub fn paper_tipi_range(&self) -> Option<(f64, f64)> {
+        match self {
+            WorkloadSpec::Bench { .. } => self.resolve().ok().map(|b| b.paper_tipi_range),
+            WorkloadSpec::Synthetic(spec) => {
+                let tipis: Vec<f64> = spec.phases.iter().map(|p| p.chunk().tipi()).collect();
+                let lo = tipis.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = tipis.iter().cloned().fold(0.0, f64::max);
+                lo.is_finite().then_some((lo, hi))
+            }
+        }
+    }
+
     /// Resolve a benchmark-backed spec against the Table 1 definitions.
     /// Every benchmark (OpenMP and HClib alike) draws from the same
     /// generator set, so resolution is by name; the model only selects

@@ -7,9 +7,9 @@
 
 use bench::Scenario;
 use cluster::{BspApp, Cluster, CommModel};
-use cuttlefish::controller::NodePolicy;
+use cuttlefish::controller::{NodePolicy, OracleEntry, OracleTable, PidGains};
 use cuttlefish::driver::CuttlefishDriver;
-use cuttlefish::{Config, Policy};
+use cuttlefish::{Config, Policy, TipiSlab};
 use simproc::engine::{Chunk, SimProcessor};
 use simproc::freq::{Freq, HASWELL_2650V3};
 use simproc::governor::DefaultGovernor;
@@ -167,6 +167,36 @@ fn cluster_idle_fast_forward_is_bit_identical() {
         NodePolicy::Pinned {
             cf: Freq(12),
             uf: Freq(22),
+        },
+        // The oracle's Tinv ticks are scheduled events on the same
+        // clock as the Cuttlefish driver's; its capacity must stop at
+        // every tick and the tick must fire identically either way.
+        NodePolicy::Oracle(OracleTable {
+            slab_width: 0.004,
+            tinv_ns: 20_000_000,
+            entries: vec![
+                OracleEntry {
+                    slab: TipiSlab(0),
+                    cf: Freq(23),
+                    uf: Freq(12),
+                },
+                OracleEntry {
+                    slab: TipiSlab(16),
+                    cf: Freq(12),
+                    uf: Freq(22),
+                },
+            ],
+        }),
+        // The PID loop only fast-forwards from its absorbing idle
+        // fixed point (integral on the clamp, level on the floor), and
+        // its replay must count quanta bit-identically.
+        NodePolicy::PidUncore {
+            config: Config {
+                warmup_ns: 500_000_000,
+                idle_guard: Some(0.3),
+                ..Config::default()
+            },
+            gains: PidGains::default(),
         },
     ] {
         let run = |event_stepping: bool| {
