@@ -81,7 +81,9 @@ fn main() {
     let drifted = if schema_of(&base) == bench::grid::SCHEMA {
         diff_grid_results(&base, &cand, &tol)
     } else {
-        diff(&base, &cand, &tol)
+        let d = diff(&base, &cand, &tol);
+        diff_timing_info(&base, &cand);
+        d
     };
     if drifted {
         eprintln!(
@@ -249,6 +251,58 @@ fn diff(base: &Json, cand: &Json, tol: &Tolerance) -> bool {
 
 fn grids(j: &Json) -> Option<&[Json]> {
     j.get("grids").and_then(|g| g.as_arr().ok())
+}
+
+/// Informational `meta.timing` comparison — never affects the exit
+/// code. Wall-clock and stepping counters are machine- and
+/// run-dependent by design (which is why `meta` sits outside both
+/// gates), but the *shape* of the counters is worth a glance in CI
+/// logs: a stepping-counter regression — the analytic idle/busy
+/// advances silently disengaging — changes no artifact bytes, so this
+/// side-by-side is the only diff that shows it.
+fn diff_timing_info(base: &Json, cand: &Json) {
+    fn timing(j: &Json) -> &[Json] {
+        j.get("meta")
+            .and_then(|m| m.get("timing"))
+            .and_then(|t| t.as_arr().ok())
+            .unwrap_or(&[])
+    }
+    let (bt, ct) = (timing(base), timing(cand));
+    if bt.is_empty() && ct.is_empty() {
+        return;
+    }
+    eprintln!("timing (informational, not gated):");
+    let name = |g: &Json| {
+        g.get("grid")
+            .and_then(|s| s.as_str().ok())
+            .unwrap_or("?")
+            .to_string()
+    };
+    for c in ct {
+        let gname = name(c);
+        let counters = |g: &Json| {
+            (
+                num(g, "stepped_quanta").unwrap_or(f64::NAN),
+                num(g, "idle_advanced_quanta").unwrap_or(f64::NAN),
+                num(g, "busy_advanced_quanta").unwrap_or(f64::NAN),
+                num(g, "fast_forward").unwrap_or(f64::NAN),
+            )
+        };
+        let (cs, ci, cb, cf) = counters(c);
+        match bt.iter().find(|b| name(b) == gname) {
+            Some(b) => {
+                let (bs, bi, bb, bf) = counters(b);
+                eprintln!(
+                    "  {gname}: stepped {bs}→{cs}, idle-adv {bi}→{ci}, \
+                     busy-adv {bb}→{cb}, fast-forward {bf:.2}x→{cf:.2}x"
+                );
+            }
+            None => eprintln!(
+                "  {gname}: stepped {cs}, idle-adv {ci}, busy-adv {cb}, \
+                 fast-forward {cf:.2}x (no baseline timing)"
+            ),
+        }
+    }
 }
 
 fn num(g: &Json, key: &str) -> Option<f64> {

@@ -16,7 +16,16 @@
 //! trajectory drift gate (`bench_diff --exact`) ignores it; only the
 //! `grids` section carries gated content.
 //!
-//! Usage: `grid_aggregate --out BENCH_smoke.json <artifact.json>...`
+//! `--require-fast-forward GRID=MIN` (repeatable) additionally gates
+//! on the virtual-clock layer itself: the named grid's timing sidecar
+//! must be present and report a stepped-vs-total fast-forward ratio of
+//! at least MIN. CI uses this to keep the analytic idle/busy advances
+//! engaged — a regression that silently falls back to per-quantum
+//! stepping still produces bit-identical artifacts, so only the
+//! counters can catch it.
+//!
+//! Usage: `grid_aggregate --out BENCH_smoke.json
+//!         [--require-fast-forward GRID=MIN]... <artifact.json>...`
 //!
 //! This is a pipeline tool, not one of the figure/table bins; it runs
 //! no simulations.
@@ -29,6 +38,7 @@ use bench::saving_pct;
 fn main() {
     let mut out_path = None;
     let mut inputs = Vec::new();
+    let mut required_ff: Vec<(String, f64)> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -38,8 +48,24 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
+            "--require-fast-forward" => {
+                let spec = args.next().unwrap_or_default();
+                let parsed = spec
+                    .split_once('=')
+                    .and_then(|(g, m)| m.parse::<f64>().ok().map(|m| (g.to_string(), m)));
+                match parsed {
+                    Some(req) => required_ff.push(req),
+                    None => {
+                        eprintln!("error: --require-fast-forward needs GRID=MIN, got `{spec}`");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
-                println!("grid_aggregate --out <aggregate.json> <artifact.json>...");
+                println!(
+                    "grid_aggregate --out <aggregate.json> \
+                     [--require-fast-forward GRID=MIN]... <artifact.json>..."
+                );
                 std::process::exit(0);
             }
             _ => inputs.push(arg),
@@ -88,7 +114,7 @@ fn main() {
         // Run-dependent metadata: excluded from the drift gate.
         fields.push((
             "meta".to_string(),
-            Json::Obj(vec![("timing".into(), Json::Arr(timings))]),
+            Json::Obj(vec![("timing".into(), Json::Arr(timings.clone()))]),
         ));
     }
     let aggregate = Json::Obj(fields);
@@ -97,6 +123,46 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("wrote aggregate of {} grids to {out_path}", inputs.len());
+
+    check_fast_forward(&required_ff, &timings);
+}
+
+/// Enforce `--require-fast-forward` against the folded timing entries;
+/// exits nonzero on a missing sidecar or a ratio below the floor. Runs
+/// after the aggregate is written so the artifact is still available
+/// for inspection when the gate trips.
+fn check_fast_forward(required: &[(String, f64)], timings: &[Json]) {
+    let mut failed = false;
+    for (grid, min) in required {
+        let entry = timings.iter().find(|t| {
+            t.get("grid")
+                .and_then(|g| g.as_str().ok())
+                .is_some_and(|g| g == grid)
+        });
+        let ff = entry.and_then(|t| match t.get("fast_forward") {
+            Some(Json::Num(v)) => Some(*v),
+            _ => None,
+        });
+        match ff {
+            Some(v) if v >= *min => {
+                eprintln!("fast-forward gate: {grid} {v:.2}x >= {min}x");
+            }
+            Some(v) => {
+                eprintln!(
+                    "error: fast-forward gate: {grid} reached only {v:.2}x \
+                     (floor {min}x) — the virtual-clock advances disengaged"
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("error: fast-forward gate: no timing sidecar for grid `{grid}`");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }
 
 /// Pick up `<artifact>.timing` if the bin wrote one: re-emit the
@@ -130,6 +196,8 @@ fn read_timing_sidecar(artifact_path: &str) -> Option<Json> {
         ("grid".into(), field("grid")),
         ("wall_ms".into(), field("wall_ms")),
         ("stepped_quanta".into(), field("stepped_quanta")),
+        ("idle_advanced_quanta".into(), field("idle_advanced_quanta")),
+        ("busy_advanced_quanta".into(), field("busy_advanced_quanta")),
         ("total_quanta".into(), field("total_quanta")),
         ("fast_forward".into(), field("fast_forward")),
     ]))

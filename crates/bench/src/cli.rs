@@ -166,11 +166,13 @@ impl GridArgs {
                 let wall = std::time::Instant::now();
                 let outcome = scenario.run();
                 eprintln!(
-                    "{}: stepped {} of {} quanta, {:.1} ms wall (cell format not \
-                     applicable: {reason})",
+                    "{}: stepped {} of {} quanta (idle-adv {}, busy-adv {}), {:.1} ms wall \
+                     (cell format not applicable: {reason})",
                     scenario.label,
                     outcome.stepped_quanta(),
                     outcome.total_quanta(),
+                    outcome.idle_advanced_quanta(),
+                    outcome.busy_advanced_quanta(),
                     wall.elapsed().as_secs_f64() * 1e3,
                 );
                 print_outcome(

@@ -722,8 +722,12 @@ pub struct CellTiming {
     pub wall_ms: f64,
     /// Quanta the engine executed one step at a time (all nodes).
     pub stepped_quanta: u64,
-    /// Total virtual quanta elapsed (all nodes); the gap to
-    /// `stepped_quanta` was fast-forwarded by the virtual-clock layer.
+    /// Quanta fast-forwarded analytically while parked (all nodes).
+    pub idle_advanced_quanta: u64,
+    /// Quanta fast-forwarded analytically while executing (all nodes).
+    pub busy_advanced_quanta: u64,
+    /// Total virtual quanta elapsed (all nodes); always
+    /// `stepped + idle_advanced + busy_advanced`.
     pub total_quanta: u64,
 }
 
@@ -757,6 +761,16 @@ impl GridTiming {
         self.cells.iter().map(|c| c.stepped_quanta).sum()
     }
 
+    /// Quanta fast-forwarded while parked, summed over cells.
+    pub fn idle_advanced_quanta(&self) -> u64 {
+        self.cells.iter().map(|c| c.idle_advanced_quanta).sum()
+    }
+
+    /// Quanta fast-forwarded while executing, summed over cells.
+    pub fn busy_advanced_quanta(&self) -> u64 {
+        self.cells.iter().map(|c| c.busy_advanced_quanta).sum()
+    }
+
     /// Total virtual quanta, summed over cells.
     pub fn total_quanta(&self) -> u64 {
         self.cells.iter().map(|c| c.total_quanta).sum()
@@ -774,9 +788,11 @@ impl GridTiming {
         let stepped = self.stepped_quanta();
         let total = self.total_quanta();
         format!(
-            "{}: stepped {stepped} of {total} quanta ({:.2}x fast-forward), {:.1} ms wall, \
-             {:.2} Mquanta/s",
+            "{}: stepped {stepped} of {total} quanta (idle-adv {}, busy-adv {}; \
+             {:.2}x fast-forward), {:.1} ms wall, {:.2} Mquanta/s",
             self.grid,
+            self.idle_advanced_quanta(),
+            self.busy_advanced_quanta(),
             self.fast_forward_factor(),
             self.wall_ms,
             total as f64 / 1e3 / self.wall_ms.max(1e-9),
@@ -825,18 +841,23 @@ pub fn run_cell_timed(
     cell: &CellSpec,
 ) -> (CellResult, CellTiming) {
     let wall = Instant::now();
-    let (result, stepped_quanta, total_quanta) = run_cell_inner(machine, scale, cell);
+    let (result, quanta) = run_cell_inner(machine, scale, cell);
+    let [stepped_quanta, idle_advanced_quanta, busy_advanced_quanta, total_quanta] = quanta;
     (
         result,
         CellTiming {
             wall_ms: wall.elapsed().as_secs_f64() * 1e3,
             stepped_quanta,
+            idle_advanced_quanta,
+            busy_advanced_quanta,
             total_quanta,
         },
     )
 }
 
-fn run_cell_inner(machine: &MachineSpec, scale: f64, cell: &CellSpec) -> (CellResult, u64, u64) {
+/// The second element is `[stepped, idle_advanced, busy_advanced,
+/// total]` quanta.
+fn run_cell_inner(machine: &MachineSpec, scale: f64, cell: &CellSpec) -> (CellResult, [u64; 4]) {
     let scenario = cell.scenario(machine, scale);
     // The result records the cell *as executed*: an oracle cell that
     // derived its table carries the derived table, so the artifact
@@ -853,7 +874,15 @@ fn run_cell_inner(machine: &MachineSpec, scale: f64, cell: &CellSpec) -> (CellRe
     match outcome {
         ScenarioOutcome::Single(outcome) => {
             let cell_result = single_cell_result(cell, &outcome, trace);
-            (cell_result, outcome.stepped_quanta, outcome.total_quanta)
+            (
+                cell_result,
+                [
+                    outcome.stepped_quanta,
+                    outcome.idle_advanced_quanta,
+                    outcome.busy_advanced_quanta,
+                    outcome.total_quanta,
+                ],
+            )
         }
         ScenarioOutcome::Cluster(cluster) => {
             let outcome = &cluster.outcome;
@@ -876,7 +905,15 @@ fn run_cell_inner(machine: &MachineSpec, scale: f64, cell: &CellSpec) -> (CellRe
                 barrier_wait_s: outcome.barrier_wait_s,
                 trace: Vec::new(),
             };
-            (cell_result, outcome.stepped_quanta, outcome.total_quanta)
+            (
+                cell_result,
+                [
+                    outcome.stepped_quanta,
+                    outcome.idle_advanced_quanta,
+                    outcome.busy_advanced_quanta,
+                    outcome.total_quanta,
+                ],
+            )
         }
     }
 }
@@ -1301,13 +1338,35 @@ impl ToJson for CellTiming {
         obj(vec![
             ("wall_ms", Json::Num(self.wall_ms)),
             ("stepped_quanta", Json::Num(self.stepped_quanta as f64)),
+            (
+                "idle_advanced_quanta",
+                Json::Num(self.idle_advanced_quanta as f64),
+            ),
+            (
+                "busy_advanced_quanta",
+                Json::Num(self.busy_advanced_quanta as f64),
+            ),
             ("total_quanta", Json::Num(self.total_quanta as f64)),
         ])
     }
 }
 
-/// Sidecar format tag for `.timing` files.
-pub const TIMING_SCHEMA: &str = "cuttlefish/grid-timing/v1";
+impl FromJson for CellTiming {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(CellTiming {
+            wall_ms: j.field("wall_ms")?.as_f64()?,
+            stepped_quanta: j.field("stepped_quanta")?.as_f64()? as u64,
+            idle_advanced_quanta: j.field("idle_advanced_quanta")?.as_f64()? as u64,
+            busy_advanced_quanta: j.field("busy_advanced_quanta")?.as_f64()? as u64,
+            total_quanta: j.field("total_quanta")?.as_f64()? as u64,
+        })
+    }
+}
+
+/// Sidecar format tag for `.timing` files. v2 splits the single
+/// fast-forward counter into `idle_advanced_quanta` and
+/// `busy_advanced_quanta` so the two mechanisms are attributable.
+pub const TIMING_SCHEMA: &str = "cuttlefish/grid-timing/v2";
 
 impl ToJson for GridTiming {
     fn to_json(&self) -> Json {
@@ -1316,10 +1375,34 @@ impl ToJson for GridTiming {
             ("grid", Json::Str(self.grid.clone())),
             ("wall_ms", Json::Num(self.wall_ms)),
             ("stepped_quanta", Json::Num(self.stepped_quanta() as f64)),
+            (
+                "idle_advanced_quanta",
+                Json::Num(self.idle_advanced_quanta() as f64),
+            ),
+            (
+                "busy_advanced_quanta",
+                Json::Num(self.busy_advanced_quanta() as f64),
+            ),
             ("total_quanta", Json::Num(self.total_quanta() as f64)),
             ("fast_forward", Json::Num(self.fast_forward_factor())),
             ("cells", arr(&self.cells)),
         ])
+    }
+}
+
+impl FromJson for GridTiming {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let schema = j.field("schema")?.as_str()?;
+        if schema != TIMING_SCHEMA {
+            return Err(JsonError(format!(
+                "unsupported timing schema `{schema}` (expected `{TIMING_SCHEMA}`)"
+            )));
+        }
+        Ok(GridTiming {
+            grid: j.field("grid")?.as_str()?.to_string(),
+            wall_ms: j.field("wall_ms")?.as_f64()?,
+            cells: from_arr(j.field("cells")?)?,
+        })
     }
 }
 

@@ -115,8 +115,14 @@ pub struct RunOutcome {
     pub residency: Vec<((u32, u32), u64)>,
     /// Quanta the engine executed one step at a time.
     pub stepped_quanta: u64,
-    /// Total virtual quanta elapsed (stepped + fast-forwarded) — the
-    /// per-cell stepping-rate data the CI smoke stage reports.
+    /// Quanta fast-forwarded analytically while parked.
+    pub idle_advanced_quanta: u64,
+    /// Quanta fast-forwarded analytically while executing (busy
+    /// steady-state stretches the controller certified).
+    pub busy_advanced_quanta: u64,
+    /// Total virtual quanta elapsed — always
+    /// `stepped + idle_advanced + busy_advanced`; the per-cell
+    /// stepping-rate data the CI smoke stage reports.
     pub total_quanta: u64,
 }
 

@@ -318,17 +318,31 @@ impl Scenario {
         let deadline = self.duration_s.map(|d| start_t + (d * 1e9).round() as u64);
         let expired = |proc: &SimProcessor| deadline.is_some_and(|d| proc.now_ns() >= d);
 
+        let quantum_ns = proc.spec().quantum_ns;
         if let Some(points) = trace {
-            // Traced runs sample counters on a fixed 20-quantum cadence,
-            // so they step every quantum; untraced runs go through the
-            // event-driven loop (identical numerics, fast-forwarded
-            // idle).
+            // Traced runs sample counters on a fixed 20-quantum cadence.
+            // The capture is a pure read, so each 20-quantum segment is
+            // advanced through the same event-driven loop untraced runs
+            // use (identical numerics, fast-forwarded idle and busy
+            // stretches), bounded so the clock pauses exactly at every
+            // capture point — and at the duration cap, when one is set.
             let mut quanta = 0u64;
             let mut last = CounterSnapshot::capture(&proc).expect("counters readable");
             while !proc.workload_drained(wl.as_mut()) && !expired(&proc) {
-                proc.step(wl.as_mut());
-                controller.on_quantum(&mut proc);
-                quanta += 1;
+                let budget = match deadline {
+                    Some(d) => (d - proc.now_ns()).div_ceil(quantum_ns).min(20),
+                    None => 20,
+                };
+                let done = cuttlefish::controller::drive_quanta(
+                    &mut proc,
+                    wl.as_mut(),
+                    controller.as_mut(),
+                    budget,
+                );
+                if done == 0 {
+                    break;
+                }
+                quanta += done;
                 if quanta.is_multiple_of(20) {
                     let now = CounterSnapshot::capture(&proc).expect("counters readable");
                     if let Some(s) = delta(&last, &now) {
@@ -344,12 +358,22 @@ impl Scenario {
                     last = now;
                 }
             }
-        } else if deadline.is_some() {
-            // Duration-capped runs step plainly: a fast-forward could
-            // overshoot the cap by an arbitrary stretch.
+        } else if let Some(d) = deadline {
+            // Duration-capped runs bound every fast-forward by the
+            // quanta left to the cap, so the clock lands on the first
+            // boundary at or past it — exactly where plain per-quantum
+            // stepping would stop.
             while !proc.workload_drained(wl.as_mut()) && !expired(&proc) {
-                proc.step(wl.as_mut());
-                controller.on_quantum(&mut proc);
+                let budget = (d - proc.now_ns()).div_ceil(quantum_ns);
+                let done = cuttlefish::controller::drive_quanta(
+                    &mut proc,
+                    wl.as_mut(),
+                    controller.as_mut(),
+                    budget,
+                );
+                if done == 0 {
+                    break;
+                }
             }
         } else {
             cuttlefish::controller::drive(&mut proc, wl.as_mut(), controller.as_mut());
@@ -372,6 +396,8 @@ impl Scenario {
                 .map(|(&point, &ns)| (point, ns))
                 .collect(),
             stepped_quanta: proc.stepped_quanta(),
+            idle_advanced_quanta: proc.idle_advanced_quanta(),
+            busy_advanced_quanta: proc.busy_advanced_quanta(),
             total_quanta: proc.total_quanta(),
         }
     }
@@ -643,6 +669,22 @@ impl ScenarioOutcome {
         match self {
             ScenarioOutcome::Single(o) => o.stepped_quanta,
             ScenarioOutcome::Cluster(c) => c.outcome.stepped_quanta,
+        }
+    }
+
+    /// Quanta fast-forwarded analytically while parked (all nodes).
+    pub fn idle_advanced_quanta(&self) -> u64 {
+        match self {
+            ScenarioOutcome::Single(o) => o.idle_advanced_quanta,
+            ScenarioOutcome::Cluster(c) => c.outcome.idle_advanced_quanta,
+        }
+    }
+
+    /// Quanta fast-forwarded analytically while executing (all nodes).
+    pub fn busy_advanced_quanta(&self) -> u64 {
+        match self {
+            ScenarioOutcome::Single(o) => o.busy_advanced_quanta,
+            ScenarioOutcome::Cluster(c) => c.outcome.busy_advanced_quanta,
         }
     }
 

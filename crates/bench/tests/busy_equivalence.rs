@@ -1,0 +1,246 @@
+//! Property-style suite for the busy fast-forward at the scenario
+//! layer: over seeded random `WorkloadSpec::Synthetic` phase patterns —
+//! including adversarial cadences whose chunk durations land next to
+//! quantum and `Tinv` boundaries — the event-driven `drive` loop must
+//! be *bit-identical* to plain per-quantum stepping for all six
+//! shipped governors.
+//!
+//! The engine suite (`simproc/tests/event_clock.rs`) proves the busy
+//! advance arithmetic; the cluster suite proves BSP phase structure;
+//! this one hammers the controller capacity answers with phase changes
+//! that arrive at the worst possible clock offsets.
+
+use bench::scenario::Scenario;
+use cuttlefish::controller::{drive, NodePolicy, OracleEntry, OracleTable};
+use cuttlefish::tipi::TipiSlab;
+use cuttlefish::{Config, PidGains};
+use simproc::freq::Freq;
+use simproc::SimProcessor;
+use workloads::{ChunkPhase, SyntheticSpec};
+
+/// Small deterministic PRNG (PCG-ish LCG), same recipe as the engine
+/// suite, so failures reproduce from their seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+/// Instruction counts whose compute time sits a hair's breadth around
+/// `k` quanta at a nominal 2.3 GHz / CPI 0.9 — the cadences most
+/// likely to expose an off-by-one in the busy runway bound (`k = 20`
+/// is exactly one `Tinv`).
+fn boundary_instr(rng: &mut Lcg, k: u64) -> u64 {
+    // quantum_ns = 1 ms -> 2.3e6 cycles -> ~2.55e6 instructions.
+    let per_quantum = 2_555_555u64;
+    let jitter = rng.range(0, 2_000) as i64 - 1_000;
+    (per_quantum * k).saturating_add_signed(jitter)
+}
+
+fn random_spec(rng: &mut Lcg) -> SyntheticSpec {
+    let n_phases = rng.range(2, 4) as usize;
+    let mut phases = Vec::new();
+    for _ in 0..n_phases {
+        let memoryish = rng.next().is_multiple_of(2);
+        let instructions = match rng.next() % 3 {
+            // Sub-quantum churn.
+            0 => rng.range(100_000, 2_000_000),
+            // Near a quantum-multiple boundary.
+            1 => {
+                let k = rng.range(1, 5);
+                boundary_instr(rng, k)
+            }
+            // Near the Tinv boundary (20 quanta).
+            _ => boundary_instr(rng, 20),
+        };
+        phases.push(if memoryish {
+            ChunkPhase {
+                chunks: rng.range(1, 5),
+                instructions,
+                misses_local: 56_000,
+                misses_remote: 8_000,
+                cpi: 0.55,
+                mlp: 12.0,
+            }
+        } else {
+            ChunkPhase {
+                chunks: rng.range(1, 5),
+                instructions,
+                misses_local: rng.range(0, 2_000),
+                misses_remote: 0,
+                cpi: 0.9,
+                mlp: 4.0,
+            }
+        });
+    }
+    SyntheticSpec {
+        phases,
+        total_chunks: Some(rng.range(40, 160)),
+    }
+}
+
+fn policies() -> Vec<NodePolicy> {
+    let table = OracleTable {
+        slab_width: 0.004,
+        tinv_ns: 20_000_000,
+        entries: vec![
+            OracleEntry {
+                slab: TipiSlab(0),
+                cf: Freq(23),
+                uf: Freq(12),
+            },
+            OracleEntry {
+                slab: TipiSlab(16),
+                cf: Freq(12),
+                uf: Freq(22),
+            },
+        ],
+    };
+    vec![
+        NodePolicy::Default,
+        NodePolicy::Cuttlefish(Config::default()),
+        NodePolicy::Pinned {
+            cf: Freq(14),
+            uf: Freq(24),
+        },
+        NodePolicy::Ondemand,
+        NodePolicy::Oracle(table),
+        NodePolicy::PidUncore {
+            config: Config::default(),
+            gains: PidGains::default(),
+        },
+    ]
+}
+
+#[derive(PartialEq, Debug)]
+struct Fingerprint {
+    energy_bits: u64,
+    instructions_bits: u64,
+    time_ns: u64,
+    residency: Vec<((u32, u32), u64)>,
+    cf: Freq,
+    uf: Freq,
+    power_bits: u64,
+}
+
+fn fingerprint(p: &SimProcessor) -> Fingerprint {
+    Fingerprint {
+        energy_bits: p.total_energy_joules().to_bits(),
+        instructions_bits: p.total_instructions().to_bits(),
+        time_ns: p.now_ns(),
+        residency: p
+            .frequency_residency()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect(),
+        cf: p.core_freq(),
+        uf: p.uncore_freq(),
+        power_bits: p.last_quantum().power_watts.to_bits(),
+    }
+}
+
+fn run(policy: &NodePolicy, spec: &SyntheticSpec, event_driven: bool) -> (Fingerprint, u64, u64) {
+    let scenario = Scenario::synthetic(spec.clone())
+        .policy(policy.clone())
+        .build();
+    let (mut proc, mut wl, mut ctrl) = scenario.build_single_node();
+    if event_driven {
+        drive(&mut proc, wl.as_mut(), ctrl.as_mut());
+    } else {
+        while !proc.workload_drained(wl.as_mut()) {
+            proc.step(wl.as_mut());
+            ctrl.on_quantum(&mut proc);
+        }
+    }
+    (
+        fingerprint(&proc),
+        proc.busy_advanced_quanta(),
+        proc.total_quanta(),
+    )
+}
+
+#[test]
+fn random_phase_patterns_are_bit_identical_for_all_governors() {
+    let mut busy_advanced_total = 0u64;
+    for seed in 1..=10u64 {
+        let mut rng = Lcg(seed ^ 0xB05B);
+        let spec = random_spec(&mut rng);
+        for policy in policies() {
+            let (slow, _, slow_total) = run(&policy, &spec, false);
+            let (fast, busy_advanced, fast_total) = run(&policy, &spec, true);
+            assert_eq!(
+                slow,
+                fast,
+                "seed {seed}, policy {}: event-driven run must be bit-identical",
+                policy.name()
+            );
+            assert_eq!(slow_total, fast_total, "seed {seed}: identical timelines");
+            if matches!(policy, NodePolicy::PidUncore { .. }) {
+                assert_eq!(
+                    busy_advanced, 0,
+                    "seed {seed}: a per-quantum PID cannot fast-forward while busy"
+                );
+            }
+            busy_advanced_total += busy_advanced;
+        }
+    }
+    assert!(
+        busy_advanced_total > 0,
+        "no seeded pattern exercised the busy fast path"
+    );
+}
+
+#[test]
+fn tinv_aligned_phases_keep_tick_schedules_exact() {
+    // The nastiest cadence for the tick-scheduled controllers: every
+    // phase lasts almost exactly one Tinv, so capacity answers that
+    // are off by one quantum would shift a profile tick.
+    let mut rng = Lcg(0x71CC);
+    let spec = SyntheticSpec {
+        phases: vec![
+            ChunkPhase {
+                chunks: 1,
+                instructions: boundary_instr(&mut rng, 20),
+                misses_local: 56_000,
+                misses_remote: 8_000,
+                cpi: 0.55,
+                mlp: 12.0,
+            },
+            ChunkPhase {
+                chunks: 1,
+                instructions: boundary_instr(&mut rng, 20),
+                misses_local: 1_000,
+                misses_remote: 0,
+                cpi: 0.9,
+                mlp: 4.0,
+            },
+        ],
+        total_chunks: Some(600),
+    };
+    for policy in [
+        NodePolicy::Cuttlefish(Config::default()),
+        NodePolicy::PidUncore {
+            config: Config::default(),
+            gains: PidGains::default(),
+        },
+    ] {
+        let (slow, _, _) = run(&policy, &spec, false);
+        let (fast, _, _) = run(&policy, &spec, true);
+        assert_eq!(
+            slow,
+            fast,
+            "policy {}: Tinv-aligned phases must not shift ticks",
+            policy.name()
+        );
+    }
+}

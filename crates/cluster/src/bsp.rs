@@ -109,8 +109,14 @@ pub struct BspOutcome {
     pub node_barrier_wait_s: Vec<f64>,
     /// Quanta executed by individual engine steps, summed over nodes.
     pub stepped_quanta: u64,
-    /// Total virtual quanta elapsed, summed over nodes; the gap to
-    /// `stepped_quanta` was fast-forwarded analytically.
+    /// Quanta fast-forwarded analytically while parked (barrier and
+    /// exchange windows), summed over nodes.
+    pub idle_advanced_quanta: u64,
+    /// Quanta fast-forwarded analytically while executing (compute
+    /// phases at a controller fixed point), summed over nodes.
+    pub busy_advanced_quanta: u64,
+    /// Total virtual quanta elapsed, summed over nodes; always
+    /// `stepped + idle_advanced + busy_advanced`.
     pub total_quanta: u64,
 }
 

@@ -148,6 +148,22 @@ impl Cluster {
         node.ctrl.on_quantum(&mut node.proc);
     }
 
+    /// Run one node's workload to drain — the compute phase of a
+    /// superstep. With event stepping on this is the shared
+    /// [`cuttlefish::controller::drive`] loop, which fast-forwards both
+    /// parked stretches and busy steady-state stretches the controller
+    /// certifies; off, it is the historical quantum-by-quantum
+    /// reference both must match bit for bit.
+    fn drain_node(node: &mut Node, wl: &mut dyn Workload, event_stepping: bool) {
+        if event_stepping {
+            cuttlefish::controller::drive_quanta(&mut node.proc, wl, node.ctrl.as_mut(), u64::MAX);
+        } else {
+            while !node.proc.workload_drained(wl) {
+                Self::step_node(node, wl);
+            }
+        }
+    }
+
     /// Idle one parked node for exactly `quanta` quanta, fast-forwarding
     /// every stretch the controller declares uneventful and stepping for
     /// real at the controller's scheduled events (`Tinv` ticks, firmware
@@ -225,6 +241,16 @@ impl Cluster {
             barrier_wait_s,
             node_barrier_wait_s,
             stepped_quanta: self.nodes.iter().map(|n| n.proc.stepped_quanta()).sum(),
+            idle_advanced_quanta: self
+                .nodes
+                .iter()
+                .map(|n| n.proc.idle_advanced_quanta())
+                .sum(),
+            busy_advanced_quanta: self
+                .nodes
+                .iter()
+                .map(|n| n.proc.busy_advanced_quanta())
+                .sum(),
             total_quanta: self.nodes.iter().map(|n| n.proc.total_quanta()).sum(),
         }
     }
@@ -238,12 +264,11 @@ impl Cluster {
         F: FnMut(usize, usize) -> Box<dyn Workload>,
     {
         let mut finish_ns: Vec<u64> = Vec::with_capacity(self.nodes.len());
+        let event_stepping = self.event_stepping;
         for (idx, node) in self.nodes.iter_mut().enumerate() {
             let mut wl = make(idx, node.proc.n_cores());
             let t0 = node.proc.now_ns();
-            while !node.proc.workload_drained(wl.as_mut()) {
-                Self::step_node(node, wl.as_mut());
-            }
+            Self::drain_node(node, wl.as_mut(), event_stepping);
             let t1 = node.proc.now_ns();
             node.busy_s += (t1 - t0) as f64 * 1e-9;
             finish_ns.push(t1);
@@ -263,14 +288,13 @@ impl Cluster {
         for step in &app.steps {
             // Phase 1: local computation, each node at its own pace.
             let mut finish_ns: Vec<u64> = Vec::with_capacity(self.nodes.len());
+            let event_stepping = self.event_stepping;
             for (node, chunks) in self.nodes.iter_mut().zip(step) {
                 let n_cores = node.proc.n_cores();
                 let region = Region::statically_partitioned(chunks.clone(), n_cores);
                 let mut sched = WorkSharingScheduler::new(vec![region], n_cores);
                 let t0 = node.proc.now_ns();
-                while !node.proc.workload_drained(&sched) {
-                    Self::step_node(node, &mut sched);
-                }
+                Self::drain_node(node, &mut sched, event_stepping);
                 let t1 = node.proc.now_ns();
                 node.busy_s += (t1 - t0) as f64 * 1e-9;
                 finish_ns.push(t1);

@@ -1,0 +1,152 @@
+//! Controller-equivalence suite for the cluster layer: with event
+//! stepping on (idle *and* busy fast-forward), every shipped governor
+//! must produce *bit-identical* cluster outcomes to the historical
+//! quantum-by-quantum loop — energies, wall time, instructions, and
+//! per-operating-point residency — while stepping strictly fewer
+//! quanta wherever a fast path legally exists.
+//!
+//! This is the cluster-level half of the `FrequencyController`
+//! contract (see `cuttlefish::controller`): the engine suites prove
+//! the advance arithmetic itself is exact; this suite proves each
+//! controller's capacity answers are honest across real BSP phase
+//! structure (compute stretches, barrier waits, exchange windows).
+
+use cluster::{BspApp, Cluster, CommModel, NodePolicy};
+use cuttlefish::controller::{OracleEntry, OracleTable};
+use cuttlefish::tipi::TipiSlab;
+use cuttlefish::{Config, PidGains};
+use simproc::engine::Chunk;
+use simproc::freq::Freq;
+use simproc::perf::CostProfile;
+
+/// A short memory-bound stencil superstep (same shape as the node
+/// tests, sized down so six governors x two paths stay fast).
+fn heat_chunks() -> Vec<Chunk> {
+    (0..24)
+        .map(|_| {
+            Chunk::new(30_000_000, 1_390_000, 590_000).with_profile(CostProfile::new(0.55, 12.0))
+        })
+        .collect()
+}
+
+/// A compute-bound superstep: zero traffic, so fixed-point governors
+/// (Ondemand, Default) reach drift-free busy stability.
+fn compute_chunks() -> Vec<Chunk> {
+    (0..24)
+        .map(|_| Chunk::new(40_000_000, 2_000, 400).with_profile(CostProfile::new(0.9, 4.0)))
+        .collect()
+}
+
+fn policies() -> Vec<(&'static str, NodePolicy)> {
+    let table = OracleTable {
+        slab_width: 0.004,
+        tinv_ns: 20_000_000,
+        entries: vec![OracleEntry {
+            slab: TipiSlab(16),
+            cf: Freq(12),
+            uf: Freq(22),
+        }],
+    };
+    vec![
+        ("Default", NodePolicy::Default),
+        ("Cuttlefish", NodePolicy::Cuttlefish(Config::default())),
+        (
+            "Pinned",
+            NodePolicy::Pinned {
+                cf: Freq(14),
+                uf: Freq(24),
+            },
+        ),
+        ("Ondemand", NodePolicy::Ondemand),
+        ("Oracle", NodePolicy::Oracle(table)),
+        (
+            "PidUncore",
+            NodePolicy::PidUncore {
+                config: Config::default(),
+                gains: PidGains::default(),
+            },
+        ),
+    ]
+}
+
+fn run(policy: &NodePolicy, app: &BspApp, event_stepping: bool) -> cluster::BspOutcome {
+    let mut cluster = Cluster::new(2, policy.clone(), CommModel::default());
+    cluster.set_event_stepping(event_stepping);
+    cluster.run(app)
+}
+
+#[test]
+fn all_six_governors_are_bit_identical_under_event_stepping() {
+    for (make, label) in [
+        (heat_chunks as fn() -> Vec<Chunk>, "memory"),
+        (compute_chunks as fn() -> Vec<Chunk>, "compute"),
+    ] {
+        let app = BspApp::uniform(2, 6, make);
+        for (name, policy) in policies() {
+            let slow = run(&policy, &app, false);
+            let fast = run(&policy, &app, true);
+            assert_eq!(
+                slow.joules.to_bits(),
+                fast.joules.to_bits(),
+                "{name}/{label}: energy must be bit-identical"
+            );
+            assert_eq!(
+                slow.seconds.to_bits(),
+                fast.seconds.to_bits(),
+                "{name}/{label}: wall time must be bit-identical"
+            );
+            assert_eq!(
+                slow.instructions.to_bits(),
+                fast.instructions.to_bits(),
+                "{name}/{label}: instructions must be bit-identical"
+            );
+            for (a, b) in slow.node_joules.iter().zip(&fast.node_joules) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{name}/{label}: per-node energy");
+            }
+            assert_eq!(
+                slow.barrier_wait_s.to_bits(),
+                fast.barrier_wait_s.to_bits(),
+                "{name}/{label}: barrier accounting"
+            );
+            // Identical virtual timelines, attributable quanta.
+            assert_eq!(slow.total_quanta, fast.total_quanta, "{name}/{label}");
+            assert_eq!(
+                fast.total_quanta,
+                fast.stepped_quanta + fast.idle_advanced_quanta + fast.busy_advanced_quanta,
+                "{name}/{label}: counter split must account for every quantum"
+            );
+            assert_eq!(
+                slow.stepped_quanta, slow.total_quanta,
+                "{name}/{label}: the reference path steps everything"
+            );
+            assert!(
+                fast.stepped_quanta <= slow.stepped_quanta,
+                "{name}/{label}: the event path must never step more"
+            );
+        }
+    }
+}
+
+#[test]
+fn busy_fast_forward_engages_where_the_contract_allows() {
+    // Pinned certifies unbounded busy stretches; the tick-scheduled
+    // pair certifies everything between Tinv ticks. PidUncore returns
+    // 0 by design — the control plane must honour that too.
+    let app = BspApp::uniform(2, 4, heat_chunks as fn() -> Vec<Chunk>);
+    for (name, policy) in policies() {
+        let fast = run(&policy, &app, true);
+        match name {
+            "Pinned" | "Cuttlefish" | "Oracle" => assert!(
+                fast.busy_advanced_quanta > fast.stepped_quanta,
+                "{name}: compute phases must fast-forward (busy {} vs stepped {})",
+                fast.busy_advanced_quanta,
+                fast.stepped_quanta
+            ),
+            "PidUncore" => assert_eq!(
+                fast.busy_advanced_quanta, 0,
+                "a per-quantum PID cannot fast-forward while busy"
+            ),
+            _ => {}
+        }
+    }
+}

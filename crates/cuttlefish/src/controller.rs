@@ -48,7 +48,31 @@
 //!    [`PidUncore`]) report unbounded capacity only from an
 //!    *absorbing* idle state where every skipped call would have been
 //!    idempotent.
-//! 4. **Shutdown**: [`stop`](FrequencyController::stop) restores any
+//! 4. **Busy fast-forward.** The busy twin of point 3: while cores are
+//!    executing, the engine may replace `k` step/`on_quantum` pairs
+//!    with one [`SimProcessor::advance_busy_quanta`]`(k)` plus one
+//!    [`note_busy_quanta`]`(k)` — but only for
+//!    `k ≤` [`busy_quanta_capacity`]. Unlike the idle advance, the
+//!    busy advance replays the full per-quantum machine arithmetic
+//!    (chunk progress, workload pulls, RAPL, telemetry) bit-for-bit;
+//!    the *only* thing skipped is the controller. So the capacity
+//!    question is purely "for how many quanta is my `on_quantum` a
+//!    provable no-op (beyond what `note_busy_quanta` replays)?".
+//!    The engine passes a conservative `horizon_quanta` — quanta
+//!    provably free of workload interactions, within which telemetry
+//!    can only drift at FP-ULP scale — and telemetry-driven
+//!    controllers ([`DefaultGovernor`], [`Ondemand`]) must cap their
+//!    answer by it, granting it only from a drift-immune fixed point.
+//!    Schedule- or state-proven controllers may exceed the horizon:
+//!    [`Pinned`] is unbounded once its pin is applied, and
+//!    [`CuttlefishDriver`]/[`Oracle`] are bounded by `next_tick_ns`
+//!    alone, because between ticks their `on_quantum` is a pure clock
+//!    comparison. **[`PidUncore`] returns 0 by design**: a per-quantum
+//!    PID folds a fresh error into its integral and derivative state
+//!    every quantum while traffic is nonzero, so it has no busy fixed
+//!    point to certify and legitimately cannot fast-forward while
+//!    busy — it always steps for real.
+//! 5. **Shutdown**: [`stop`](FrequencyController::stop) restores any
 //!    platform state captured at attach time (the library's
 //!    `cuttlefish::stop()`); controllers that captured nothing do
 //!    nothing.
@@ -59,6 +83,8 @@
 //!
 //! [`note_idle_quanta`]: FrequencyController::note_idle_quanta
 //! [`idle_quanta_capacity`]: FrequencyController::idle_quanta_capacity
+//! [`note_busy_quanta`]: FrequencyController::note_busy_quanta
+//! [`busy_quanta_capacity`]: FrequencyController::busy_quanta_capacity
 
 use crate::daemon::NodeReport;
 use crate::driver::CuttlefishDriver;
@@ -134,26 +160,92 @@ pub trait FrequencyController {
     fn note_idle_quanta(&mut self, quanta: u64) {
         let _ = quanta;
     }
+
+    /// How many consecutive *busy* quanta, starting at `proc`'s
+    /// current virtual time, this controller can be fast-forwarded
+    /// across: its `on_quantum` over that stretch would neither touch
+    /// the machine nor change any state beyond what
+    /// [`note_busy_quanta`](Self::note_busy_quanta) replays.
+    ///
+    /// `horizon_quanta` is the engine's conservative bound on quanta
+    /// provably free of workload interactions — no chunk completion,
+    /// chunk pull, or phase change (see
+    /// `SimProcessor::busy_runway_quanta`) — within which per-quantum
+    /// telemetry can only drift at floating-point ULP scale.
+    /// Controllers whose no-op proof rests on telemetry staying inside
+    /// a band (fixed-point governors like [`DefaultGovernor`] and
+    /// [`Ondemand`]) must return at most `horizon_quanta`; controllers
+    /// whose proof is schedule- or state-based ([`Pinned`] forever,
+    /// [`CuttlefishDriver`]/[`Oracle`] up to the next tick) may exceed
+    /// it, because [`SimProcessor::advance_busy_quanta`] replays
+    /// workload interactions exactly and only the controller is
+    /// skipped.
+    ///
+    /// A capacity of 0 (the default) always degrades to real stepping
+    /// and is always correct. [`PidUncore`] returns 0 *by design*: a
+    /// per-quantum PID has no busy fixed point — while traffic is
+    /// nonzero it folds a fresh error into its integral and derivative
+    /// state every quantum and may move the uncore on any of them — so
+    /// it legitimately cannot fast-forward while busy.
+    fn busy_quanta_capacity(&self, proc: &SimProcessor, horizon_quanta: u64) -> u64 {
+        let _ = (proc, horizon_quanta);
+        0
+    }
+
+    /// Account a stretch of `quanta` busy quanta the engine
+    /// fast-forwarded past this controller. Only ever called with
+    /// `quanta <=` the preceding
+    /// [`busy_quanta_capacity`](Self::busy_quanta_capacity) answer,
+    /// immediately after the corresponding
+    /// [`SimProcessor::advance_busy_quanta`] returned `quanta`, so
+    /// [`SimProcessor::busy_advance_stats`] exposes the per-quantum
+    /// telemetry of exactly this stretch; implementations replay
+    /// whatever per-quantum bookkeeping their `on_quantum` would have
+    /// done (bit-identically — see
+    /// [`DefaultGovernor::skip_busy_quanta`] folding its traffic EWMA
+    /// over those stats), and nothing else.
+    fn note_busy_quanta(&mut self, quanta: u64, proc: &SimProcessor) {
+        let _ = (quanta, proc);
+    }
 }
 
-/// Run `wl` to completion under `ctrl`, fast-forwarding any stretch
-/// where every core is parked and both the workload
-/// ([`simproc::engine::Workload::next_wake_ns`]) and the controller
-/// ([`FrequencyController::idle_quanta_capacity`]) declare the quanta
-/// uneventful. Numerically identical to the plain
-/// step-then-`on_quantum` loop — the fast path performs the same
-/// arithmetic analytically (see `SimProcessor::advance_idle`) — and
-/// degrades to exactly that loop when either party declines. Returns
-/// the virtual seconds elapsed.
+/// Run `wl` to completion under `ctrl`, fast-forwarding every stretch
+/// the workload ([`simproc::engine::Workload::next_wake_ns`], chunk
+/// completion times) and the controller
+/// ([`idle_quanta_capacity`](FrequencyController::idle_quanta_capacity),
+/// [`busy_quanta_capacity`](FrequencyController::busy_quanta_capacity))
+/// jointly declare uneventful — parked stretches through
+/// `SimProcessor::advance_idle_quanta`, busy steady-state stretches
+/// through `SimProcessor::advance_busy_quanta`. Numerically identical
+/// to the plain step-then-`on_quantum` loop — both fast paths perform
+/// the same arithmetic — and degrades to exactly that loop when either
+/// party declines. Returns the virtual seconds elapsed.
 pub fn drive(
     proc: &mut SimProcessor,
     wl: &mut dyn simproc::engine::Workload,
     ctrl: &mut dyn FrequencyController,
 ) -> f64 {
     let start = proc.now_ns();
-    while !proc.workload_drained(wl) {
+    drive_quanta(proc, wl, ctrl, u64::MAX);
+    (proc.now_ns() - start) as f64 * 1e-9
+}
+
+/// Advance up to `budget` quanta of the event-driven loop [`drive`]
+/// runs, stopping early when the workload drains. Returns the quanta
+/// actually elapsed (stepped + fast-forwarded). This is the building
+/// block for callers that must pause on a wall-clock-independent
+/// schedule — trace capture points, duration caps, BSP supersteps —
+/// without giving up the fast paths in between.
+pub fn drive_quanta(
+    proc: &mut SimProcessor,
+    wl: &mut dyn simproc::engine::Workload,
+    ctrl: &mut dyn FrequencyController,
+    budget: u64,
+) -> u64 {
+    let quantum = proc.spec().quantum_ns;
+    let mut left = budget;
+    while left > 0 && !proc.workload_drained(wl) {
         if proc.cores_parked() {
-            let quantum = proc.spec().quantum_ns;
             // How far the workload lets the clock jump; `None` (never
             // wakes again) cannot occur for an undrained workload that
             // terminates, so treat it as one quantum and keep polling.
@@ -162,18 +254,41 @@ pub fn drive(
                 None => 1,
             };
             if runway > 1 {
-                let k = (runway - 1).min(ctrl.idle_quanta_capacity(proc));
+                let k = (runway - 1).min(ctrl.idle_quanta_capacity(proc)).min(left);
                 if k > 0 {
                     proc.advance_idle_quanta(k);
                     ctrl.note_idle_quanta(k);
+                    left -= k;
+                    continue;
+                }
+            }
+        } else {
+            // Busy: the engine's event bound is the provably
+            // interaction-free runway; one quantum before it is the
+            // horizon telemetry-driven capacities must respect.
+            // Schedule-proven controllers (Pinned, tick-bounded) may
+            // answer beyond it — the busy advance replays workload
+            // interactions exactly — so the capacity is *not* clamped
+            // to the horizon here, only to the budget.
+            let horizon = match proc.next_event_ns(wl) {
+                Some(event) => ((event - proc.now_ns()) / quantum).saturating_sub(1),
+                None => 0,
+            };
+            let k = ctrl.busy_quanta_capacity(proc, horizon).min(left);
+            if k > 0 {
+                let done = proc.advance_busy_quanta(wl, k);
+                if done > 0 {
+                    ctrl.note_busy_quanta(done, proc);
+                    left -= done;
                     continue;
                 }
             }
         }
         proc.step(wl);
         ctrl.on_quantum(proc);
+        left -= 1;
     }
-    (proc.now_ns() - start) as f64 * 1e-9
+    budget - left
 }
 
 /// One synthetic whole-run range for controllers that do not profile
@@ -228,6 +343,24 @@ impl FrequencyController for DefaultGovernor {
     fn note_idle_quanta(&mut self, quanta: u64) {
         self.skip_idle_quanta(quanta);
     }
+
+    fn busy_quanta_capacity(&self, proc: &SimProcessor, horizon_quanta: u64) -> u64 {
+        // Telemetry-driven: only from a saturated fixed point of the
+        // traffic ramp (both EWMA and instantaneous signal clear of the
+        // band edges, knobs already at the targets, overload settled),
+        // and only within the engine's interaction-free horizon where
+        // telemetry drift is bounded to ULP scale.
+        if self.is_busy_stable(proc) {
+            horizon_quanta
+        } else {
+            0
+        }
+    }
+
+    fn note_busy_quanta(&mut self, quanta: u64, proc: &SimProcessor) {
+        debug_assert_eq!(proc.busy_advance_stats().len() as u64, quanta);
+        self.skip_busy_quanta(proc);
+    }
 }
 
 impl FrequencyController for CuttlefishDriver {
@@ -259,6 +392,16 @@ impl FrequencyController for CuttlefishDriver {
     }
     // note_idle_quanta: nothing to replay — the driver's schedule is
     // anchored to the engine's virtual clock, not to call counts.
+
+    fn busy_quanta_capacity(&self, proc: &SimProcessor, _horizon_quanta: u64) -> u64 {
+        // Same bound as idle: between ticks `on_quantum` is a pure
+        // clock comparison, independent of what executes, and the busy
+        // advance replays workload interactions exactly — so the
+        // engine's telemetry horizon is irrelevant and the tick
+        // schedule alone bounds the stretch.
+        CuttlefishDriver::busy_quanta_capacity(self, proc)
+    }
+    // note_busy_quanta: nothing to replay either, for the same reason.
 }
 
 /// A controller that pins both domains at a fixed operating point —
@@ -318,6 +461,17 @@ impl FrequencyController for Pinned {
     }
 
     fn note_idle_quanta(&mut self, quanta: u64) {
+        self.quanta += quanta;
+    }
+
+    fn busy_quanta_capacity(&self, proc: &SimProcessor, _horizon_quanta: u64) -> u64 {
+        // Same proof as idle, and it holds regardless of what executes:
+        // re-asserting an already-applied pin is a no-op whatever the
+        // telemetry says, so the engine's horizon does not bound us.
+        self.idle_quanta_capacity(proc)
+    }
+
+    fn note_busy_quanta(&mut self, quanta: u64, _proc: &SimProcessor) {
         self.quanta += quanta;
     }
 }
@@ -391,6 +545,43 @@ impl Ondemand {
             && proc.core_freq() == cf
             && proc.uncore_freq() == uf
     }
+
+    /// Whether the `.ceil()` inside [`targets`](Self::targets) is
+    /// immune to the ULP-scale signal drift of a busy fast-forwarded
+    /// stretch: the raw proportional value must sit clearly between
+    /// two integers, so a last-bit wobble of the signal cannot move
+    /// the quantized target. A signal of exactly 0 is drift-free
+    /// (telemetry sums of exact zeros stay exact zeros); clamping
+    /// boundaries need no special case because the clamped value feeds
+    /// the same interior check.
+    fn ceil_stable(margin: f64, signal: f64, max: Freq) -> bool {
+        const EPS: f64 = 1e-6;
+        let s = signal.clamp(0.0, 1.0);
+        if s == 0.0 {
+            return true;
+        }
+        let f = (margin * s * f64::from(max.0)).fract();
+        f > EPS && f < 1.0 - EPS
+    }
+
+    /// True at the governor's *busy* fixed point: both domains already
+    /// sit on their (rate-limit-free) targets for the last quantum's
+    /// telemetry, each target is [`ceil_stable`](Self::ceil_stable)
+    /// against ULP drift, and the engine's overload relaxation has
+    /// settled — so every further `on_quantum` inside an
+    /// interaction-free stretch re-writes the same frequencies.
+    fn is_busy_stable(&self, proc: &SimProcessor) -> bool {
+        if !proc.overload_settled() {
+            return false;
+        }
+        let stats = proc.last_quantum();
+        let traffic = stats.achieved_bw / proc.perf_model().dram_peak_bw;
+        let (cf_t, uf_t) = self.targets(proc, stats.mean_util, traffic);
+        proc.core_freq() == cf_t
+            && proc.uncore_freq() == uf_t
+            && Self::ceil_stable(self.margin, stats.mean_util, proc.spec().core.max())
+            && Self::ceil_stable(self.margin, traffic, proc.spec().uncore.max())
+    }
 }
 
 impl FrequencyController for Ondemand {
@@ -426,6 +617,21 @@ impl FrequencyController for Ondemand {
     }
 
     fn note_idle_quanta(&mut self, quanta: u64) {
+        self.quanta += quanta;
+    }
+
+    fn busy_quanta_capacity(&self, proc: &SimProcessor, horizon_quanta: u64) -> u64 {
+        // Telemetry-driven: only from the step-limited fixed point
+        // (targets already reached and ceil-stable against drift), and
+        // only within the engine's interaction-free horizon.
+        if self.is_busy_stable(proc) {
+            horizon_quanta
+        } else {
+            0
+        }
+    }
+
+    fn note_busy_quanta(&mut self, quanta: u64, _proc: &SimProcessor) {
         self.quanta += quanta;
     }
 }
@@ -930,6 +1136,15 @@ impl FrequencyController for Oracle {
     }
     // note_idle_quanta: nothing to replay — the tick schedule is
     // anchored to the engine's virtual clock, not to call counts.
+
+    fn busy_quanta_capacity(&self, proc: &SimProcessor, _horizon_quanta: u64) -> u64 {
+        // Same bound as idle: between ticks on_quantum is a pure clock
+        // comparison whatever the machine is doing, and the busy
+        // advance replays workload interactions exactly, so the
+        // engine's telemetry horizon is irrelevant here.
+        self.idle_quanta_capacity(proc)
+    }
+    // note_busy_quanta: nothing to replay either, for the same reason.
 }
 
 /// Gains and setpoint of the [`PidUncore`] feedback loop.
@@ -1153,6 +1368,18 @@ impl FrequencyController for PidUncore {
         // exactly on the floor); only the quanta count advances. The
         // core driver's schedule is clock-anchored — nothing to replay.
         self.quanta += quanta;
+    }
+
+    fn busy_quanta_capacity(&self, _proc: &SimProcessor, _horizon_quanta: u64) -> u64 {
+        // 0 by design, not by omission: a per-quantum PID has no busy
+        // fixed point. While traffic is nonzero every quantum folds a
+        // fresh error into the integral (and derivative) state and the
+        // continuous `level` may cross a rounding boundary on any of
+        // them — there is nothing a capacity could certify as a no-op,
+        // so the loop legitimately cannot fast-forward while busy and
+        // always steps for real. (Idle is different: the anti-windup
+        // clamp makes the parked state absorbing.)
+        0
     }
 }
 
@@ -1423,6 +1650,89 @@ mod tests {
         assert_eq!(ctrl.quanta, c2.quanta);
     }
 
+    #[test]
+    fn ondemand_busy_fast_forward_matches_stepping() {
+        // Compute-bound stream: zero traffic (exactly, every quantum)
+        // and overload exactly 1.0, so the busy fixed point is
+        // drift-free once the rate limit has walked both domains onto
+        // their targets.
+        let compute = Chunk::new(1_000_000, 0, 0).with_profile(CostProfile::new(1.0, 6.0));
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut ctrl = Ondemand::new();
+        let mut wl = Steady(compute);
+        proc.step(&mut wl);
+        FrequencyController::on_quantum(&mut ctrl, &mut proc);
+        // One quantum in, the uncore is still ramping down: no capacity.
+        assert_eq!(ctrl.busy_quanta_capacity(&proc, 1_000), 0);
+        for _ in 0..400 {
+            proc.step(&mut wl);
+            FrequencyController::on_quantum(&mut ctrl, &mut proc);
+        }
+        // At the fixed point the capacity is exactly the offered
+        // horizon — telemetry-driven governors must not exceed it.
+        assert_eq!(ctrl.busy_quanta_capacity(&proc, 123), 123);
+        let mut p2 = proc.clone();
+        let mut c2 = ctrl.clone();
+        let mut wl2 = Steady(Chunk::new(1_000_000, 0, 0).with_profile(CostProfile::new(1.0, 6.0)));
+        for _ in 0..37 {
+            proc.step(&mut wl);
+            FrequencyController::on_quantum(&mut ctrl, &mut proc);
+        }
+        assert_eq!(p2.advance_busy_quanta(&mut wl2, 37), 37);
+        c2.note_busy_quanta(37, &p2);
+        assert_eq!(proc.core_freq(), p2.core_freq());
+        assert_eq!(proc.uncore_freq(), p2.uncore_freq());
+        assert_eq!(
+            proc.total_energy_joules().to_bits(),
+            p2.total_energy_joules().to_bits()
+        );
+        assert_eq!(
+            proc.total_instructions().to_bits(),
+            p2.total_instructions().to_bits()
+        );
+        assert_eq!(ctrl.quanta, c2.quanta);
+    }
+
+    #[test]
+    fn drive_quanta_fast_forwards_busy_stretches_under_pinned() {
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut ctrl = NodePolicy::Pinned {
+            cf: Freq(15),
+            uf: Freq(20),
+        }
+        .build(&mut proc);
+        let mut wl = Steady(memory_chunk());
+        let done = drive_quanta(&mut proc, &mut wl, ctrl.as_mut(), 500);
+        assert_eq!(done, 500, "a non-draining workload consumes the budget");
+        assert_eq!(proc.total_quanta(), 500);
+        assert!(
+            proc.busy_advanced_quanta() >= 490,
+            "the applied pin must fast-forward nearly everything, stepped {}",
+            proc.stepped_quanta()
+        );
+        // The report's quanta count survives the fast path.
+        assert_eq!(ctrl.report()[0].occurrences, 500);
+        assert_eq!(proc.core_freq(), Freq(15));
+        assert_eq!(proc.uncore_freq(), Freq(20));
+    }
+
+    #[test]
+    fn pid_uncore_never_grants_busy_capacity() {
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut ctrl = NodePolicy::PidUncore {
+            config: Config::default(),
+            gains: PidGains::default(),
+        }
+        .build(&mut proc);
+        let mut wl = Steady(memory_chunk());
+        for _ in 0..200 {
+            proc.step(&mut wl);
+            ctrl.on_quantum(&mut proc);
+        }
+        // By design: a per-quantum PID cannot fast-forward while busy.
+        assert_eq!(ctrl.busy_quanta_capacity(&proc, u64::MAX), 0);
+    }
+
     /// The Table 2 memory-bound operating point (driver tests pin the
     /// same ranges on the same chunks).
     fn memory_table() -> OracleTable {
@@ -1520,6 +1830,9 @@ mod tests {
         // Epoch anchored one quantum back; 20 ms tick = 20 quanta, so
         // 18 whole quanta may pass before the tick must run for real.
         assert_eq!(ctrl.idle_quanta_capacity(&proc), 18);
+        // The busy bound is the same tick schedule — the horizon
+        // argument is irrelevant for a clock-scheduled controller.
+        assert_eq!(ctrl.busy_quanta_capacity(&proc, 3), 18);
     }
 
     /// `from_trace` must rediscover Table 2's settling points — the

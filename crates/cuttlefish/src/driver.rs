@@ -183,6 +183,19 @@ impl CuttlefishDriver {
         (self.next_tick_ns - now_ns) / self.quantum_ns - 1
     }
 
+    /// Busy twin of [`idle_quanta_capacity`]: the bound is the same —
+    /// everything up to (but excluding) the quantum that crosses the
+    /// next scheduled `Tinv` tick — because between ticks
+    /// [`on_quantum`] is a pure clock comparison *regardless of what
+    /// the machine executes*; the telemetry it will eventually snapshot
+    /// at the tick accumulates inside the engine either way.
+    ///
+    /// [`idle_quanta_capacity`]: Self::idle_quanta_capacity
+    /// [`on_quantum`]: Self::on_quantum
+    pub fn busy_quanta_capacity(&self, proc: &SimProcessor) -> u64 {
+        self.idle_quanta_capacity(proc)
+    }
+
     /// `cuttlefish::stop()`: restore the MSR state captured at session
     /// open (frequencies return to the pre-Cuttlefish settings).
     pub fn stop(&mut self, proc: &mut SimProcessor) {

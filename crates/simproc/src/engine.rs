@@ -26,12 +26,15 @@
 //! expose the virtual clock as an event timeline:
 //!
 //! * [`SimProcessor::next_event_ns`] reports the earliest future
-//!   instant at which stepping can do real work: the next quantum
-//!   boundary while any core holds an in-flight chunk (chunk
-//!   completions are only observable at boundaries), the workload's
-//!   announced wake time ([`Workload::next_wake_ns`]) rounded up to the
-//!   quantum grid while every core is parked, or `None` when the
-//!   workload will never produce work again.
+//!   instant at which an *event* may occur: the start of the quantum
+//!   that can contain the earliest chunk completion while every core
+//!   is busy (completion time is computable from the current rate —
+//!   see [`SimProcessor::busy_runway_quanta`]), the next quantum
+//!   boundary while busy and parked cores coexist (a parked core may
+//!   be handed work at any quantum), the workload's announced wake
+//!   time ([`Workload::next_wake_ns`]) rounded up to the quantum grid
+//!   while every core is parked, or `None` when the workload will
+//!   never produce work again.
 //! * [`SimProcessor::advance_idle`] / [`advance_idle_quanta`]
 //!   fast-forward a fully-parked machine across a homogeneous idle
 //!   stretch. The advance is *not* an approximation: it performs the
@@ -45,13 +48,40 @@
 //!   RAPL counts, `(cf, uf)` residency, and `time_ns` are bit-identical
 //!   to stepping the same quanta one by one (enforced by
 //!   `tests/event_clock.rs`).
+//! * [`SimProcessor::advance_busy`] / [`advance_busy_quanta`]
+//!   fast-forward a *busy* stretch: a per-quantum replay of the exact
+//!   `step` execution body (shared code, so bit-identity holds by
+//!   construction — same chunk slicing, same `next_chunk` call order,
+//!   same repeated RAPL additions, same overload updates) with the
+//!   loop-invariant work hoisted out: pending frequency-control
+//!   application, the uncore-derived miss-latency/bandwidth terms, and
+//!   residency bookkeeping.
+//!
+//! ## Busy-stretch validity
+//!
+//! A busy advance is always *numerically* safe — chunk boundaries,
+//! phase changes, and mid-stretch parking are absorbed by the replay,
+//! which also ends the stretch early once every core parks. What it
+//! skips is the *controller*: no `on_quantum` runs inside the stretch.
+//! A caller may therefore only request as many quanta as the attached
+//! controller certifies its per-quantum action to be a no-op for
+//! (clock-scheduled controllers between ticks, pinned or fixed-point
+//! governors indefinitely); the conservative
+//! [`SimProcessor::busy_runway_quanta`] bound tells telemetry-driven
+//! governors how long the inputs to their decisions provably cannot
+//! change. The per-quantum telemetry of the stretch is recorded in
+//! [`SimProcessor::busy_advance_stats`] so such governors can replay
+//! their internal state afterwards. See
+//! `cuttlefish::controller::FrequencyController` for the capacity
+//! contract.
 //!
 //! Callers that drive a frequency controller (the Cuttlefish daemon's
-//! `Tinv` tick, the cluster barrier loops) interleave `advance_idle`
+//! `Tinv` tick, the cluster barrier loops) interleave the advances
 //! with the controller's own scheduled events; see
 //! `cuttlefish::controller` for the coupling.
 //!
 //! [`advance_idle_quanta`]: SimProcessor::advance_idle_quanta
+//! [`advance_busy_quanta`]: SimProcessor::advance_busy_quanta
 
 use crate::freq::{Freq, MachineSpec};
 use crate::msr::{MsrError, MsrFile};
@@ -182,13 +212,20 @@ pub struct SimProcessor {
     /// Quanta executed by individual [`SimProcessor::step`] calls.
     stepped_quanta: u64,
     /// Quanta absorbed analytically by [`SimProcessor::advance_idle`].
-    skipped_quanta: u64,
+    idle_advanced_quanta: u64,
+    /// Quanta absorbed analytically by [`SimProcessor::advance_busy`].
+    busy_advanced_quanta: u64,
     /// Rotates which core is served first each quantum so no core gets a
     /// systematic head start at pulling work.
     rotate: usize,
     /// Virtual nanoseconds spent at each (core, uncore) ratio pair —
     /// the residency profile exploration-cost analyses read.
     residency: std::collections::BTreeMap<(u32, u32), u64>,
+    /// Per-quantum telemetry recorded during the most recent
+    /// [`SimProcessor::advance_busy_quanta`] call (a reused buffer), so
+    /// telemetry-folding controllers can replay their per-quantum state
+    /// afterwards without the engine calling them back mid-stretch.
+    advance_stats: Vec<QuantumStats>,
 }
 
 impl SimProcessor {
@@ -218,9 +255,11 @@ impl SimProcessor {
             overload: 1.0,
             last_stats: QuantumStats::default(),
             stepped_quanta: 0,
-            skipped_quanta: 0,
+            idle_advanced_quanta: 0,
+            busy_advanced_quanta: 0,
             rotate: 0,
             residency: std::collections::BTreeMap::new(),
+            advance_stats: Vec::new(),
         }
     }
 
@@ -290,6 +329,30 @@ impl SimProcessor {
         self.stepped_quanta
     }
 
+    /// Quanta absorbed analytically by the idle fast-forward
+    /// ([`advance_idle`](Self::advance_idle) /
+    /// [`advance_idle_quanta`](Self::advance_idle_quanta)).
+    pub fn idle_advanced_quanta(&self) -> u64 {
+        self.idle_advanced_quanta
+    }
+
+    /// Quanta absorbed analytically by the busy fast-forward
+    /// ([`advance_busy`](Self::advance_busy) /
+    /// [`advance_busy_quanta`](Self::advance_busy_quanta)).
+    pub fn busy_advanced_quanta(&self) -> u64 {
+        self.busy_advanced_quanta
+    }
+
+    /// Per-quantum telemetry recorded by the most recent
+    /// [`advance_busy_quanta`](Self::advance_busy_quanta) call, in
+    /// execution order — one entry per absorbed quantum. Controllers
+    /// that fold telemetry every quantum (the Default governor's
+    /// traffic EWMA) replay their state from this record to stay
+    /// bit-identical with quantum-by-quantum stepping.
+    pub fn busy_advance_stats(&self) -> &[QuantumStats] {
+        &self.advance_stats
+    }
+
     /// Total quanta of virtual time elapsed (stepped + fast-forwarded).
     /// The ratio against [`stepped_quanta`](Self::stepped_quanta) is the
     /// stepping-work reduction the virtual-clock layer achieved.
@@ -300,6 +363,17 @@ impl SimProcessor {
     /// True when no core holds an in-flight chunk.
     pub fn cores_parked(&self) -> bool {
         self.cores.iter().all(|c| c.current.is_none())
+    }
+
+    /// True when the bandwidth-overload fixed point has settled
+    /// bitwise: the factor the next quantum will apply equals the
+    /// factor the last executed quantum applied. While a steady busy
+    /// stretch holds this, per-quantum telemetry can only drift at
+    /// floating-point ULP scale — the condition telemetry-driven
+    /// governors fold into their busy fixed-point checks before
+    /// granting busy fast-forward capacity.
+    pub fn overload_settled(&self) -> bool {
+        self.overload.max(1.0).to_bits() == self.last_stats.overload.to_bits()
     }
 
     /// Direct frequency setters (equivalent to the MSR writes; also used
@@ -389,10 +463,31 @@ impl SimProcessor {
     pub fn step(&mut self, wl: &mut dyn Workload) {
         self.stepped_quanta += 1;
         self.apply_frequency_controls();
+        let cap = self.perf.bandwidth_cap(self.uf);
+        let t_miss_local = self.perf.t_miss_local(self.uf);
+        let t_miss_remote = self.perf.t_miss_remote(self.uf);
+        self.execute_quantum(wl, cap, t_miss_local, t_miss_remote);
+        *self.residency.entry((self.cf.0, self.uf.0)).or_insert(0) += self.spec.quantum_ns;
+    }
 
+    /// One quantum of core execution, power accounting, and telemetry —
+    /// the shared body of [`step`](Self::step) and
+    /// [`advance_busy_quanta`](Self::advance_busy_quanta), so the two
+    /// paths are bit-identical by construction. The uncore-derived
+    /// terms (`cap` and the miss latencies) are parameters so a busy
+    /// stretch can hoist them; callers must pass the values derived
+    /// from the currently-applied `uf`. Residency and the path counters
+    /// are the callers' responsibility (both are exact integer updates,
+    /// so hoisting them cannot change any floating-point result).
+    fn execute_quantum(
+        &mut self,
+        wl: &mut dyn Workload,
+        cap: f64,
+        t_miss_local: f64,
+        t_miss_remote: f64,
+    ) {
         let quantum_s = self.spec.quantum_ns as f64 * 1e-9;
         let n = self.spec.n_cores;
-        let cap = self.perf.bandwidth_cap(self.uf);
         let overload = self.overload.max(1.0);
 
         let mut total_instr = 0.0;
@@ -431,8 +526,7 @@ impl SimProcessor {
                 };
 
                 let compute = rc.remaining_instr * rc.profile.cpi / cf_eff_hz;
-                let stall_lat = (rc.remaining_ml * self.perf.t_miss_local(self.uf)
-                    + rc.remaining_mr * self.perf.t_miss_remote(self.uf))
+                let stall_lat = (rc.remaining_ml * t_miss_local + rc.remaining_mr * t_miss_remote)
                     / rc.profile.mlp;
                 let total = compute + stall_lat * overload;
 
@@ -497,7 +591,6 @@ impl SimProcessor {
         let watts = self.power.package_watts(self.cf, self.uf, sum_eff, traffic);
         self.msr.add_energy(watts * quantum_s);
 
-        *self.residency.entry((self.cf.0, self.uf.0)).or_insert(0) += self.spec.quantum_ns;
         self.last_stats = QuantumStats {
             power_watts: watts,
             achieved_bw,
@@ -578,7 +671,7 @@ impl SimProcessor {
             .expect("idle advance overflows the virtual clock");
         *self.residency.entry((self.cf.0, self.uf.0)).or_insert(0) += advanced_ns;
         self.time_ns += advanced_ns;
-        self.skipped_quanta += quanta;
+        self.idle_advanced_quanta += quanta;
     }
 
     /// Fast-forward an idle machine to at least `until_ns`, in whole
@@ -590,17 +683,109 @@ impl SimProcessor {
         self.advance_idle_quanta(gap.div_ceil(self.spec.quantum_ns));
     }
 
-    /// The earliest future virtual instant at which stepping can do
-    /// real work: the next quantum boundary while any core holds an
-    /// in-flight chunk (chunk completions only become observable at
-    /// boundaries), the workload's announced wake rounded up to the
-    /// quantum grid while all cores are parked, or `None` when the
-    /// workload will never produce work again (pure idling — only an
-    /// external deadline such as a cluster barrier bounds the advance).
+    /// Fast-forward up to `quanta` *busy* quanta analytically,
+    /// returning how many were absorbed.
+    ///
+    /// Equivalent — bit for bit, including floating-point accumulation
+    /// order — to calling [`step`](Self::step) the same number of
+    /// times with no controller action in between: the per-quantum
+    /// execution body is literally shared (`execute_quantum`), so the
+    /// chunk slicing, the [`Workload::next_chunk`] call order, the MSR
+    /// accumulator additions, the repeated per-quantum RAPL energy
+    /// additions, and the overload fixed-point updates are identical.
+    /// What the stretch hoists out of the per-quantum path is only
+    /// state no controller-free stretch can change: the pending
+    /// frequency-control application (applied once up front; repeated
+    /// application is idempotent), the uncore-derived miss-latency and
+    /// bandwidth-cap terms, and the residency bookkeeping (exact
+    /// integer additions, accumulated in closed form at the end).
+    ///
+    /// Chunk completions, workload phase changes, and mid-stretch
+    /// parking are *absorbed* soundly rather than forbidden — the
+    /// replay simply reproduces them. The stretch ends early
+    /// (returning the executed count) as soon as every core parks,
+    /// because the idle fast-forward handles what follows far more
+    /// cheaply; it returns 0 immediately when the machine is already
+    /// parked.
+    ///
+    /// What this method deliberately does **not** replay is the
+    /// frequency controller. Callers must only request a stretch
+    /// across which the controller's per-quantum action is provably a
+    /// no-op — see the busy-capacity contract on
+    /// `cuttlefish::controller::FrequencyController`. The telemetry of
+    /// every absorbed quantum is recorded in
+    /// [`busy_advance_stats`](Self::busy_advance_stats) so controllers
+    /// can replay EWMA-style internal state afterwards.
+    pub fn advance_busy_quanta(&mut self, wl: &mut dyn Workload, quanta: u64) -> u64 {
+        self.advance_stats.clear();
+        if quanta == 0 || self.cores_parked() {
+            return 0;
+        }
+        self.apply_frequency_controls();
+
+        // Loop invariants: no frequency write can land mid-stretch, so
+        // the uncore-derived latency and bandwidth terms are constant.
+        let cap = self.perf.bandwidth_cap(self.uf);
+        let t_miss_local = self.perf.t_miss_local(self.uf);
+        let t_miss_remote = self.perf.t_miss_remote(self.uf);
+
+        let mut executed = 0u64;
+        while executed < quanta {
+            if self.cores_parked() {
+                break;
+            }
+            self.execute_quantum(wl, cap, t_miss_local, t_miss_remote);
+            self.advance_stats.push(self.last_stats);
+            executed += 1;
+        }
+
+        let advanced_ns = self
+            .spec
+            .quantum_ns
+            .checked_mul(executed)
+            .expect("busy advance overflows the virtual clock");
+        *self.residency.entry((self.cf.0, self.uf.0)).or_insert(0) += advanced_ns;
+        self.busy_advanced_quanta += executed;
+        executed
+    }
+
+    /// Fast-forward a busy machine to at least `until_ns`, in whole
+    /// quanta (the clock overshoots to the next boundary exactly as a
+    /// per-quantum stepping loop would), stopping early if every core
+    /// parks. Returns the quanta absorbed; no-op when `until_ns` is in
+    /// the past.
+    pub fn advance_busy(&mut self, wl: &mut dyn Workload, until_ns: u64) -> u64 {
+        let gap = until_ns.saturating_sub(self.time_ns);
+        self.advance_busy_quanta(wl, gap.div_ceil(self.spec.quantum_ns))
+    }
+
+    /// The earliest future virtual instant at which an *event* — a
+    /// workload interaction or a state change a controller could react
+    /// to differently — may occur:
+    ///
+    /// * every core busy: the start of the quantum in which the
+    ///   earliest chunk completion can fall (computable from the
+    ///   current rate; see [`busy_runway_quanta`](Self::busy_runway_quanta)) —
+    ///   all quanta strictly before it are provably free of
+    ///   [`Workload::next_chunk`] calls;
+    /// * some cores busy, some parked: the next quantum boundary (a
+    ///   parked core may be handed work at any quantum);
+    /// * all cores parked: the workload's announced wake rounded up to
+    ///   the quantum grid, or `None` when the workload will never
+    ///   produce work again (pure idling — only an external deadline
+    ///   such as a cluster barrier bounds the advance).
     pub fn next_event_ns(&self, wl: &dyn Workload) -> Option<u64> {
         let boundary = self.time_ns + self.spec.quantum_ns;
         if !self.cores_parked() {
-            return Some(boundary);
+            if self.cores.iter().any(|c| c.current.is_none()) {
+                return Some(boundary);
+            }
+            return Some(
+                self.time_ns.saturating_add(
+                    self.busy_runway_quanta()
+                        .saturating_mul(self.spec.quantum_ns),
+                ),
+            );
         }
         match wl.next_wake_ns(self.time_ns) {
             Some(t) if t <= self.time_ns => Some(boundary),
@@ -610,6 +795,35 @@ impl SimProcessor {
             }
             None => None,
         }
+    }
+
+    /// A conservative number of quanta until the earliest possible
+    /// chunk completion while **every** core is busy (always ≥ 1):
+    /// quanta strictly before the returned count are provably free of
+    /// [`Workload::next_chunk`] calls. The bound is sound because the
+    /// bandwidth overload factor only inflates stall time (it is
+    /// clamped ≥ 1) and no frequency or duty-cycle write can land
+    /// mid-stretch, so each core's remaining time evaluated at
+    /// overload 1 under the currently-applied frequencies lower-bounds
+    /// its true completion; taking `floor` (rather than `ceil`) of the
+    /// quantum count then absorbs the sub-quantum floating-point drift
+    /// the per-quantum slicing accumulates.
+    pub fn busy_runway_quanta(&self) -> u64 {
+        let mut earliest = f64::INFINITY;
+        for (core, st) in self.cores.iter().enumerate() {
+            let Some(rc) = st.current.as_ref() else {
+                return 1; // a parked core can be handed work any quantum
+            };
+            let duty = self.msr.duty_fraction(core);
+            let cf_eff_hz = self.cf.hz() * duty;
+            let compute = rc.remaining_instr * rc.profile.cpi / cf_eff_hz;
+            let stall = (rc.remaining_ml * self.perf.t_miss_local(self.uf)
+                + rc.remaining_mr * self.perf.t_miss_remote(self.uf))
+                / rc.profile.mlp;
+            earliest = earliest.min(compute + stall);
+        }
+        let quantum_s = self.spec.quantum_ns as f64 * 1e-9;
+        (earliest / quantum_s).floor().clamp(1.0, 1e18) as u64
     }
 
     /// Run `wl` to completion with an optional per-quantum controller
@@ -1011,10 +1225,28 @@ mod tests {
         // Default wake (may produce work at any time): next boundary.
         let idle_now = Uniform::new(p.n_cores(), 0, compute_chunk());
         assert_eq!(p.next_event_ns(&idle_now), Some(q));
-        // In-flight chunk: next boundary, regardless of the workload.
+        // Every core mid-chunk: the event is the conservative earliest
+        // chunk completion, at least one quantum out.
         let mut big = Uniform::new(p.n_cores(), 1, Chunk::new(1_000_000_000, 0, 0));
         p.step(&mut big);
-        assert_eq!(p.next_event_ns(&Never), Some(p.now_ns() + q));
+        let event = p.next_event_ns(&Never).unwrap();
+        assert_eq!(event, p.now_ns() + p.busy_runway_quanta() * q);
+        assert!(event > p.now_ns() + q, "a giant chunk runs many quanta");
+        // Mixed busy/parked cores: the next boundary (a parked core
+        // may be handed work at any quantum).
+        struct OnlyCoreZero(bool);
+        impl Workload for OnlyCoreZero {
+            fn next_chunk(&mut self, core: usize, _: u64) -> Option<Chunk> {
+                (core == 0 && std::mem::take(&mut self.0)).then(|| Chunk::new(1_000_000_000, 0, 0))
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let mut mixed = SimProcessor::new(HASWELL_2650V3.clone());
+        mixed.step(&mut OnlyCoreZero(true));
+        assert!(!mixed.cores_parked());
+        assert_eq!(mixed.next_event_ns(&Never), Some(mixed.now_ns() + q));
         // A future wake rounds up to the quantum grid.
         struct WakeAt(u64);
         impl Workload for WakeAt {
@@ -1034,17 +1266,169 @@ mod tests {
     }
 
     #[test]
-    fn stepping_counters_track_both_paths() {
+    fn stepping_counters_track_all_three_paths() {
         let mut p = SimProcessor::new(HASWELL_2650V3.clone());
-        let mut wl = Uniform::new(p.n_cores(), 3, compute_chunk());
+        let mut wl = Uniform::new(p.n_cores(), 30, compute_chunk());
+        p.step(&mut wl);
+        let stepped = p.stepped_quanta();
+        assert_eq!(p.total_quanta(), stepped);
+        let busy = p.advance_busy_quanta(&mut wl, 3);
+        assert_eq!(busy, 3);
+        assert_eq!(p.stepped_quanta(), stepped);
+        assert_eq!(p.busy_advanced_quanta(), 3);
+        assert_eq!(p.idle_advanced_quanta(), 0);
+        assert_eq!(p.total_quanta(), stepped + 3);
+        // Drain, then idle-advance.
         while !p.workload_drained(&wl) {
             p.step(&mut wl);
         }
         let stepped = p.stepped_quanta();
-        assert_eq!(p.total_quanta(), stepped);
+        let total = p.total_quanta();
         p.advance_idle_quanta(40);
         assert_eq!(p.stepped_quanta(), stepped);
-        assert_eq!(p.total_quanta(), stepped + 40);
+        assert_eq!(p.idle_advanced_quanta(), 40);
+        assert_eq!(p.busy_advanced_quanta(), 3);
+        assert_eq!(p.total_quanta(), total + 40);
+        assert_eq!(
+            p.total_quanta(),
+            p.stepped_quanta() + p.idle_advanced_quanta() + p.busy_advanced_quanta()
+        );
+    }
+
+    #[test]
+    fn advance_busy_is_bit_identical_to_busy_stepping() {
+        // Prime a non-trivial machine state (deep bandwidth overload,
+        // rotation offset, counter history), then run one copy by
+        // stepping and the other by a single analytic busy advance,
+        // against identically-seeded workloads.
+        for quanta in [1u64, 2, 3, 17, 400] {
+            // Two identical (processor, workload) pairs, primed
+            // identically so the chunk streams sit at the same point.
+            let prime = |p: &mut SimProcessor, wl: &mut Uniform| {
+                p.set_uncore_freq(Freq(12)); // deep overload regime
+                for _ in 0..5 {
+                    p.step(wl);
+                }
+            };
+            let mut stepped = SimProcessor::new(HASWELL_2650V3.clone());
+            let mut wl_s = Uniform::new(stepped.n_cores(), 10_000, memory_chunk());
+            prime(&mut stepped, &mut wl_s);
+            let mut jumped = SimProcessor::new(HASWELL_2650V3.clone());
+            let mut wl_j = Uniform::new(jumped.n_cores(), 10_000, memory_chunk());
+            prime(&mut jumped, &mut wl_j);
+
+            for _ in 0..quanta {
+                stepped.step(&mut wl_s);
+            }
+            let done = jumped.advance_busy_quanta(&mut wl_j, quanta);
+            assert_eq!(done, quanta, "saturated stream must absorb fully");
+            assert_eq!(jumped.busy_advance_stats().len(), quanta as usize);
+
+            assert_eq!(
+                stepped.total_energy_joules().to_bits(),
+                jumped.total_energy_joules().to_bits(),
+                "energy must round identically over {quanta} busy quanta"
+            );
+            assert_eq!(
+                stepped.total_instructions().to_bits(),
+                jumped.total_instructions().to_bits()
+            );
+            assert_eq!(stepped.now_ns(), jumped.now_ns());
+            assert_eq!(stepped.frequency_residency(), jumped.frequency_residency());
+            assert_eq!(
+                stepped.msr_read(crate::msr::MSR_PKG_ENERGY_STATUS).unwrap(),
+                jumped.msr_read(crate::msr::MSR_PKG_ENERGY_STATUS).unwrap()
+            );
+            for c in 0..stepped.n_cores() {
+                for addr in [
+                    crate::msr::IA32_FIXED_CTR0,
+                    crate::msr::IA32_APERF,
+                    crate::msr::IA32_MPERF,
+                ] {
+                    assert_eq!(
+                        stepped.msr_read_core(c, addr).unwrap(),
+                        jumped.msr_read_core(c, addr).unwrap(),
+                        "core {c} counter {addr:#x} after {quanta} quanta"
+                    );
+                }
+            }
+            let s = stepped.last_quantum();
+            let j = jumped.last_quantum();
+            assert_eq!(s.power_watts.to_bits(), j.power_watts.to_bits());
+            assert_eq!(s.overload.to_bits(), j.overload.to_bits());
+            assert_eq!(s.achieved_bw.to_bits(), j.achieved_bw.to_bits());
+            assert_eq!(s.instructions.to_bits(), j.instructions.to_bits());
+            // The recorded telemetry matches what stepping observed
+            // last, and continuing by stepping stays in lockstep.
+            let tail = *jumped.busy_advance_stats().last().unwrap();
+            assert_eq!(tail.power_watts.to_bits(), s.power_watts.to_bits());
+            stepped.step(&mut wl_s);
+            jumped.step(&mut wl_j);
+            assert_eq!(
+                stepped.total_energy_joules().to_bits(),
+                jumped.total_energy_joules().to_bits(),
+                "post-stretch busy quantum identical after {quanta} quanta"
+            );
+        }
+    }
+
+    #[test]
+    fn advance_busy_absorbs_boundaries_and_parks_early() {
+        // A finite workload: the advance must absorb the chunk
+        // completions (identical next_chunk order) and stop once every
+        // core parks, reporting fewer quanta than requested.
+        let mut stepped = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut wl_s = Uniform::new(stepped.n_cores(), 6, memory_chunk());
+        let mut jumped = stepped.clone();
+        let mut wl_j = Uniform::new(jumped.n_cores(), 6, memory_chunk());
+
+        stepped.step(&mut wl_s);
+        jumped.step(&mut wl_j);
+        while !stepped.cores_parked() {
+            stepped.step(&mut wl_s);
+        }
+        let done = jumped.advance_busy_quanta(&mut wl_j, 100_000);
+        assert!(done < 100_000, "drained workload must end the stretch");
+        assert_eq!(jumped.now_ns(), stepped.now_ns());
+        assert_eq!(
+            stepped.total_energy_joules().to_bits(),
+            jumped.total_energy_joules().to_bits()
+        );
+        assert_eq!(
+            stepped.total_instructions().to_bits(),
+            jumped.total_instructions().to_bits()
+        );
+        // Parked machine: busy advance is a no-op returning 0.
+        assert_eq!(jumped.advance_busy_quanta(&mut wl_j, 10), 0);
+    }
+
+    #[test]
+    fn busy_runway_bounds_the_first_workload_call() {
+        let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+        // One huge compute chunk per core: completion is far away.
+        let mut wl = Uniform::new(p.n_cores(), 1, Chunk::new(500_000_000, 0, 0));
+        p.step(&mut wl);
+        let runway = p.busy_runway_quanta();
+        assert!(
+            runway > 10,
+            "long chunk should yield a long runway, got {runway}"
+        );
+        let event = p.next_event_ns(&wl).unwrap();
+        assert_eq!(event, p.now_ns() + runway * p.spec().quantum_ns);
+        // Stepping strictly fewer quanta than the runway must make no
+        // workload calls (all cores stay mid-chunk).
+        struct Panicking;
+        impl Workload for Panicking {
+            fn next_chunk(&mut self, _: usize, _: u64) -> Option<Chunk> {
+                panic!("no workload call may occur inside the runway");
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        for _ in 0..runway - 1 {
+            p.step(&mut Panicking);
+        }
     }
 
     #[test]

@@ -100,6 +100,52 @@ impl DefaultGovernor {
             self.smoothed = self.alpha * 0.0 + (1.0 - self.alpha) * self.smoothed;
         }
     }
+
+    /// Safety margin, in traffic fraction of DRAM peak, kept from the
+    /// ramp-band edges by [`is_busy_stable`](Self::is_busy_stable).
+    /// Within a workload-call-free stretch whose overload factor has
+    /// settled, the traffic signal can only drift at floating-point
+    /// ULP scale, many orders of magnitude below this margin.
+    pub const BUSY_BAND_MARGIN: f64 = 0.02;
+
+    /// True when, on a busy machine, this governor's
+    /// [`on_quantum`](Self::on_quantum) has reached a *saturated* busy
+    /// fixed point: the bandwidth-overload factor has settled, both
+    /// the smoothed signal and the instantaneous traffic sit on the
+    /// same saturated side of the ramp (at most `ramp_start − margin`,
+    /// or at least `ramp_full + margin` — never in the interpolated
+    /// middle, where one ULP of drift could move the target), and both
+    /// domains already hold exactly the values `on_quantum` would
+    /// re-write. From this state, stepping through a stretch free of
+    /// workload calls leaves every per-quantum actuation a no-op; only
+    /// the EWMA state advances, which
+    /// [`skip_busy_quanta`](Self::skip_busy_quanta) replays.
+    pub fn is_busy_stable(&self, proc: &SimProcessor) -> bool {
+        let traffic = proc.last_quantum().achieved_bw / proc.perf_model().dram_peak_bw;
+        let below = |t: f64| t <= self.ramp_start - Self::BUSY_BAND_MARGIN;
+        let above = |t: f64| t >= self.ramp_full + Self::BUSY_BAND_MARGIN;
+        let saturated =
+            (below(self.smoothed) && below(traffic)) || (above(self.smoothed) && above(traffic));
+        proc.overload_settled()
+            && saturated
+            && proc.core_freq() == proc.spec().core.max()
+            && proc.uncore_freq() == self.uncore_target(proc, self.smoothed)
+    }
+
+    /// Replay the per-quantum EWMA updates of a completed busy
+    /// fast-forward, bit-identically to calling
+    /// [`on_quantum`](Self::on_quantum) after every absorbed quantum:
+    /// the traffic of each quantum was recorded by the engine
+    /// ([`SimProcessor::busy_advance_stats`]), and the frequency
+    /// re-writes those calls would perform are idempotent at the busy
+    /// fixed point.
+    pub fn skip_busy_quanta(&mut self, proc: &SimProcessor) {
+        let peak = proc.perf_model().dram_peak_bw;
+        for stats in proc.busy_advance_stats() {
+            let traffic = stats.achieved_bw / peak;
+            self.smoothed = self.alpha * traffic + (1.0 - self.alpha) * self.smoothed;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +244,45 @@ mod tests {
             p2.total_energy_joules().to_bits()
         );
         assert!(g2.is_idle_stable(&p2), "fixed point is absorbing");
+    }
+
+    #[test]
+    fn busy_skip_matches_stepwise_folding() {
+        // A steady light-traffic stream: overload sits at exactly 1.0,
+        // the smoothed signal settles far below the ramp, and the
+        // governor reaches its saturated (floor) busy fixed point.
+        let chunk = Chunk::new(1_000_000, 500, 100).with_profile(CostProfile::new(0.9, 4.0));
+        let mut p = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut g = DefaultGovernor::new();
+        let mut wl = Steady {
+            chunk: chunk.clone(),
+        };
+        for _ in 0..300 {
+            p.step(&mut wl);
+            g.on_quantum(&mut p);
+        }
+        assert!(g.is_busy_stable(&p), "steady stream must reach fixed point");
+
+        // From the fixed point: advancing + replaying must equal
+        // stepping + folding, bit for bit.
+        let mut p2 = p.clone();
+        let mut g2 = g.clone();
+        let mut wl2 = Steady { chunk };
+        for _ in 0..57 {
+            p.step(&mut wl);
+            g.on_quantum(&mut p);
+        }
+        let done = p2.advance_busy_quanta(&mut wl2, 57);
+        assert_eq!(done, 57);
+        g2.skip_busy_quanta(&p2);
+        assert_eq!(g.traffic().to_bits(), g2.traffic().to_bits());
+        assert_eq!(p.core_freq(), p2.core_freq());
+        assert_eq!(p.uncore_freq(), p2.uncore_freq());
+        assert_eq!(
+            p.total_energy_joules().to_bits(),
+            p2.total_energy_joules().to_bits()
+        );
+        assert!(g2.is_busy_stable(&p2), "fixed point is absorbing");
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! Property-style equivalence suite for the virtual-clock layer:
 //! event-driven stepping (fast-forwarding parked stretches through
-//! `advance_idle`) must produce *bit-identical* energy, instruction,
-//! residency, and clock state to the pure quantum loop, over seeded
-//! pseudo-random workload schedules.
+//! `advance_idle` and busy steady-state stretches through
+//! `advance_busy_quanta`) must produce *bit-identical* energy,
+//! instruction, residency, and clock state to the pure quantum loop,
+//! over seeded pseudo-random workload schedules.
 //!
 //! The schedules alternate busy windows (saturating chunk streams of
-//! seed-dependent cost) with idle gaps the workload announces through
-//! `next_wake_ns` — the shape of barrier waits and communication
-//! windows in the cluster layer, reproduced here against the engine
-//! alone.
+//! seed-dependent cost, some heavy enough to span many quanta — the
+//! busy fast-forward's territory) with idle gaps the workload
+//! announces through `next_wake_ns` — the shape of barrier waits and
+//! communication windows in the cluster layer, reproduced here against
+//! the engine alone.
 
 use simproc::engine::{Chunk, SimProcessor, Workload};
 use simproc::freq::{Freq, HASWELL_2650V3, HYPOTHETICAL7};
@@ -59,7 +61,15 @@ impl Bursty {
             } else {
                 (rng.range(0, 2_000), 0, CostProfile::new(0.9, 4.0))
             };
-            chunks.push(Chunk::new(rng.range(100_000, 2_000_000), ml, mr).with_profile(profile));
+            // A third of the chunks are heavy — hundreds of quanta of
+            // execution — so busy stretches long enough to fast-forward
+            // actually occur alongside the sub-quantum churn.
+            let instr = if rng.next().is_multiple_of(3) {
+                rng.range(40_000_000, 800_000_000)
+            } else {
+                rng.range(100_000, 2_000_000)
+            };
+            chunks.push(Chunk::new(instr, ml, mr).with_profile(profile));
         }
         Bursty { windows, chunks }
     }
@@ -127,9 +137,10 @@ fn run_stepped(p: &mut SimProcessor, wl: &mut Bursty, quanta: u64) {
     }
 }
 
-/// The event-driven loop: step through busy stretches, fast-forward
-/// parked stretches to the workload's announced wake (bounded by the
-/// run length).
+/// The event-driven loop: fast-forward parked stretches to the
+/// workload's announced wake and busy stretches through the engine's
+/// provably interaction-free runway (both bounded by the run length),
+/// stepping everything else.
 fn run_events(p: &mut SimProcessor, wl: &mut Bursty, quanta: u64) {
     let q = p.spec().quantum_ns;
     while p.total_quanta() < quanta {
@@ -148,6 +159,14 @@ fn run_events(p: &mut SimProcessor, wl: &mut Bursty, quanta: u64) {
                     p.advance_idle_quanta(left);
                     continue;
                 }
+            }
+        } else if let Some(event) = p.next_event_ns(wl) {
+            // With no controller attached there is nothing to consult:
+            // the engine's own event bound is the whole constraint.
+            let horizon = ((event - p.now_ns()) / q).saturating_sub(1);
+            let k = horizon.min(left);
+            if k > 0 && p.advance_busy_quanta(wl, k) > 0 {
+                continue;
             }
         }
         p.step(wl);
@@ -195,19 +214,26 @@ fn event_loop_is_bit_identical_to_quantum_loop() {
 
 #[test]
 fn event_loop_actually_skips_on_gapped_schedules() {
-    // Sanity against a vacuous pass: at least one seeded schedule must
-    // contain fast-forwardable gaps.
-    let mut skipped_any = false;
+    // Sanity against a vacuous pass: across the seeded schedules both
+    // fast paths must engage — idle gaps and heavy busy stretches.
+    let mut idle_advanced = 0u64;
+    let mut busy_advanced = 0u64;
     for seed in 1..=8u64 {
         let mut rng = Lcg(seed);
         let mut wl = Bursty::random(&mut rng, HASWELL_2650V3.quantum_ns, 12);
         let mut p = SimProcessor::new(HASWELL_2650V3.clone());
         run_events(&mut p, &mut wl, 1_500);
-        if p.stepped_quanta() < p.total_quanta() {
-            skipped_any = true;
-        }
+        idle_advanced += p.idle_advanced_quanta();
+        busy_advanced += p.busy_advanced_quanta();
     }
-    assert!(skipped_any, "no schedule exercised the fast path");
+    assert!(
+        idle_advanced > 0,
+        "no schedule exercised the idle fast path"
+    );
+    assert!(
+        busy_advanced > 0,
+        "no schedule exercised the busy fast path"
+    );
 }
 
 #[test]
