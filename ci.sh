@@ -115,10 +115,13 @@ stage "bench smoke: validate + aggregate"
 # 10x target: three of its cells run the per-quantum PID uncore
 # governor, which by the controller contract can never grant busy
 # capacity (no closed-form fixed point), so the grid-level ratio is
-# structurally bounded near 2.5x at smoke scale.
+# structurally bounded near 2.5x at smoke scale. residency carries the
+# 256-node fleet cell, whose barrier/exchange-dominated timelines the
+# event scheduler must keep fast-forwarding (PR 7's floor).
 cargo run --release -q -p bench "$LOCKED" --bin grid_aggregate -- \
   --out "$SMOKE_DIR/BENCH_smoke.json" \
   --require-fast-forward fig3=8 --require-fast-forward ablation=2 \
+  --require-fast-forward residency=5 \
   "$SMOKE_DIR"/*.json
 
 stage "bench smoke: trajectory diff (informational)"

@@ -12,7 +12,9 @@
 //! * `scheduler_pull` — work-stealing chunk acquisition;
 //! * `grid_cell` — one end-to-end scenario-grid cell at tiny scale
 //!   (what each `--shards` worker executes per steal; the setup path
-//!   is shared with every figure/table bin).
+//!   is shared with every figure/table bin);
+//! * `bsp_superstep_{lockstep,event}` — one imbalanced 4-node
+//!   superstep under the cycle-box reference vs the event heap.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use cuttlefish::daemon::Daemon;
@@ -165,10 +167,45 @@ fn bench_grid_cell(c: &mut Criterion) {
         machines: None,
         bsp: None,
         oracle: None,
+        stepping: cluster::SteppingMode::default(),
     };
     c.bench_function("grid_cell_uts_tiny", |b| {
         b.iter(|| black_box(run_cell(&HASWELL_2650V3, scale, &cell)))
     });
+}
+
+fn bench_bsp_superstep(c: &mut Criterion) {
+    use cluster::{BspApp, Cluster, CommModel, NodePolicy, SteppingMode};
+
+    // One 4-node superstep under both driving planes: the lockstep
+    // "cycle-box" reference vs the event heap. Same numbers by the
+    // equivalence suites; this pair tracks the wall-clock gap the
+    // discrete-event scheduler buys on barrier-heavy fleets.
+    let chunks = || {
+        (0..12)
+            .map(|_| {
+                Chunk::new(3_000_000, 139_000, 59_000).with_profile(CostProfile::new(0.55, 12.0))
+            })
+            .collect::<Vec<_>>()
+    };
+    let app = BspApp::imbalanced(4, 1, 0, 3, chunks);
+    for (name, mode) in [
+        ("bsp_superstep_lockstep", SteppingMode::Lockstep),
+        ("bsp_superstep_event", SteppingMode::EventDriven),
+    ] {
+        let app = app.clone();
+        c.bench_function(name, move |b| {
+            b.iter_batched(
+                || {
+                    let mut cl = Cluster::new(4, NodePolicy::Default, CommModel::default());
+                    cl.set_stepping(mode);
+                    cl
+                },
+                |mut cl| black_box(cl.run_program(&mut &app)),
+                BatchSize::SmallInput,
+            );
+        });
+    }
 }
 
 fn bench_advance_idle(c: &mut Criterion) {
@@ -254,6 +291,7 @@ criterion_group!(
     bench_engine,
     bench_scheduler,
     bench_grid_cell,
+    bench_bsp_superstep,
     bench_advance_idle,
     bench_advance_busy
 );

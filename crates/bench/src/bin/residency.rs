@@ -49,6 +49,22 @@ fn spec(args: &GridArgs) -> GridSpec {
             )
             .with_fleets(vec![Fleet::hetero(machines).with_bsp(96, 240.0e6)]),
         );
+        // A 256-node uniform fleet strong-scaling the same Heat
+        // decomposition: at this width each node's compute share is a
+        // sliver of the superstep, so the timeline is dominated by
+        // barrier and exchange windows — the shape the discrete-event
+        // scheduler exists for. `ci.sh` holds this grid to a >=5x
+        // fast-forward floor via `grid_aggregate --require-fast-forward`.
+        spec.push(
+            AxisSet::new(
+                vec!["Heat-ws".into()],
+                vec![GridSetup::new(
+                    "Cuttlefish-fleet256",
+                    Setup::Cuttlefish(Policy::Both),
+                )],
+            )
+            .with_fleets(vec![Fleet::uniform(256).with_bsp(8, 240.0e6)]),
+        );
     } else {
         let full = spec.full_suite();
         spec.push(AxisSet::new(full, cuttlefish()));

@@ -24,6 +24,7 @@
 use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::scenario::{arr, from_arr, from_opt_u32, obj, opt_u32, Scenario, ScenarioOutcome};
 use crate::{RunOutcome, Setup, TracePoint, HARNESS_SEED};
+use cluster::SteppingMode;
 use crossbeam::deque::{Injector, Steal};
 use cuttlefish::controller::{OracleDerivation, OracleTable, PidGains, TraceSample};
 use cuttlefish::Config;
@@ -251,6 +252,7 @@ impl GridSpec {
                                 machines: fleet.machines.clone(),
                                 bsp: fleet.bsp,
                                 oracle: None,
+                                stepping: SteppingMode::default(),
                             });
                         }
                     }
@@ -391,6 +393,10 @@ pub struct CellSpec {
     /// table was derived or supplied. Non-oracle cells keep the key
     /// omitted (their historical byte-exact encoding).
     pub oracle: Option<OracleTable>,
+    /// Cluster driving mode the cell pins (see
+    /// [`cluster::SteppingMode`]). Default-mode cells keep the key
+    /// omitted — their historical byte-exact encoding.
+    pub stepping: SteppingMode,
 }
 
 /// Parameters of a strong-scaled BSP cell.
@@ -461,6 +467,7 @@ impl CellSpec {
             seed: self.seed(),
             duration_s: None,
             trace: self.trace,
+            stepping: self.stepping,
         }
     }
 
@@ -495,6 +502,7 @@ impl CellSpec {
             seed: self.seed(),
             duration_s: None,
             trace: true,
+            stepping: SteppingMode::default(),
         };
         let mut points = Vec::new();
         probe.run_traced(Some(&mut points));
@@ -600,6 +608,7 @@ pub fn scenario_cell(scenario: &Scenario) -> Result<CellSpec, String> {
         machines,
         bsp,
         oracle,
+        stepping: scenario.stepping,
     })
 }
 
@@ -1114,6 +1123,9 @@ impl ToJson for CellSpec {
         if let Some(oracle) = &self.oracle {
             fields.push(("oracle", oracle.to_json()));
         }
+        if self.stepping != SteppingMode::default() {
+            fields.push(("stepping", Json::Str(self.stepping.as_str().into())));
+        }
         obj(fields)
     }
 }
@@ -1140,6 +1152,10 @@ impl FromJson for CellSpec {
             oracle: match j.get("oracle") {
                 Some(o) => Some(OracleTable::from_json(o)?),
                 None => None,
+            },
+            stepping: match j.get("stepping") {
+                Some(s) => SteppingMode::parse(s.as_str()?).map_err(JsonError)?,
+                None => SteppingMode::default(),
             },
         })
     }
@@ -1537,10 +1553,21 @@ mod tests {
                 comm_bytes: 24.0e6,
             }),
             oracle: None,
+            stepping: SteppingMode::Lockstep,
         };
         let scenario = cell.scenario(&HASWELL_2650V3, 0.02);
         assert_eq!(scenario.n_nodes(), 2);
+        assert_eq!(scenario.stepping, SteppingMode::Lockstep);
         let back = scenario_cell(&scenario).expect("embeddable");
         assert_eq!(back, cell);
+        // The non-default mode must also survive the cell's own JSON
+        // codec; default-mode cells keep the key omitted entirely.
+        let reparsed = CellSpec::from_json(&cell.to_json()).expect("codec");
+        assert_eq!(reparsed, cell);
+        let default_cell = CellSpec {
+            stepping: SteppingMode::default(),
+            ..cell
+        };
+        assert!(!default_cell.to_json().to_pretty().contains("stepping"));
     }
 }

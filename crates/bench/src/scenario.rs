@@ -30,7 +30,7 @@
 //! all construct experiments exclusively through this type.
 
 use crate::{RunOutcome, TracePoint, HARNESS_SEED};
-use cluster::{BspApp, Cluster, CommModel};
+use cluster::{BspApp, Cluster, CommModel, ReplicatedProgram, SteppingMode};
 use cuttlefish::controller::{NodePolicy, OracleEntry, OracleTable, PidGains};
 use cuttlefish::daemon::NodeReport;
 use cuttlefish::{Config, Policy, TipiSlab};
@@ -102,6 +102,11 @@ pub struct Scenario {
     pub duration_s: Option<f64>,
     /// Collect the per-`Tinv` trace (single-node only).
     pub trace: bool,
+    /// How the cluster driving plane advances virtual time (event
+    /// heap vs. lockstep reference); serialized only when non-default,
+    /// so historical scenario files keep their bytes. Single-node runs
+    /// have their own (always event-driven) loop and ignore it.
+    pub stepping: SteppingMode,
 }
 
 /// Builder for [`Scenario`] — the one construction path shared by the
@@ -115,6 +120,7 @@ pub struct ScenarioBuilder {
     seed: u64,
     duration_s: Option<f64>,
     trace: bool,
+    stepping: SteppingMode,
 }
 
 impl Scenario {
@@ -138,6 +144,7 @@ impl Scenario {
             seed: HARNESS_SEED,
             duration_s: None,
             trace: false,
+            stepping: SteppingMode::default(),
         }
     }
 
@@ -411,21 +418,25 @@ impl Scenario {
             _ => CommModel::default(),
         };
         let mut cl = Cluster::with_nodes(self.nodes.clone(), comm);
+        cl.set_stepping(self.stepping);
         let outcome = match &self.topology {
             Topology::Replicated => {
                 let seed = self.seed;
                 let workload = &self.workload;
-                cl.run_replicated(|node, n_cores| {
-                    // Distinct per-node seeds (node 0 keeps the base
-                    // seed, so a 1-node cluster instantiates exactly the
-                    // single-node run).
-                    workload.build(
-                        n_cores,
-                        seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    )
-                })
+                cl.run_program(&mut ReplicatedProgram::new(
+                    self.nodes.len(),
+                    |node, n_cores| {
+                        // Distinct per-node seeds (node 0 keeps the base
+                        // seed, so a 1-node cluster instantiates exactly
+                        // the single-node run).
+                        workload.build(
+                            n_cores,
+                            seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        )
+                    },
+                ))
             }
-            Topology::Bsp { .. } => cl.run(&self.bsp_app()),
+            Topology::Bsp { .. } => cl.run_program(&mut &self.bsp_app()),
             Topology::SingleNode => unreachable!("run_traced routes single-node scenarios"),
         };
         ClusterOutcome {
@@ -568,6 +579,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Pin the cluster driving mode (defaults to
+    /// [`SteppingMode::EventDriven`]).
+    pub fn stepping(mut self, mode: SteppingMode) -> Self {
+        self.stepping = mode;
+        self
+    }
+
     /// Finish the description. Defaults: no nodes added = one
     /// paper-Haswell node under the Default policy; topology inferred
     /// (1 node = single-node, >1 = replicated, BSP when requested).
@@ -599,6 +617,7 @@ impl ScenarioBuilder {
             seed: self.seed,
             duration_s: self.duration_s,
             trace: self.trace,
+            stepping: self.stepping,
         };
         scenario
             .validate()
@@ -1126,7 +1145,7 @@ impl FromJson for Topology {
 
 impl ToJson for Scenario {
     fn to_json(&self) -> Json {
-        obj(vec![
+        let mut fields = vec![
             ("schema", Json::Str(SCENARIO_SCHEMA.into())),
             ("label", Json::Str(self.label.clone())),
             ("workload", self.workload.to_json()),
@@ -1148,7 +1167,13 @@ impl ToJson for Scenario {
             ("seed", Json::Num(self.seed as f64)),
             ("duration_s", self.duration_s.map_or(Json::Null, Json::Num)),
             ("trace", Json::Bool(self.trace)),
-        ])
+        ];
+        // Default-mode scenarios keep their historical byte-exact
+        // encoding; the key appears only when a cell pins lockstep.
+        if self.stepping != SteppingMode::default() {
+            fields.push(("stepping", Json::Str(self.stepping.as_str().into())));
+        }
+        obj(fields)
     }
 }
 
@@ -1182,6 +1207,10 @@ impl FromJson for Scenario {
                 other => Some(other.as_f64()?),
             },
             trace: j.field("trace")?.as_bool()?,
+            stepping: match j.get("stepping") {
+                Some(s) => SteppingMode::parse(s.as_str()?).map_err(JsonError)?,
+                None => SteppingMode::default(),
+            },
         };
         scenario.validate().map_err(JsonError)?;
         Ok(scenario)
@@ -1347,6 +1376,7 @@ mod tests {
             seed: HARNESS_SEED,
             duration_s: None,
             trace: false,
+            stepping: SteppingMode::default(),
         };
         assert!(s.validate().is_err());
         // Endless synthetic stream with nothing to terminate it.
@@ -1403,6 +1433,28 @@ mod tests {
             .build();
         let text = s.to_json_string();
         let parsed = Scenario::from_json_str(&text).expect("round trip parses");
+        assert_eq!(parsed, s);
+        assert_eq!(parsed.to_json_string(), text);
+        // Default stepping stays off the wire, so every pre-existing
+        // scenario file keeps its historical byte-exact encoding.
+        assert_eq!(s.stepping, SteppingMode::EventDriven);
+        assert!(!text.contains("stepping"));
+    }
+
+    #[test]
+    fn stepping_mode_round_trips_through_scenario_json() {
+        let s = Scenario::bench("Heat-ws", ProgModel::OpenMp, 0.05)
+            .nodes(2, &HASWELL_2650V3, NodePolicy::Default)
+            .bsp(4, 1.0e6)
+            .stepping(SteppingMode::Lockstep)
+            .build();
+        let text = s.to_json_string();
+        assert!(
+            text.contains("\"stepping\": \"lockstep\""),
+            "non-default mode must be serialized: {text}"
+        );
+        let parsed = Scenario::from_json_str(&text).expect("round trip parses");
+        assert_eq!(parsed.stepping, SteppingMode::Lockstep);
         assert_eq!(parsed, s);
         assert_eq!(parsed.to_json_string(), text);
     }

@@ -1,6 +1,7 @@
 //! Bulk-synchronous application and communication models.
 
-use simproc::engine::Chunk;
+use simproc::engine::{Chunk, Workload};
+use tasking::{Region, WorkSharingScheduler};
 
 /// α–β model for the inter-node exchange after every superstep.
 #[derive(Debug, Clone)]
@@ -89,6 +90,95 @@ impl BspApp {
     }
 }
 
+/// A source of bulk-synchronous work, the one shape
+/// [`crate::Cluster::run_program`] executes: for each superstep, each
+/// node receives a workload built for its core count. Both historical
+/// entry points are expressed through it — [`BspApp`] (chunk lists run
+/// work-sharing) and [`ReplicatedProgram`] (one arbitrary workload per
+/// node, a single superstep).
+pub trait BspProgram {
+    /// Number of nodes the program addresses.
+    fn n_nodes(&self) -> usize;
+    /// Number of supersteps.
+    fn n_steps(&self) -> usize;
+    /// Build node `node`'s workload for superstep `step`.
+    fn workload(&mut self, step: usize, node: usize, n_cores: usize) -> Box<dyn Workload>;
+}
+
+impl BspProgram for &BspApp {
+    fn n_nodes(&self) -> usize {
+        BspApp::n_nodes(self)
+    }
+
+    fn n_steps(&self) -> usize {
+        BspApp::n_steps(self)
+    }
+
+    fn workload(&mut self, step: usize, node: usize, n_cores: usize) -> Box<dyn Workload> {
+        let chunks = self.steps[step][node].clone();
+        let region = Region::statically_partitioned(chunks, n_cores);
+        Box::new(WorkSharingScheduler::new(vec![region], n_cores))
+    }
+}
+
+/// The scenario-grid shape "the same benchmark replicated over N
+/// nodes" as a [`BspProgram`]: one superstep in which each node runs
+/// `make(node, n_cores)` to completion, then one barrier and one
+/// exchange.
+pub struct ReplicatedProgram<F> {
+    n_nodes: usize,
+    make: F,
+}
+
+impl<F> ReplicatedProgram<F>
+where
+    F: FnMut(usize, usize) -> Box<dyn Workload>,
+{
+    /// Replicate `make(node, n_cores)` over `n_nodes` nodes.
+    pub fn new(n_nodes: usize, make: F) -> Self {
+        assert!(n_nodes > 0);
+        ReplicatedProgram { n_nodes, make }
+    }
+}
+
+impl<F> BspProgram for ReplicatedProgram<F>
+where
+    F: FnMut(usize, usize) -> Box<dyn Workload>,
+{
+    fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    fn n_steps(&self) -> usize {
+        1
+    }
+
+    fn workload(&mut self, _step: usize, node: usize, n_cores: usize) -> Box<dyn Workload> {
+        (self.make)(node, n_cores)
+    }
+}
+
+/// One node's virtual quanta, split by the mechanism that retired them
+/// — the cluster-level mirror of the engine's stepping counters. The
+/// sum fields on [`BspOutcome`] fold these over nodes; the per-node
+/// split is what keeps fleet fast-forward floors honest (a fleet where
+/// one straggler steps everything while the rest advance still shows
+/// the straggler's cost here).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuantaSplit {
+    /// Quanta executed by individual engine steps.
+    pub stepped: u64,
+    /// Quanta fast-forwarded analytically while parked (barrier and
+    /// exchange windows).
+    pub idle_advanced: u64,
+    /// Quanta fast-forwarded analytically while executing (compute
+    /// phases at a controller fixed point).
+    pub busy_advanced: u64,
+    /// Total virtual quanta elapsed; always
+    /// `stepped + idle_advanced + busy_advanced`.
+    pub total: u64,
+}
+
 /// Aggregate result of a cluster run.
 #[derive(Debug, Clone)]
 pub struct BspOutcome {
@@ -107,6 +197,9 @@ pub struct BspOutcome {
     /// Barrier wait charged to each node individually — the §4.6
     /// imbalance study reads the skew, not just the sum.
     pub node_barrier_wait_s: Vec<f64>,
+    /// Per-node stepping counters, split by mechanism (see
+    /// [`QuantaSplit`]); the `*_quanta` sums below fold these.
+    pub node_quanta: Vec<QuantaSplit>,
     /// Quanta executed by individual engine steps, summed over nodes.
     pub stepped_quanta: u64,
     /// Quanta fast-forwarded analytically while parked (barrier and

@@ -24,12 +24,49 @@
 //! // 2 nodes, 3 supersteps, balanced work.
 //! let app = BspApp::uniform(2, 3, || vec![Chunk::new(2_000_000, 130_000, 56_000)]);
 //! let mut cluster = Cluster::new(2, NodePolicy::Default, CommModel::default());
-//! let outcome = cluster.run(&app);
+//! let outcome = cluster.run_program(&mut &app);
 //! assert!(outcome.seconds > 0.0 && outcome.joules > 0.0);
 //! ```
+//!
+//! # Scheduler architecture
+//!
+//! The driving plane is a discrete-event scheduler, not a lockstep
+//! loop. Everything that advances virtual time implements one
+//! object-safe trait, [`EventSource`] — *"when is your next observable
+//! event, and advance yourself to a timestamp"* — and
+//! [`sched::run_event_loop`] drives any mix of sources from a single
+//! global min-heap keyed on `(timestamp, source index)`. Three source
+//! kinds cover a fleet:
+//!
+//! * **Compute** — a node draining its superstep workload. Events are
+//!   the engine's runway horizons (`SimProcessor::next_event_ns`:
+//!   chunk retirements, workload wake-ups); each advance hands the
+//!   span to the shared `cuttlefish::controller::drive_quanta` loop,
+//!   which fast-forwards controller-certified busy stretches.
+//! * **Daemon ticks** — a parked node's `Tinv` stream. The controller's
+//!   `idle_quanta_capacity` answer *is* the event query: the next real
+//!   event is the first quantum it does not certify as uneventful.
+//! * **Windows** — a tick stream clipped to a barrier or exchange
+//!   deadline.
+//!
+//! Fleet cost is therefore bound by the number of *events*, not
+//! nodes × quanta. The historical per-quantum loop survives as
+//! [`SteppingMode::Lockstep`] — a reference "cycle-box" selectable per
+//! [`Cluster`] (and declaratively per scenario via the bench harness) —
+//! and the equivalence suites hold the two modes to bit identity
+//! across every shipped governor: sources advance in timestamp slices,
+//! and every analytic advance in the stack is a per-quantum replay of
+//! the stepped arithmetic, hence exact under any slicing.
+//!
+//! Programs enter through [`Cluster::run_program`] over a
+//! [`BspProgram`] (superstep → per-node workload); [`BspApp`] chunk
+//! lists and replicated per-node workloads ([`ReplicatedProgram`]) are
+//! both expressed in that shape.
 
 pub mod bsp;
 pub mod node;
+pub mod sched;
 
-pub use bsp::{BspApp, BspOutcome, CommModel};
+pub use bsp::{BspApp, BspOutcome, BspProgram, CommModel, QuantaSplit, ReplicatedProgram};
 pub use node::{Cluster, NodePolicy};
+pub use sched::{EventSource, SteppingMode};

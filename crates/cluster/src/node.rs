@@ -1,13 +1,20 @@
-//! Cluster simulation: N simulated packages in bulk-synchronous
-//! lockstep, each with its own frequency controller.
+//! Cluster simulation: N simulated packages executing bulk-synchronous
+//! supersteps, each with its own frequency controller.
+//!
+//! The driving plane is the discrete-event scheduler in
+//! [`crate::sched`]: compute phases, daemon tick streams, and
+//! barrier/exchange windows are all [`EventSource`]s driven from one
+//! global min-heap ([`SteppingMode::EventDriven`], the default), with
+//! the historical per-quantum lockstep loop retained as the bit-exact
+//! reference ([`SteppingMode::Lockstep`]).
 
-use crate::bsp::{BspApp, BspOutcome, CommModel};
+use crate::bsp::{BspApp, BspOutcome, BspProgram, CommModel, QuantaSplit, ReplicatedProgram};
+use crate::sched::{run_event_loop, EventSource, SteppingMode};
 use cuttlefish::controller::FrequencyController;
 use simproc::engine::{Chunk, Workload};
 use simproc::freq::{MachineSpec, HASWELL_2650V3};
 use simproc::SimProcessor;
 use std::collections::BTreeMap;
-use tasking::{Region, WorkSharingScheduler};
 
 // The per-node frequency policy and the controllers it builds live in
 // `cuttlefish::controller`, shared with the evaluation harness and the
@@ -38,16 +45,108 @@ impl Workload for Idle {
     }
 }
 
+/// A node draining a superstep workload — the compute-phase
+/// [`EventSource`]. Its events are the engine's runway horizons
+/// (frequency transitions, workload wake-ups, controller ticks); each
+/// `advance` hands the span to the shared
+/// [`cuttlefish::controller::drive_quanta`] loop, whose per-quantum
+/// replays make timestamp slicing exact (sched contract rule 2).
+struct ComputeSource<'a> {
+    node: &'a mut Node,
+    wl: &'a mut dyn Workload,
+}
+
+impl EventSource for ComputeSource<'_> {
+    fn next_event_ns(&self, _now_ns: u64) -> Option<u64> {
+        if self.node.proc.workload_drained(&*self.wl) {
+            return None;
+        }
+        let now = self.node.proc.now_ns();
+        let quantum = self.node.proc.spec().quantum_ns;
+        // The engine's own horizon where it has one; otherwise (or when
+        // it answers "right now") fall back to one quantum so the heap
+        // always makes progress.
+        let horizon = self.node.proc.next_event_ns(&*self.wl).unwrap_or(0);
+        Some(horizon.max(now + quantum))
+    }
+
+    fn advance(&mut self, to_ns: u64) {
+        let now = self.node.proc.now_ns();
+        let quantum = self.node.proc.spec().quantum_ns;
+        let budget = (to_ns.saturating_sub(now)).div_ceil(quantum).max(1);
+        cuttlefish::controller::drive_quanta(
+            &mut self.node.proc,
+            self.wl,
+            self.node.ctrl.as_mut(),
+            budget,
+        );
+    }
+}
+
+/// A parked node's daemon tick stream — the `Tinv` [`EventSource`].
+/// Its next event is the first quantum the controller does *not*
+/// certify as uneventful (the daemon's next scheduled tick, a firmware
+/// ramp-down quantum, …); `advance` fast-forwards the certified
+/// stretch and steps the tick quantum for real. Unbounded on its own:
+/// clip it with [`WindowSource`] to terminate.
+struct TickSource<'a> {
+    node: &'a mut Node,
+}
+
+impl TickSource<'_> {
+    fn now_ns(&self) -> u64 {
+        self.node.proc.now_ns()
+    }
+}
+
+impl EventSource for TickSource<'_> {
+    fn next_event_ns(&self, _now_ns: u64) -> Option<u64> {
+        let quantum = self.node.proc.spec().quantum_ns;
+        let certified = self.node.ctrl.idle_quanta_capacity(&self.node.proc);
+        // The quantum after the certified stretch must step for real.
+        Some(
+            self.now_ns()
+                .saturating_add(certified.saturating_add(1).saturating_mul(quantum)),
+        )
+    }
+
+    fn advance(&mut self, to_ns: u64) {
+        let quantum = self.node.proc.spec().quantum_ns;
+        let quanta = to_ns.saturating_sub(self.now_ns()) / quantum;
+        Cluster::idle_for(self.node, quanta, SteppingMode::EventDriven);
+    }
+}
+
+/// A daemon tick stream clipped to a window deadline — the
+/// barrier-wait / exchange [`EventSource`]. Exhausted once the node's
+/// clock reaches `end_ns` (grid-aligned, so the clip is exact).
+struct WindowSource<'a> {
+    ticks: TickSource<'a>,
+    end_ns: u64,
+}
+
+impl EventSource for WindowSource<'_> {
+    fn next_event_ns(&self, now_ns: u64) -> Option<u64> {
+        if self.ticks.now_ns() >= self.end_ns {
+            return None;
+        }
+        Some(self.ticks.next_event_ns(now_ns)?.min(self.end_ns))
+    }
+
+    fn advance(&mut self, to_ns: u64) {
+        self.ticks.advance(to_ns.min(self.end_ns));
+    }
+}
+
 /// A simulated cluster.
 pub struct Cluster {
     nodes: Vec<Node>,
     comm: CommModel,
-    /// Fast-forward parked nodes across barrier/exchange windows via
-    /// `SimProcessor::advance_idle` (on by default). Turning it off
-    /// forces the historical quantum-by-quantum idle stepping — the
-    /// reference path the equivalence tests and before/after stepping
+    /// How virtual time advances — see [`SteppingMode`]. Event-driven
+    /// by default; `Lockstep` forces the historical quantum-by-quantum
+    /// loop the equivalence tests and before/after stepping
     /// measurements compare against.
-    event_stepping: bool,
+    stepping: SteppingMode,
 }
 
 impl Cluster {
@@ -96,15 +195,30 @@ impl Cluster {
         Cluster {
             nodes,
             comm,
-            event_stepping: true,
+            stepping: SteppingMode::default(),
         }
     }
 
-    /// Toggle idle fast-forwarding (see the field docs); returns `self`
-    /// for builder-style use in tests.
-    pub fn set_event_stepping(&mut self, on: bool) -> &mut Self {
-        self.event_stepping = on;
+    /// Select the driving mode (see the field docs); returns `self`
+    /// for builder-style use.
+    pub fn set_stepping(&mut self, mode: SteppingMode) -> &mut Self {
+        self.stepping = mode;
         self
+    }
+
+    /// The cluster's current driving mode.
+    pub fn stepping(&self) -> SteppingMode {
+        self.stepping
+    }
+
+    /// Toggle event stepping.
+    #[deprecated(note = "use `set_stepping(SteppingMode::EventDriven | Lockstep)`")]
+    pub fn set_event_stepping(&mut self, on: bool) -> &mut Self {
+        self.set_stepping(if on {
+            SteppingMode::EventDriven
+        } else {
+            SteppingMode::Lockstep
+        })
     }
 
     /// Number of nodes.
@@ -148,34 +262,18 @@ impl Cluster {
         node.ctrl.on_quantum(&mut node.proc);
     }
 
-    /// Run one node's workload to drain — the compute phase of a
-    /// superstep. With event stepping on this is the shared
-    /// [`cuttlefish::controller::drive`] loop, which fast-forwards both
-    /// parked stretches and busy steady-state stretches the controller
-    /// certifies; off, it is the historical quantum-by-quantum
-    /// reference both must match bit for bit.
-    fn drain_node(node: &mut Node, wl: &mut dyn Workload, event_stepping: bool) {
-        if event_stepping {
-            cuttlefish::controller::drive_quanta(&mut node.proc, wl, node.ctrl.as_mut(), u64::MAX);
-        } else {
-            while !node.proc.workload_drained(wl) {
-                Self::step_node(node, wl);
-            }
-        }
-    }
-
     /// Idle one parked node for exactly `quanta` quanta, fast-forwarding
     /// every stretch the controller declares uneventful and stepping for
     /// real at the controller's scheduled events (`Tinv` ticks, firmware
     /// ramp-down quanta) — numerically identical to `quanta` plain
-    /// `step(&mut Idle)`/`on_quantum` rounds.
-    fn idle_for(node: &mut Node, quanta: u64, event_stepping: bool) {
+    /// `step(&mut Idle)`/`on_quantum` rounds, which is what `Lockstep`
+    /// runs instead.
+    fn idle_for(node: &mut Node, quanta: u64, stepping: SteppingMode) {
         let mut left = quanta;
         while left > 0 {
-            let k = if event_stepping {
-                node.ctrl.idle_quanta_capacity(&node.proc).min(left)
-            } else {
-                0
+            let k = match stepping {
+                SteppingMode::EventDriven => node.ctrl.idle_quanta_capacity(&node.proc).min(left),
+                SteppingMode::Lockstep => 0,
             };
             if k == 0 {
                 Self::step_node(node, &mut Idle);
@@ -188,37 +286,98 @@ impl Cluster {
         }
     }
 
+    /// Compute phase: every node drains its superstep workload. Event
+    /// mode drives one [`ComputeSource`] per node from the global heap;
+    /// lockstep steps each node quantum by quantum, the historical
+    /// reference (nodes are independent between barriers, so draining
+    /// them one after another is the same schedule).
+    fn compute(&mut self, workloads: &mut [Box<dyn Workload>]) {
+        match self.stepping {
+            SteppingMode::Lockstep => {
+                for (node, wl) in self.nodes.iter_mut().zip(workloads.iter_mut()) {
+                    while !node.proc.workload_drained(wl.as_ref()) {
+                        Self::step_node(node, wl.as_mut());
+                    }
+                }
+            }
+            SteppingMode::EventDriven => {
+                let mut sources: Vec<ComputeSource> = self
+                    .nodes
+                    .iter_mut()
+                    .zip(workloads.iter_mut())
+                    .map(|(node, wl)| ComputeSource {
+                        node,
+                        wl: wl.as_mut(),
+                    })
+                    .collect();
+                let mut dyns: Vec<&mut dyn EventSource> = sources
+                    .iter_mut()
+                    .map(|s| s as &mut dyn EventSource)
+                    .collect();
+                run_event_loop(&mut dyns);
+            }
+        }
+    }
+
+    /// Idle every node up to its entry in `end_ns` (absolute,
+    /// grid-aligned) — the shared engine behind barrier waits and
+    /// exchange windows. Event mode drives one [`WindowSource`] per
+    /// node from the global heap.
+    fn idle_windows(&mut self, end_ns: &[u64]) {
+        match self.stepping {
+            SteppingMode::Lockstep => {
+                for (node, &end) in self.nodes.iter_mut().zip(end_ns) {
+                    let quanta =
+                        end.saturating_sub(node.proc.now_ns()) / node.proc.spec().quantum_ns;
+                    Self::idle_for(node, quanta, SteppingMode::Lockstep);
+                }
+            }
+            SteppingMode::EventDriven => {
+                let mut sources: Vec<WindowSource> = self
+                    .nodes
+                    .iter_mut()
+                    .zip(end_ns)
+                    .map(|(node, &end)| WindowSource {
+                        ticks: TickSource { node },
+                        end_ns: end,
+                    })
+                    .collect();
+                let mut dyns: Vec<&mut dyn EventSource> = sources
+                    .iter_mut()
+                    .map(|s| s as &mut dyn EventSource)
+                    .collect();
+                run_event_loop(&mut dyns);
+            }
+        }
+    }
+
     /// Barrier phase: early finishers idle until the slowest node
     /// arrives (no slack reclamation: §4.6's limitation). Returns the
     /// per-node waits charged, in node order.
     fn barrier(&mut self, finish_ns: &[u64]) -> Vec<f64> {
         let barrier_ns = *finish_ns.iter().max().expect("nodes exist");
-        let event_stepping = self.event_stepping;
-        self.nodes
-            .iter_mut()
-            .zip(finish_ns)
-            .map(|(node, &t)| {
-                // One saturating computation per node: the wait itself,
-                // and the whole quanta that cover it (the clock
-                // overshoots the barrier to the next boundary, exactly
-                // as per-quantum stepping always has).
-                let wait_ns = barrier_ns.saturating_sub(t);
-                let quanta = wait_ns.div_ceil(node.proc.spec().quantum_ns);
-                Self::idle_for(node, quanta, event_stepping);
-                wait_ns as f64 * 1e-9
-            })
+        // Node clocks live on the shared quantum grid, so every node's
+        // wait is a whole number of quanta ending exactly at the
+        // barrier timestamp.
+        self.idle_windows(&vec![barrier_ns; self.nodes.len()]);
+        finish_ns
+            .iter()
+            .map(|&t| barrier_ns.saturating_sub(t) as f64 * 1e-9)
             .collect()
     }
 
     /// Exchange phase: all nodes busy-idle on the NIC for one α–β
     /// exchange window.
     fn exchange(&mut self) {
-        let quantum_s = self.nodes[0].proc.spec().quantum_ns as f64 * 1e-9;
+        let quantum_ns = self.nodes[0].proc.spec().quantum_ns;
+        let quantum_s = quantum_ns as f64 * 1e-9;
         let comm_quanta = (self.comm.exchange_seconds() / quantum_s).ceil() as u64;
-        let event_stepping = self.event_stepping;
-        for node in self.nodes.iter_mut() {
-            Self::idle_for(node, comm_quanta, event_stepping);
-        }
+        let end_ns: Vec<u64> = self
+            .nodes
+            .iter()
+            .map(|n| n.proc.now_ns() + comm_quanta * quantum_ns)
+            .collect();
+        self.idle_windows(&end_ns);
     }
 
     fn outcome(&self, barrier_wait_s: f64, node_barrier_wait_s: Vec<f64>) -> BspOutcome {
@@ -232,6 +391,16 @@ impl Cluster {
             .iter()
             .map(|n| n.proc.now_seconds())
             .fold(0.0, f64::max);
+        let node_quanta: Vec<QuantaSplit> = self
+            .nodes
+            .iter()
+            .map(|n| QuantaSplit {
+                stepped: n.proc.stepped_quanta(),
+                idle_advanced: n.proc.idle_advanced_quanta(),
+                busy_advanced: n.proc.busy_advanced_quanta(),
+                total: n.proc.total_quanta(),
+            })
+            .collect();
         BspOutcome {
             seconds,
             joules: node_joules.iter().sum(),
@@ -240,64 +409,40 @@ impl Cluster {
             node_joules,
             barrier_wait_s,
             node_barrier_wait_s,
-            stepped_quanta: self.nodes.iter().map(|n| n.proc.stepped_quanta()).sum(),
-            idle_advanced_quanta: self
-                .nodes
-                .iter()
-                .map(|n| n.proc.idle_advanced_quanta())
-                .sum(),
-            busy_advanced_quanta: self
-                .nodes
-                .iter()
-                .map(|n| n.proc.busy_advanced_quanta())
-                .sum(),
-            total_quanta: self.nodes.iter().map(|n| n.proc.total_quanta()).sum(),
+            stepped_quanta: node_quanta.iter().map(|q| q.stepped).sum(),
+            idle_advanced_quanta: node_quanta.iter().map(|q| q.idle_advanced).sum(),
+            busy_advanced_quanta: node_quanta.iter().map(|q| q.busy_advanced).sum(),
+            total_quanta: node_quanta.iter().map(|q| q.total).sum(),
+            node_quanta,
         }
     }
 
-    /// Run one independent workload per node — the scenario-grid shape
-    /// "the same benchmark replicated over N nodes": each node executes
-    /// `make(node, n_cores)` to completion at its own pace, then all
-    /// nodes synchronize at a final barrier and pay one exchange.
-    pub fn run_replicated<F>(&mut self, mut make: F) -> BspOutcome
-    where
-        F: FnMut(usize, usize) -> Box<dyn Workload>,
-    {
-        let mut finish_ns: Vec<u64> = Vec::with_capacity(self.nodes.len());
-        let event_stepping = self.event_stepping;
-        for (idx, node) in self.nodes.iter_mut().enumerate() {
-            let mut wl = make(idx, node.proc.n_cores());
-            let t0 = node.proc.now_ns();
-            Self::drain_node(node, wl.as_mut(), event_stepping);
-            let t1 = node.proc.now_ns();
-            node.busy_s += (t1 - t0) as f64 * 1e-9;
-            finish_ns.push(t1);
-        }
-        let node_waits = self.barrier(&finish_ns);
-        self.exchange();
-        self.outcome(node_waits.iter().sum(), node_waits)
-    }
-
-    /// Execute the app to completion; nodes run their local regions
-    /// work-sharing, synchronize each superstep, then pay the exchange.
-    pub fn run(&mut self, app: &BspApp) -> BspOutcome {
-        assert_eq!(app.n_nodes(), self.nodes.len(), "app/cluster size mismatch");
+    /// Execute a bulk-synchronous program to completion — the one
+    /// entry point. Per superstep: compute (each node drains the
+    /// workload `program` builds for it), barrier, exchange; every
+    /// phase is driven per the cluster's [`SteppingMode`].
+    pub fn run_program<P: BspProgram + ?Sized>(&mut self, program: &mut P) -> BspOutcome {
+        assert_eq!(
+            program.n_nodes(),
+            self.nodes.len(),
+            "program/cluster size mismatch"
+        );
         let mut barrier_wait_s = 0.0;
         let mut node_barrier_wait_s = vec![0.0; self.nodes.len()];
 
-        for step in &app.steps {
+        for step in 0..program.n_steps() {
             // Phase 1: local computation, each node at its own pace.
-            let mut finish_ns: Vec<u64> = Vec::with_capacity(self.nodes.len());
-            let event_stepping = self.event_stepping;
-            for (node, chunks) in self.nodes.iter_mut().zip(step) {
-                let n_cores = node.proc.n_cores();
-                let region = Region::statically_partitioned(chunks.clone(), n_cores);
-                let mut sched = WorkSharingScheduler::new(vec![region], n_cores);
-                let t0 = node.proc.now_ns();
-                Self::drain_node(node, &mut sched, event_stepping);
-                let t1 = node.proc.now_ns();
+            let t0: Vec<u64> = self.nodes.iter().map(|n| n.proc.now_ns()).collect();
+            let mut workloads: Vec<Box<dyn Workload>> = self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| program.workload(step, i, n.proc.n_cores()))
+                .collect();
+            self.compute(&mut workloads);
+            let finish_ns: Vec<u64> = self.nodes.iter().map(|n| n.proc.now_ns()).collect();
+            for (node, (&t0, &t1)) in self.nodes.iter_mut().zip(t0.iter().zip(&finish_ns)) {
                 node.busy_s += (t1 - t0) as f64 * 1e-9;
-                finish_ns.push(t1);
             }
 
             // Phases 2–3: barrier, then the exchange.
@@ -310,6 +455,23 @@ impl Cluster {
         }
 
         self.outcome(barrier_wait_s, node_barrier_wait_s)
+    }
+
+    /// Run one independent workload per node, then one final barrier
+    /// and exchange.
+    #[deprecated(note = "use `run_program(&mut ReplicatedProgram::new(n, make))`")]
+    pub fn run_replicated<F>(&mut self, make: F) -> BspOutcome
+    where
+        F: FnMut(usize, usize) -> Box<dyn Workload>,
+    {
+        let mut program = ReplicatedProgram::new(self.nodes.len(), make);
+        self.run_program(&mut program)
+    }
+
+    /// Execute the app to completion.
+    #[deprecated(note = "use `run_program(&mut &app)`")]
+    pub fn run(&mut self, app: &BspApp) -> BspOutcome {
+        self.run_program(&mut &*app)
     }
 }
 
@@ -348,13 +510,14 @@ mod tests {
     #[test]
     fn balanced_cluster_saves_like_single_node() {
         let app = BspApp::uniform(2, 40, heat_chunks);
-        let base = Cluster::new(2, NodePolicy::Default, CommModel::default()).run(&app);
+        let base =
+            Cluster::new(2, NodePolicy::Default, CommModel::default()).run_program(&mut &app);
         let tuned = Cluster::new(
             2,
             NodePolicy::Cuttlefish(cuttlefish_cfg()),
             CommModel::default(),
         )
-        .run(&app);
+        .run_program(&mut &app);
         let saving = 1.0 - tuned.joules / base.joules;
         assert!(
             saving > 0.12,
@@ -373,7 +536,7 @@ mod tests {
             NodePolicy::Cuttlefish(cuttlefish_cfg()),
             CommModel::default(),
         );
-        cluster.run(&app);
+        cluster.run_program(&mut &app);
         for report in cluster.reports() {
             assert!(
                 report.iter().any(|r| r.cf_opt.is_some()),
@@ -389,13 +552,14 @@ mod tests {
         // fast nodes wait at the barrier; wall time is set by the slow
         // node under both policies.
         let app = BspApp::imbalanced(2, 20, 0, 2, heat_chunks);
-        let base = Cluster::new(2, NodePolicy::Default, CommModel::default()).run(&app);
+        let base =
+            Cluster::new(2, NodePolicy::Default, CommModel::default()).run_program(&mut &app);
         let tuned = Cluster::new(
             2,
             NodePolicy::Cuttlefish(cuttlefish_cfg()),
             CommModel::default(),
         )
-        .run(&app);
+        .run_program(&mut &app);
         assert!(base.barrier_wait_s > 1.0, "imbalance must create waiting");
         assert!(tuned.barrier_wait_s > 1.0);
         // Wall time tracks the slow node in both cases.
@@ -417,7 +581,7 @@ mod tests {
             bandwidth: 12.0e9, // 10 ms per exchange
         };
         let app = BspApp::uniform(2, 10, heat_chunks);
-        let with_comm = Cluster::new(2, NodePolicy::Default, comm).run(&app);
+        let with_comm = Cluster::new(2, NodePolicy::Default, comm).run_program(&mut &app);
         let no_comm = Cluster::new(
             2,
             NodePolicy::Default,
@@ -427,11 +591,61 @@ mod tests {
                 bandwidth: 1.0,
             },
         )
-        .run(&app);
+        .run_program(&mut &app);
         let diff = with_comm.seconds - no_comm.seconds;
         assert!(
             (0.08..0.15).contains(&diff),
             "10 supersteps x 10 ms exchange ~ 0.1 s, got {diff:.3}"
         );
+    }
+
+    #[test]
+    fn node_quanta_split_accounts_for_every_quantum() {
+        let app = BspApp::uniform(2, 6, heat_chunks);
+        let mut cluster = Cluster::new(
+            2,
+            NodePolicy::Cuttlefish(cuttlefish_cfg()),
+            CommModel::default(),
+        );
+        let out = cluster.run_program(&mut &app);
+        assert_eq!(out.node_quanta.len(), 2);
+        for q in &out.node_quanta {
+            assert_eq!(q.total, q.stepped + q.idle_advanced + q.busy_advanced);
+        }
+        assert_eq!(
+            out.total_quanta,
+            out.node_quanta.iter().map(|q| q.total).sum::<u64>(),
+            "the fleet sums must fold the per-node split"
+        );
+    }
+
+    #[test]
+    fn replicated_program_matches_the_deprecated_wrapper() {
+        let make = |chunks: Vec<Chunk>| {
+            move |_node: usize, n_cores: usize| -> Box<dyn Workload> {
+                let region = tasking::Region::statically_partitioned(chunks.clone(), n_cores);
+                Box::new(tasking::WorkSharingScheduler::new(vec![region], n_cores))
+            }
+        };
+        let via_program = Cluster::new(2, NodePolicy::Default, CommModel::default())
+            .run_program(&mut ReplicatedProgram::new(2, make(heat_chunks())));
+        #[allow(deprecated)]
+        let via_wrapper = Cluster::new(2, NodePolicy::Default, CommModel::default())
+            .run_replicated(make(heat_chunks()));
+        assert_eq!(via_program.joules.to_bits(), via_wrapper.joules.to_bits());
+        assert_eq!(via_program.seconds.to_bits(), via_wrapper.seconds.to_bits());
+        assert_eq!(via_program.total_quanta, via_wrapper.total_quanta);
+    }
+
+    #[test]
+    fn deprecated_stepping_toggle_maps_onto_the_enum() {
+        let mut cluster = Cluster::new(1, NodePolicy::Default, CommModel::default());
+        assert_eq!(cluster.stepping(), SteppingMode::EventDriven);
+        #[allow(deprecated)]
+        cluster.set_event_stepping(false);
+        assert_eq!(cluster.stepping(), SteppingMode::Lockstep);
+        #[allow(deprecated)]
+        cluster.set_event_stepping(true);
+        assert_eq!(cluster.stepping(), SteppingMode::EventDriven);
     }
 }

@@ -1,0 +1,190 @@
+//! The cluster driving plane: one uniform event-source abstraction
+//! and the global min-heap scheduler that drives it.
+//!
+//! Everything that advances virtual time in a fleet — a node draining
+//! its superstep workload, a per-node daemon's `Tinv` tick stream, a
+//! barrier or exchange window — is expressed as an [`EventSource`]:
+//! "when is your next observable event, and advance yourself to a
+//! timestamp". [`run_event_loop`] then drives any mix of sources from
+//! one min-heap keyed on `(timestamp, source index)`, so fleet cost is
+//! bound by the *event count* rather than nodes × quanta.
+//!
+//! # Contract
+//!
+//! For the heap to terminate and stay deterministic, a source must:
+//!
+//! 1. **Make progress**: after `advance(t)`, `next_event_ns` must
+//!    return a timestamp strictly greater than `t` (or `None`).
+//! 2. **Be exact under slicing**: `advance(a)` then `advance(b)` must
+//!    leave the source in exactly the state one `advance(b)` would
+//!    have — sources are driven in timestamp-sized slices, and the
+//!    cluster equivalence suites hold the sliced schedule to bit
+//!    identity with the monolithic per-quantum reference.
+//! 3. **Be independent**: sources at the same heap round must not
+//!    share mutable state; ties are broken by source index, and the
+//!    outcome must not depend on that order.
+//!
+//! The `cluster` sources satisfy (2) because every analytic advance in
+//! the stack (`SimProcessor::advance_idle_quanta` /
+//! `advance_busy_quanta`, the controllers' `note_*` replays) is a
+//! per-quantum replay of the stepped arithmetic, hence additive over
+//! any split of the same quanta.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How a [`crate::Cluster`] advances virtual time. Serialized in
+/// `Scenario` JSON by the bench harness (omitted when default), so any
+/// grid cell can pin its driving mode declaratively.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SteppingMode {
+    /// The reference "cycle-box": every node steps quantum by quantum,
+    /// in lockstep between barriers. Linear in nodes × quanta; exists
+    /// so the event-driven path has a bit-exact oracle to answer to.
+    Lockstep,
+    /// The global min-heap scheduler over [`EventSource`]s: parked
+    /// stretches and controller-certified busy stretches are advanced
+    /// analytically, so cost is bound by event count (the default).
+    #[default]
+    EventDriven,
+}
+
+impl SteppingMode {
+    /// Stable wire name, used by the scenario/grid JSON codecs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SteppingMode::Lockstep => "lockstep",
+            SteppingMode::EventDriven => "event-driven",
+        }
+    }
+
+    /// Inverse of [`SteppingMode::as_str`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "lockstep" => Ok(SteppingMode::Lockstep),
+            "event-driven" => Ok(SteppingMode::EventDriven),
+            other => Err(format!(
+                "unknown stepping mode `{other}` (expected `lockstep` or `event-driven`)"
+            )),
+        }
+    }
+}
+
+/// An object-safe source of timestamped simulation events.
+///
+/// Implemented uniformly by compute phases (a node draining its
+/// workload), daemon `Tinv` tick streams over parked nodes, and
+/// barrier/exchange windows — see `cluster::node` for the three
+/// implementations and the module docs above for the contract.
+pub trait EventSource {
+    /// Absolute timestamp (ns) of this source's next observable event,
+    /// or `None` once the source is exhausted. `now_ns` is the
+    /// scheduler's current global time (0 before the first event);
+    /// sources that carry their own clock — every source in this crate
+    /// does — may answer from that clock instead.
+    fn next_event_ns(&self, now_ns: u64) -> Option<u64>;
+
+    /// Advance this source's state to `to_ns` (a timestamp previously
+    /// returned by [`EventSource::next_event_ns`]), performing exactly
+    /// the work the per-quantum reference would have performed over
+    /// the same span.
+    fn advance(&mut self, to_ns: u64);
+}
+
+/// Drive `sources` to exhaustion from one global min-heap.
+///
+/// Each round pops the earliest `(timestamp, index)` pair, advances
+/// that source to the timestamp, and re-queries it. Ties resolve by
+/// source index, so the schedule is fully deterministic — and because
+/// sources are independent (contract rule 3), the tie order cannot
+/// change any numbers, only the interleaving.
+pub fn run_event_loop(sources: &mut [&mut dyn EventSource]) {
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(sources.len());
+    for (i, s) in sources.iter().enumerate() {
+        if let Some(t) = s.next_event_ns(0) {
+            heap.push(Reverse((t, i)));
+        }
+    }
+    while let Some(Reverse((t, i))) = heap.pop() {
+        sources[i].advance(t);
+        if let Some(next) = sources[i].next_event_ns(t) {
+            debug_assert!(next > t, "event source {i} must make progress past {t}");
+            heap.push(Reverse((next, i)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ticks at a fixed stride until a deadline, recording every
+    /// advance into a shared trace.
+    struct Metronome<'a> {
+        now: u64,
+        stride: u64,
+        end: u64,
+        id: usize,
+        trace: &'a std::cell::RefCell<Vec<(usize, u64)>>,
+    }
+
+    impl EventSource for Metronome<'_> {
+        fn next_event_ns(&self, _now: u64) -> Option<u64> {
+            (self.now < self.end).then(|| (self.now + self.stride).min(self.end))
+        }
+        fn advance(&mut self, to_ns: u64) {
+            assert!(to_ns > self.now, "scheduler must move us forward");
+            self.now = to_ns;
+            self.trace.borrow_mut().push((self.id, to_ns));
+        }
+    }
+
+    #[test]
+    fn heap_drives_sources_in_global_timestamp_order() {
+        let trace = std::cell::RefCell::new(Vec::new());
+        let mut a = Metronome {
+            now: 0,
+            stride: 3,
+            end: 9,
+            id: 0,
+            trace: &trace,
+        };
+        let mut b = Metronome {
+            now: 0,
+            stride: 5,
+            end: 10,
+            id: 1,
+            trace: &trace,
+        };
+        run_event_loop(&mut [&mut a, &mut b]);
+        assert_eq!((a.now, b.now), (9, 10));
+        // Timestamps are globally non-decreasing; ties break by index.
+        assert_eq!(
+            trace.into_inner(),
+            vec![(0, 3), (1, 5), (0, 6), (0, 9), (1, 10)]
+        );
+    }
+
+    #[test]
+    fn exhausted_sources_leave_the_heap() {
+        let trace = std::cell::RefCell::new(Vec::new());
+        let mut only = Metronome {
+            now: 4,
+            stride: 2,
+            end: 4,
+            id: 7,
+            trace: &trace,
+        };
+        run_event_loop(&mut [&mut only]);
+        assert!(trace.into_inner().is_empty(), "a spent source never fires");
+    }
+
+    #[test]
+    fn stepping_mode_default_and_wire_names() {
+        assert_eq!(SteppingMode::default(), SteppingMode::EventDriven);
+        for mode in [SteppingMode::Lockstep, SteppingMode::EventDriven] {
+            assert_eq!(SteppingMode::parse(mode.as_str()), Ok(mode));
+        }
+        assert!(SteppingMode::parse("cycle-accurate").is_err());
+    }
+}

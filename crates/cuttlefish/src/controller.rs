@@ -81,6 +81,17 @@
 //! `crates/simproc/tests/event_clock.rs`) enforce the bit-exactness
 //! half of this contract for every shipped controller.
 //!
+//! In cluster runs these capacity answers have a second consumer: the
+//! discrete-event scheduler (`cluster::sched`) derives each node's
+//! next event timestamp from the engine's runway query, which is
+//! bounded by the node controller's capacity. A controller's answers
+//! therefore *are* its tick stream on the global event heap — a
+//! tick-scheduled governor surfaces one event per `Tinv`, a
+//! fixed-point governor one per drain/park transition — and the same
+//! bit-exactness obligations guarantee the heap may slice a node's
+//! timeline at any other node's event boundary without changing a
+//! single number.
+//!
 //! [`note_idle_quanta`]: FrequencyController::note_idle_quanta
 //! [`idle_quanta_capacity`]: FrequencyController::idle_quanta_capacity
 //! [`note_busy_quanta`]: FrequencyController::note_busy_quanta

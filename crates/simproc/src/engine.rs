@@ -774,6 +774,12 @@ impl SimProcessor {
     ///   the quantum grid, or `None` when the workload will never
     ///   produce work again (pure idling — only an external deadline
     ///   such as a cluster barrier bounds the advance).
+    ///
+    /// This query is what puts a node on the cluster's global event
+    /// heap: `cluster::sched` treats each node as an `EventSource`
+    /// whose next timestamp is exactly this answer (clamped to at
+    /// least one quantum of progress), so the returned instants must
+    /// be sound — never *later* than the first real interaction.
     pub fn next_event_ns(&self, wl: &dyn Workload) -> Option<u64> {
         let boundary = self.time_ns + self.spec.quantum_ns;
         if !self.cores_parked() {

@@ -171,6 +171,19 @@ impl Workload for WorkSharingScheduler {
     fn is_done(&self) -> bool {
         self.current.is_none() && self.regions.is_empty() && self.in_flight == 0
     }
+
+    fn next_wake_ns(&self, now_ns: u64) -> Option<u64> {
+        // Until the last region drains, pulls are load-bearing even on
+        // parked cores: region advancement and barrier release happen
+        // inside `next_chunk`, so no skipped pull can be certified
+        // side-effect free. Only the drained tail is — `None` lets the
+        // engine fast-forward it to the next barrier timestamp.
+        if self.is_done() {
+            None
+        } else {
+            Some(now_ns)
+        }
+    }
 }
 
 impl WorkSharingScheduler {

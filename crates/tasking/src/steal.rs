@@ -140,6 +140,19 @@ impl Workload for WorkStealingScheduler {
     fn is_done(&self) -> bool {
         self.completed == self.dag.len() && self.running.iter().all(|r| r.is_none())
     }
+
+    fn next_wake_ns(&self, now_ns: u64) -> Option<u64> {
+        // An undrained stealer cannot promise side-effect-free skipped
+        // pulls: every failed sweep advances the seeded victim PRNG and
+        // the `failed_sweeps` counter, so skipping one would change the
+        // replayed schedule. Only the drained tail is safe to
+        // fast-forward — `None` hands it to the event scheduler.
+        if self.is_done() {
+            None
+        } else {
+            Some(now_ns)
+        }
+    }
 }
 
 /// Central shared-queue scheduler: one FIFO task pool all cores pull
@@ -207,6 +220,17 @@ impl Workload for CentralQueueScheduler {
 
     fn is_done(&self) -> bool {
         self.completed == self.dag.len() && self.running.iter().all(|r| r.is_none())
+    }
+
+    fn next_wake_ns(&self, now_ns: u64) -> Option<u64> {
+        // Same contract as the stealer: pulls double as completion
+        // signals while tasks are in flight, so only the drained tail
+        // advertises `None` (free to fast-forward).
+        if self.is_done() {
+            None
+        } else {
+            Some(now_ns)
+        }
     }
 }
 

@@ -6,7 +6,7 @@
 //! `cluster` path.
 
 use bench::Scenario;
-use cluster::{BspApp, Cluster, CommModel};
+use cluster::{BspApp, Cluster, CommModel, SteppingMode};
 use cuttlefish::controller::{NodePolicy, OracleEntry, OracleTable, PidGains};
 use cuttlefish::driver::CuttlefishDriver;
 use cuttlefish::{Config, Policy, TipiSlab};
@@ -199,15 +199,15 @@ fn cluster_idle_fast_forward_is_bit_identical() {
             gains: PidGains::default(),
         },
     ] {
-        let run = |event_stepping: bool| {
+        let run = |mode: SteppingMode| {
             let mut cluster = Cluster::new(3, policy.clone(), CommModel::default());
-            cluster.set_event_stepping(event_stepping);
-            let outcome = cluster.run(&app);
+            cluster.set_stepping(mode);
+            let outcome = cluster.run_program(&mut &app);
             let reports = cluster.reports();
             (outcome, cluster.residency(), reports)
         };
-        let (fast, fast_res, fast_reports) = run(true);
-        let (slow, slow_res, slow_reports) = run(false);
+        let (fast, fast_res, fast_reports) = run(SteppingMode::EventDriven);
+        let (slow, slow_res, slow_reports) = run(SteppingMode::Lockstep);
         let label = policy.name();
         assert_eq!(
             fast.joules.to_bits(),
@@ -258,7 +258,7 @@ fn cluster_idle_fast_forward_is_bit_identical() {
 #[test]
 fn barrier_wait_is_attributed_per_node() {
     let app = BspApp::imbalanced(3, 6, 0, 3, small_bsp_chunks);
-    let outcome = Cluster::new(3, NodePolicy::Default, CommModel::default()).run(&app);
+    let outcome = Cluster::new(3, NodePolicy::Default, CommModel::default()).run_program(&mut &app);
     assert_eq!(outcome.node_barrier_wait_s.len(), 3);
     let sum: f64 = outcome.node_barrier_wait_s.iter().sum();
     assert!(
@@ -320,7 +320,7 @@ fn core_only_and_uncore_only_smoke_through_cluster() {
         }
         .with_policy(policy);
         let mut cluster = Cluster::new(2, NodePolicy::Cuttlefish(cfg), CommModel::default());
-        let outcome = cluster.run(&app);
+        let outcome = cluster.run_program(&mut &app);
         assert!(outcome.seconds > 0.0 && outcome.joules > 0.0);
         // Uniform report path: every node reports, whatever the policy.
         let reports = cluster.reports();
@@ -346,7 +346,7 @@ fn pinned_cluster_reports_uniformly() {
         },
         CommModel::default(),
     );
-    let outcome = cluster.run(&app);
+    let outcome = cluster.run_program(&mut &app);
     assert!(outcome.joules > 0.0);
     for report in cluster.reports() {
         assert_eq!(report.len(), 1);
