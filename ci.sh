@@ -73,8 +73,11 @@ stage "scenario file check"
 SCEN_DIR=target/scenario-check
 rm -rf "$SCEN_DIR"
 mkdir -p "$SCEN_DIR"
+# (--no-store: this stage gates the computation itself, so it must
+# never be satisfied from a cache, and must not pollute the default
+# store root.)
 cargo run --release -q -p bench "$LOCKED" --bin fig2 -- \
-  --scenario scenarios/fig2-uts-default.json \
+  --scenario scenarios/fig2-uts-default.json --no-store \
   --json "$SCEN_DIR/fig2-uts-default.json" >/dev/null
 cargo run --release -q -p bench "$LOCKED" --bin bench_diff -- \
   --exact scenarios/fig2-uts-default.expected.json "$SCEN_DIR/fig2-uts-default.json"
@@ -82,7 +85,7 @@ cargo run --release -q -p bench "$LOCKED" --bin bench_diff -- \
 # operating-point table inline, and its artifact must be bit-identical
 # to the fig10 smoke grid's derived-table Oracle cell.
 cargo run --release -q -p bench "$LOCKED" --bin fig10 -- \
-  --scenario scenarios/fig10-heat-oracle.json \
+  --scenario scenarios/fig10-heat-oracle.json --no-store \
   --json "$SCEN_DIR/fig10-heat-oracle.json" >/dev/null
 cargo run --release -q -p bench "$LOCKED" --bin bench_diff -- \
   --exact scenarios/fig10-heat-oracle.expected.json "$SCEN_DIR/fig10-heat-oracle.json"
@@ -95,14 +98,21 @@ stage "bench smoke"
 # grid_aggregate re-parses each artifact (schema gate) and emits the
 # candidate trajectory point with the timing folded into `meta`.
 SMOKE_DIR=target/bench-smoke
-rm -rf "$SMOKE_DIR"
+SMOKE_STORE=target/bench-smoke-store
+rm -rf "$SMOKE_DIR" "$SMOKE_STORE"
 mkdir -p "$SMOKE_DIR"
 BINS="fig2 fig3 fig10 fig11 table1 table2 table3 ablation residency debug_report"
+# The cold pass runs the built binaries directly (no cargo-run shim:
+# the warm-cache ratio below compares this wall-clock against a cached
+# re-run, so both passes must measure the bins, not cargo startup) and
+# populates a fresh result store.
+COLD_START=$(date +%s%N)
 for bin in $BINS; do
-  stage "bench smoke: $bin"
-  cargo run --release -q -p bench "$LOCKED" --bin "$bin" -- \
-    --smoke --json "$SMOKE_DIR/$bin.json" >/dev/null
+  stage "bench smoke: $bin (cold)"
+  "./target/release/$bin" \
+    --smoke --store "$SMOKE_STORE" --json "$SMOKE_DIR/$bin.json" >/dev/null
 done
+COLD_NS=$(($(date +%s%N) - COLD_START))
 stage "bench smoke: validate + aggregate"
 # (the *.json glob expands before the aggregate file exists, and the
 # .timing sidecars end in .timing, so exactly the ten bin artifacts match)
@@ -151,6 +161,45 @@ elif [[ "$GATE_RC" -ne 0 ]]; then
   # Exit 2 = unreadable/wrong-schema baseline, not drift: keep the
   # committed file as evidence and surface bench_diff's own error.
   echo "ci.sh: bench_diff could not compare the trajectory points (rc=$GATE_RC)" >&2
+  false
+fi
+
+stage "bench smoke: warm cache"
+# The whole suite again against the store the cold pass just
+# populated. Three gates: every grid 100% hits (a single miss means a
+# cell's identity or the code fingerprint is unstable between
+# identical invocations), byte-identical artifacts (a hit must
+# reproduce the miss path exactly), and >=10x grid wall-clock (the
+# point of the store; a broken load path that silently recomputes
+# passes the first two gates but not this one). The ratio is taken
+# over the per-grid wall-clock the aggregates record in meta.timing —
+# at smoke scale the end-to-end suite time is dominated by ten
+# process startups in both passes, so it stays informational.
+WARM_DIR=target/bench-warm
+rm -rf "$WARM_DIR"
+mkdir -p "$WARM_DIR"
+WARM_START=$(date +%s%N)
+for bin in $BINS; do
+  "./target/release/$bin" \
+    --smoke --store "$SMOKE_STORE" --json "$WARM_DIR/$bin.json" >/dev/null
+done
+WARM_NS=$(($(date +%s%N) - WARM_START))
+for bin in $BINS; do
+  ./target/release/bench_diff --exact "$SMOKE_DIR/$bin.json" "$WARM_DIR/$bin.json"
+done
+HIT_FLAGS=()
+for bin in $BINS; do
+  HIT_FLAGS+=(--require-hit-rate "$bin=1")
+done
+./target/release/grid_aggregate --out "$WARM_DIR/BENCH_smoke.json" \
+  "${HIT_FLAGS[@]}" "$WARM_DIR"/*.json
+sum_wall_ms() { awk '/"wall_ms"/ {gsub(/,/, ""); s += $2} END {print s}' "$1"; }
+COLD_MS=$(sum_wall_ms "$SMOKE_DIR/BENCH_smoke.json")
+WARM_MS=$(sum_wall_ms "$WARM_DIR/BENCH_smoke.json")
+echo "warm cache: grids cold ${COLD_MS} ms, warm ${WARM_MS} ms;" \
+  "suite end-to-end cold $((COLD_NS / 1000000)) ms, warm $((WARM_NS / 1000000)) ms"
+if ! awk -v c="$COLD_MS" -v w="$WARM_MS" 'BEGIN { exit !(w > 0 && c >= 10 * w) }'; then
+  echo "ci.sh: warm grids ran less than 10x faster than cold (${COLD_MS} ms vs ${WARM_MS} ms)" >&2
   false
 fi
 

@@ -172,6 +172,29 @@ fn bench_grid_cell(c: &mut Criterion) {
     c.bench_function("grid_cell_uts_tiny", |b| {
         b.iter(|| black_box(run_cell(&HASWELL_2650V3, scale, &cell)))
     });
+
+    // The same cell through the result store's two paths: a miss
+    // (simulate + commit) vs a hit (key + load + verify). The gap is
+    // what the warm CI stage banks per cached cell.
+    use bench::grid::run_cell_timed;
+    use bench::store::Store;
+    let root = std::env::temp_dir().join(format!("cuttlefish-micro-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = Store::with_code_version(root, "micro-bench");
+    let key = store.key(&cell.store_identity(&HASWELL_2650V3, scale));
+    c.bench_function("grid_cell_cold", |b| {
+        b.iter(|| {
+            let (result, timing) = run_cell_timed(&HASWELL_2650V3, scale, &cell);
+            store.commit(&key, &result, &timing).expect("commit");
+            black_box(result)
+        })
+    });
+    c.bench_function("grid_cell_warm", |b| {
+        b.iter(|| {
+            let key = store.key(&cell.store_identity(&HASWELL_2650V3, scale));
+            black_box(store.load(&key).expect("warm bench must hit"))
+        })
+    });
 }
 
 fn bench_bsp_superstep(c: &mut Criterion) {

@@ -22,7 +22,7 @@ use bench::{render_table, Setup};
 use cuttlefish::explore::Exploration;
 use cuttlefish::{Config, PidGains, Policy};
 
-const USAGE: &str = "ablation [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
+const USAGE: &str = "ablation [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]\n      [--store PATH] [--no-store]";
 
 fn config_variant(inherit: bool, reval: bool) -> Config {
     Config {
@@ -153,7 +153,7 @@ fn main() {
         spec.cells().len(),
         args.shards
     );
-    let (result, timing) = spec.run_timed(args.shards);
+    let (result, timing) = args.run_grid(&spec);
     args.finish_timed(&result, &timing);
 
     render_part1(&result);

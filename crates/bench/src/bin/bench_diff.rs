@@ -83,6 +83,7 @@ fn main() {
     } else {
         let d = diff(&base, &cand, &tol);
         diff_timing_info(&base, &cand);
+        diff_cache_info(&base, &cand);
         d
     };
     if drifted {
@@ -301,6 +302,60 @@ fn diff_timing_info(base: &Json, cand: &Json) {
                 "  {gname}: stepped {cs}, idle-adv {ci}, busy-adv {cb}, \
                  fast-forward {cf:.2}x (no baseline timing)"
             ),
+        }
+    }
+}
+
+/// Informational `meta.cache` comparison — never affects the exit
+/// code (the `--require-hit-rate` gate in `grid_aggregate` is the
+/// enforcing consumer). Result-store traffic is run-dependent like the
+/// timing, but the side-by-side shows at a glance whether a trajectory
+/// point came from a warm or cold run.
+fn diff_cache_info(base: &Json, cand: &Json) {
+    fn cache(j: &Json) -> &[Json] {
+        j.get("meta")
+            .and_then(|m| m.get("cache"))
+            .and_then(|t| t.as_arr().ok())
+            .unwrap_or(&[])
+    }
+    let (bc, cc) = (cache(base), cache(cand));
+    if bc.is_empty() && cc.is_empty() {
+        return;
+    }
+    eprintln!("result-store cache (informational, not gated):");
+    let name = |g: &Json| {
+        g.get("grid")
+            .and_then(|s| s.as_str().ok())
+            .unwrap_or("?")
+            .to_string()
+    };
+    let stats = |g: &Json| {
+        (
+            num(g, "hits").unwrap_or(f64::NAN),
+            num(g, "misses").unwrap_or(f64::NAN),
+            num(g, "hit_rate").unwrap_or(f64::NAN) * 100.0,
+        )
+    };
+    for c in cc {
+        let gname = name(c);
+        let (ch, cm, cr) = stats(c);
+        match bc.iter().find(|b| name(b) == gname) {
+            Some(b) => {
+                let (bh, bm, br) = stats(b);
+                eprintln!(
+                    "  {gname}: hits {bh}→{ch}, misses {bm}→{cm}, \
+                     hit-rate {br:.0}%→{cr:.0}%"
+                );
+            }
+            None => eprintln!(
+                "  {gname}: hits {ch}, misses {cm}, hit-rate {cr:.0}% (no baseline cache stats)"
+            ),
+        }
+    }
+    for b in bc {
+        let gname = name(b);
+        if !cc.iter().any(|c| name(c) == gname) {
+            eprintln!("  {gname}: candidate ran without a store");
         }
     }
 }

@@ -13,7 +13,7 @@ use bench::Setup;
 use cuttlefish::Policy;
 
 const USAGE: &str = "debug_report [<bench-name>] [<scale>] [--smoke] [--shards N] [--json PATH] \
-                     [--scenario FILE] [--list]";
+                     [--scenario FILE] [--list] [--store PATH] [--no-store]";
 
 fn spec(args: &GridArgs) -> GridSpec {
     let name = args
@@ -46,7 +46,7 @@ fn main() {
     if args.handle_scenario_or_list(&spec) {
         return;
     }
-    let (result, timing) = spec.run_timed(args.shards);
+    let (result, timing) = args.run_grid(&spec);
     args.finish_timed(&result, &timing);
     render(&result);
 }

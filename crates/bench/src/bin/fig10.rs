@@ -20,7 +20,7 @@ use bench::{render_table, Setup};
 use cuttlefish::{PidGains, Policy};
 use simproc::freq::HASWELL_2650V3;
 
-const USAGE: &str = "fig10 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
+const USAGE: &str = "fig10 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]\n      [--store PATH] [--no-store]";
 
 fn spec(args: &GridArgs) -> GridSpec {
     let mut spec = GridSpec::new("fig10", args.scale());
@@ -116,7 +116,7 @@ fn main() {
         spec.cells().len(),
         args.shards
     );
-    let (result, timing) = spec.run_timed(args.shards);
+    let (result, timing) = args.run_grid(&spec);
     args.finish_timed(&result, &timing);
     render(&result);
 }

@@ -18,7 +18,7 @@ use bench::{render_table, Setup};
 use cuttlefish::Policy;
 use workloads::ProgModel;
 
-const USAGE: &str = "fig11 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
+const USAGE: &str = "fig11 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]\n      [--store PATH] [--no-store]";
 
 fn spec(args: &GridArgs) -> GridSpec {
     let mut spec = GridSpec::new("fig11", args.scale());
@@ -73,7 +73,7 @@ fn main() {
         spec.cells().len(),
         args.shards
     );
-    let (result, timing) = spec.run_timed(args.shards);
+    let (result, timing) = args.run_grid(&spec);
     args.finish_timed(&result, &timing);
     render(&result);
 }

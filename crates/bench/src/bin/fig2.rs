@@ -15,7 +15,7 @@ use bench::cli::GridArgs;
 use bench::grid::{AxisSet, GridResult, GridSetup, GridSpec};
 use bench::{Setup, TracePoint};
 
-const USAGE: &str = "fig2 [--csv] [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
+const USAGE: &str = "fig2 [--csv] [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]\n      [--store PATH] [--no-store]";
 
 /// Pearson correlation between TIPI and JPI series.
 fn correlation(points: &[TracePoint]) -> f64 {
@@ -72,7 +72,7 @@ fn main() {
         spec.cells().len(),
         args.shards
     );
-    let (result, timing) = spec.run_timed(args.shards);
+    let (result, timing) = args.run_grid(&spec);
     args.finish_timed(&result, &timing);
     render(&result, csv);
 }

@@ -23,7 +23,7 @@ use simproc::freq::Freq;
 use std::collections::BTreeMap;
 use workloads::cache::slab_of;
 
-const USAGE: &str = "fig3 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
+const USAGE: &str = "fig3 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]\n      [--store PATH] [--no-store]";
 
 /// Mean JPI over the frequent slabs of a cell's trace, as
 /// (label, jpi) pairs.
@@ -126,7 +126,7 @@ fn main() {
         spec.cells().len(),
         args.shards
     );
-    let (result, timing) = spec.run_timed(args.shards);
+    let (result, timing) = args.run_grid(&spec);
     args.finish_timed(&result, &timing);
     render(&result);
 }

@@ -24,8 +24,17 @@
 //! stepping still produces bit-identical artifacts, so only the
 //! counters can catch it.
 //!
+//! Sidecars produced by a store-backed run additionally carry a
+//! `cache` section (result-store hits/misses); it is folded into a
+//! top-level `meta.cache` and echoed as a per-grid cache-hit line.
+//! `--require-hit-rate GRID=MIN` (repeatable, MIN a fraction in
+//! `[0, 1]`) gates on it — the warm-cache CI stage demands
+//! `GRID=1` from every grid of a warm re-run. Like all of `meta`,
+//! cache stats never enter the drift-gated `grids` section.
+//!
 //! Usage: `grid_aggregate --out BENCH_smoke.json
-//!         [--require-fast-forward GRID=MIN]... <artifact.json>...`
+//!         [--require-fast-forward GRID=MIN]...
+//!         [--require-hit-rate GRID=MIN]... <artifact.json>...`
 //!
 //! This is a pipeline tool, not one of the figure/table bins; it runs
 //! no simulations.
@@ -39,6 +48,7 @@ fn main() {
     let mut out_path = None;
     let mut inputs = Vec::new();
     let mut required_ff: Vec<(String, f64)> = Vec::new();
+    let mut required_hits: Vec<(String, f64)> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,15 +58,16 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
-            "--require-fast-forward" => {
+            "--require-fast-forward" | "--require-hit-rate" => {
                 let spec = args.next().unwrap_or_default();
                 let parsed = spec
                     .split_once('=')
                     .and_then(|(g, m)| m.parse::<f64>().ok().map(|m| (g.to_string(), m)));
                 match parsed {
-                    Some(req) => required_ff.push(req),
+                    Some(req) if arg == "--require-fast-forward" => required_ff.push(req),
+                    Some(req) => required_hits.push(req),
                     None => {
-                        eprintln!("error: --require-fast-forward needs GRID=MIN, got `{spec}`");
+                        eprintln!("error: {arg} needs GRID=MIN, got `{spec}`");
                         std::process::exit(2);
                     }
                 }
@@ -64,7 +75,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "grid_aggregate --out <aggregate.json> \
-                     [--require-fast-forward GRID=MIN]... <artifact.json>..."
+                     [--require-fast-forward GRID=MIN]... \
+                     [--require-hit-rate GRID=MIN]... <artifact.json>..."
                 );
                 std::process::exit(0);
             }
@@ -83,6 +95,7 @@ fn main() {
 
     let mut grids = Vec::new();
     let mut timings = Vec::new();
+    let mut caches = Vec::new();
     for path in &inputs {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("error: cannot read {path}: {e}");
@@ -98,7 +111,11 @@ fn main() {
             result.cells.len()
         );
         grids.push(summarize(&result));
-        if let Some(t) = read_timing_sidecar(path) {
+        if let Some((t, cache)) = read_timing_sidecar(path) {
+            if let Some(cache) = cache {
+                print_cache_line(&cache);
+                caches.push(cache);
+            }
             timings.push(t);
         }
     }
@@ -112,10 +129,11 @@ fn main() {
     ];
     if !timings.is_empty() {
         // Run-dependent metadata: excluded from the drift gate.
-        fields.push((
-            "meta".to_string(),
-            Json::Obj(vec![("timing".into(), Json::Arr(timings.clone()))]),
-        ));
+        let mut meta = vec![("timing".to_string(), Json::Arr(timings.clone()))];
+        if !caches.is_empty() {
+            meta.push(("cache".to_string(), Json::Arr(caches.clone())));
+        }
+        fields.push(("meta".to_string(), Json::Obj(meta)));
     }
     let aggregate = Json::Obj(fields);
     if let Err(e) = std::fs::write(&out_path, aggregate.to_pretty()) {
@@ -125,6 +143,67 @@ fn main() {
     eprintln!("wrote aggregate of {} grids to {out_path}", inputs.len());
 
     check_fast_forward(&required_ff, &timings);
+    check_hit_rate(&required_hits, &caches);
+}
+
+/// The per-grid cache-hit line: how much of the grid the result store
+/// replayed instead of recomputing.
+fn print_cache_line(cache: &Json) {
+    let num = |k: &str| cache.get(k).and_then(|v| v.as_f64().ok()).unwrap_or(0.0);
+    let grid = cache
+        .get("grid")
+        .and_then(|g| g.as_str().ok())
+        .unwrap_or("?");
+    eprintln!(
+        "cache: {grid} {}/{} hits ({:.0}%)",
+        num("hits"),
+        num("hits") + num("misses"),
+        num("hit_rate") * 100.0
+    );
+}
+
+/// Enforce `--require-hit-rate` against the folded `meta.cache`
+/// entries; exits nonzero when a named grid ran without a store or
+/// below its floor. The warm-cache CI stage is the caller that pins
+/// every grid at 1.
+fn check_hit_rate(required: &[(String, f64)], caches: &[Json]) {
+    let mut failed = false;
+    for (grid, min) in required {
+        let rate = caches
+            .iter()
+            .find(|c| {
+                c.get("grid")
+                    .and_then(|g| g.as_str().ok())
+                    .is_some_and(|g| g == grid)
+            })
+            .and_then(|c| c.get("hit_rate"))
+            .and_then(|v| v.as_f64().ok());
+        match rate {
+            Some(v) if v >= *min => {
+                eprintln!(
+                    "hit-rate gate: {grid} {:.0}% >= {:.0}%",
+                    v * 100.0,
+                    min * 100.0
+                );
+            }
+            Some(v) => {
+                eprintln!(
+                    "error: hit-rate gate: {grid} hit only {:.0}% of its cells \
+                     (floor {:.0}%) — the result store missed where it must not",
+                    v * 100.0,
+                    min * 100.0
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("error: hit-rate gate: no cache stats for grid `{grid}`");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }
 
 /// Enforce `--require-fast-forward` against the folded timing entries;
@@ -167,8 +246,10 @@ fn check_fast_forward(required: &[(String, f64)], timings: &[Json]) {
 
 /// Pick up `<artifact>.timing` if the bin wrote one: re-emit the
 /// per-bin wall-clock and stepping counters (and the fast-forward
-/// ratio the virtual-clock engine achieved) for `meta.timing`.
-fn read_timing_sidecar(artifact_path: &str) -> Option<Json> {
+/// ratio the virtual-clock engine achieved) for `meta.timing`, plus —
+/// when the run went through the result store — its cache stats for
+/// `meta.cache`, tagged with the grid name.
+fn read_timing_sidecar(artifact_path: &str) -> Option<(Json, Option<Json>)> {
     let text = std::fs::read_to_string(format!("{artifact_path}.timing")).ok()?;
     let j = match Json::parse(&text) {
         Ok(j) => j,
@@ -192,15 +273,35 @@ fn read_timing_sidecar(artifact_path: &str) -> Option<Json> {
             std::process::exit(1);
         })
     };
-    Some(Json::Obj(vec![
-        ("grid".into(), field("grid")),
-        ("wall_ms".into(), field("wall_ms")),
-        ("stepped_quanta".into(), field("stepped_quanta")),
-        ("idle_advanced_quanta".into(), field("idle_advanced_quanta")),
-        ("busy_advanced_quanta".into(), field("busy_advanced_quanta")),
-        ("total_quanta".into(), field("total_quanta")),
-        ("fast_forward".into(), field("fast_forward")),
-    ]))
+    let cache = j.get("cache").map(|c| {
+        Json::Obj(vec![
+            ("grid".into(), field("grid")),
+            (
+                "hits".into(),
+                c.get("hits").cloned().unwrap_or(Json::Num(0.0)),
+            ),
+            (
+                "misses".into(),
+                c.get("misses").cloned().unwrap_or(Json::Num(0.0)),
+            ),
+            (
+                "hit_rate".into(),
+                c.get("hit_rate").cloned().unwrap_or(Json::Num(0.0)),
+            ),
+        ])
+    });
+    Some((
+        Json::Obj(vec![
+            ("grid".into(), field("grid")),
+            ("wall_ms".into(), field("wall_ms")),
+            ("stepped_quanta".into(), field("stepped_quanta")),
+            ("idle_advanced_quanta".into(), field("idle_advanced_quanta")),
+            ("busy_advanced_quanta".into(), field("busy_advanced_quanta")),
+            ("total_quanta".into(), field("total_quanta")),
+            ("fast_forward".into(), field("fast_forward")),
+        ]),
+        cache,
+    ))
 }
 
 /// One trajectory line per grid: deterministic paper metrics only (no

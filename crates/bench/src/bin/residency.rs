@@ -16,7 +16,7 @@ use bench::{render_table, Setup};
 use cuttlefish::Policy;
 use simproc::freq::HASWELL_2650V3;
 
-const USAGE: &str = "residency [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
+const USAGE: &str = "residency [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]\n      [--store PATH] [--no-store]";
 
 fn spec(args: &GridArgs) -> GridSpec {
     let mut spec = GridSpec::new("residency", args.scale());
@@ -84,7 +84,7 @@ fn main() {
         spec.cells().len(),
         args.shards
     );
-    let (result, timing) = spec.run_timed(args.shards);
+    let (result, timing) = args.run_grid(&spec);
     args.finish_timed(&result, &timing);
     render(&result);
 }

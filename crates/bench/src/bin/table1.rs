@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use workloads::cache::slab_of;
 use workloads::{openmp_suite, Scale};
 
-const USAGE: &str = "table1 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
+const USAGE: &str = "table1 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]\n      [--store PATH] [--no-store]";
 
 fn spec(args: &GridArgs) -> GridSpec {
     let mut spec = GridSpec::new("table1", args.scale());
@@ -43,7 +43,7 @@ fn main() {
         spec.cells().len(),
         args.shards
     );
-    let (result, timing) = spec.run_timed(args.shards);
+    let (result, timing) = args.run_grid(&spec);
     args.finish_timed(&result, &timing);
     render(&result);
 }

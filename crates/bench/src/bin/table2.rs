@@ -19,7 +19,7 @@ use bench::grid::{AxisSet, CellResult, GridResult, GridSetup, GridSpec};
 use bench::{render_table, saving_pct, Setup};
 use cuttlefish::Policy;
 
-const USAGE: &str = "table2 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
+const USAGE: &str = "table2 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]\n      [--store PATH] [--no-store]";
 
 fn spec(args: &GridArgs) -> GridSpec {
     let mut spec = GridSpec::new("table2", args.scale());
@@ -56,7 +56,7 @@ fn main() {
         spec.cells().len(),
         args.shards
     );
-    let (result, timing) = spec.run_timed(args.shards);
+    let (result, timing) = args.run_grid(&spec);
     args.finish_timed(&result, &timing);
     render(&result);
 }

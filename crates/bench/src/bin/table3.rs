@@ -16,7 +16,7 @@ use bench::grid::{
 use bench::{render_table, Setup};
 use cuttlefish::{Config, Policy};
 
-const USAGE: &str = "table3 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]";
+const USAGE: &str = "table3 [--smoke] [--shards N] [--json PATH] [--scenario FILE] [--list]\n      [--store PATH] [--no-store]";
 
 const TINVS_MS: [u64; 4] = [10, 20, 40, 60];
 
@@ -52,7 +52,7 @@ fn main() {
         spec.cells().len(),
         args.shards
     );
-    let (result, timing) = spec.run_timed(args.shards);
+    let (result, timing) = args.run_grid(&spec);
     args.finish_timed(&result, &timing);
     render(&result);
 }

@@ -12,13 +12,19 @@
 //!   recompiling. With `--json` the one-cell artifact is written, and
 //!   a cell described by a scenario file reproduces the grid's cell
 //!   bytes bit for bit;
-//! * `--list` — print the grid's enumerated cells and exit.
+//! * `--list` — print the grid's enumerated cells and exit;
+//! * `--store PATH` — content-addressed result store to replay hits
+//!   from and commit misses to (default `target/cuttlefish-store`,
+//!   or the `CUTTLEFISH_STORE` environment variable — see
+//!   [`bench::store`](crate::store));
+//! * `--no-store` — bypass the store entirely (every cell executes).
 //!
 //! Bin-specific flags (`--csv`, positionals) pass through untouched.
 
 use crate::grid::{GridResult, GridSpec, GridTiming};
 use crate::json::ToJson;
 use crate::scenario::Scenario;
+use crate::store::{resolve_root, Store};
 
 /// Scale every `--smoke` grid runs at: small enough for PR-time CI,
 /// large enough that daemons resolve optima on the short benchmarks.
@@ -37,6 +43,10 @@ pub struct GridArgs {
     pub scenario: Option<std::path::PathBuf>,
     /// List the grid's cells instead of running.
     pub list: bool,
+    /// Explicit result-store root (`--store`).
+    pub store_root: Option<std::path::PathBuf>,
+    /// Bypass the result store (`--no-store`).
+    pub no_store: bool,
     rest: Vec<String>,
 }
 
@@ -57,6 +67,8 @@ impl GridArgs {
         let mut json = None;
         let mut scenario = None;
         let mut list = false;
+        let mut store_root = None;
+        let mut no_store = false;
         let mut rest = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -82,6 +94,13 @@ impl GridArgs {
                 }
                 "--list" => list = true,
                 "--smoke" => smoke = true,
+                "--store" => {
+                    store_root = Some(std::path::PathBuf::from(
+                        args.next()
+                            .unwrap_or_else(|| die(usage, "--store needs a path")),
+                    ));
+                }
+                "--no-store" => no_store = true,
                 "--help" | "-h" => {
                     println!("{usage}");
                     std::process::exit(0);
@@ -98,8 +117,27 @@ impl GridArgs {
             json,
             scenario,
             list,
+            store_root,
+            no_store,
             rest,
         }
+    }
+
+    /// The result store this invocation runs against: `None` under
+    /// `--no-store`, otherwise a [`Store`] at the `--store` path /
+    /// `CUTTLEFISH_STORE` / `target/cuttlefish-store` root. Opening is
+    /// free, so bins resolve this once and pass it down.
+    pub fn store(&self) -> Option<Store> {
+        if self.no_store {
+            return None;
+        }
+        Some(Store::open(resolve_root(self.store_root.clone())))
+    }
+
+    /// Run `spec` with this invocation's shard count and store — the
+    /// one-line body of every figure/table bin.
+    pub fn run_grid(&self, spec: &GridSpec) -> (GridResult, GridTiming) {
+        spec.run_timed_store(self.shards, self.store().as_ref())
     }
 
     /// Handle `--list` and `--scenario` for this bin's grid. Returns
@@ -156,7 +194,7 @@ impl GridArgs {
         // grid-expressible scenarios (benchmark workloads, uniform
         // policies, harness seeds); everything the file schema allows
         // still *runs* — without `--json`, execute directly.
-        match crate::grid::run_scenario_timed(&scenario) {
+        match crate::grid::run_scenario_timed(&scenario, self.store().as_ref()) {
             Ok((result, timing)) => {
                 self.finish_timed(&result, &timing);
                 let cell = &result.cells[0];

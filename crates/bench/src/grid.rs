@@ -23,6 +23,7 @@
 
 use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::scenario::{arr, from_arr, from_opt_u32, obj, opt_u32, Scenario, ScenarioOutcome};
+use crate::store::{CellKey, Store};
 use crate::{RunOutcome, Setup, TracePoint, HARNESS_SEED};
 use cluster::SteppingMode;
 use crossbeam::deque::{Injector, Steal};
@@ -279,6 +280,30 @@ impl GridSpec {
     /// `.timing` sidecar / `BENCH_smoke.json` metadata the drift gate
     /// ignores.
     pub fn run_timed(&self, shards: usize) -> (GridResult, GridTiming) {
+        self.run_timed_store(shards, None)
+    }
+
+    /// [`run_timed`](GridSpec::run_timed) through a content-addressed
+    /// result [`Store`]. Cells are partitioned up front into *hits*
+    /// (entry loaded and digest-verified — replayed without executing)
+    /// and *misses* (executed on the shard pool, then committed). The
+    /// aggregate is reassembled in cell-enumeration order either way,
+    /// so the artifact bytes are identical for any store state and any
+    /// shard count; only `GridTiming` sees the difference (hit/miss
+    /// counters, near-zero hit wall-clocks, restored stepping
+    /// counters).
+    ///
+    /// Misses are dispatched longest-processing-time-first using each
+    /// cell's last recorded compute wall-clock from the store (cells
+    /// never computed here go first, at estimated-max) — the classic
+    /// LPT makespan heuristic, which stops a long cell stolen last
+    /// from serializing the tail of a wide shard pool. With no store
+    /// the queue keeps the historical enumeration-order FIFO.
+    pub fn run_timed_store(
+        &self,
+        shards: usize,
+        store: Option<&Store>,
+    ) -> (GridResult, GridTiming) {
         let suite = self.suite();
         let cells = self.cells();
         // Validate the benchmark axis up front: a typo must fail the
@@ -292,39 +317,150 @@ impl GridSpec {
             );
         }
 
-        let queue: Injector<usize> = Injector::new();
-        for idx in 0..cells.len() {
-            queue.push(idx);
-        }
-        let workers = shards.clamp(1, cells.len().max(1));
-        let collected: Mutex<Vec<(usize, CellResult, CellTiming)>> =
-            Mutex::new(Vec::with_capacity(cells.len()));
-
         let wall = Instant::now();
+
+        // Hit partition: replay every verified entry, queue the rest.
+        // The probe itself runs on the shard pool — loads are
+        // independent reads, and on a warm run the parse + digest
+        // check of large traced entries *is* the grid's wall-clock.
+        struct Miss {
+            idx: usize,
+            key: Option<CellKey>,
+            est_ms: f64,
+        }
+        let mut slots: Vec<Option<(CellResult, CellTiming)>> = Vec::new();
+        slots.resize_with(cells.len(), || None);
+        let mut hits: u64 = 0;
+        let mut misses: Vec<Miss> = Vec::new();
+        if let Some(store) = store {
+            let probe_queue: Injector<usize> = Injector::new();
+            for idx in 0..cells.len() {
+                probe_queue.push(idx);
+            }
+            type Probe = (usize, CellKey, Option<(Box<crate::store::StoreEntry>, f64)>);
+            let probed: Mutex<Vec<Probe>> = Mutex::new(Vec::with_capacity(cells.len()));
+            let probe_workers = shards.clamp(1, cells.len().max(1));
+            std::thread::scope(|scope| {
+                for _ in 0..probe_workers {
+                    scope.spawn(|| loop {
+                        let idx = match probe_queue.steal() {
+                            Steal::Success(idx) => idx,
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        };
+                        let load_wall = Instant::now();
+                        let key = store.key(&cells[idx].store_identity(&self.machine, self.scale));
+                        let outcome = store.load(&key).map(|entry| {
+                            (Box::new(entry), load_wall.elapsed().as_secs_f64() * 1e3)
+                        });
+                        probed
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .push((idx, key, outcome));
+                    });
+                }
+            });
+            let mut probed = probed
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Completion order is racy; re-establish enumeration order
+            // so the miss queue (and everything downstream) stays
+            // shard-invariant.
+            probed.sort_by_key(|p| p.0);
+            for (idx, key, outcome) in probed {
+                match outcome {
+                    Some((entry, load_ms)) => {
+                        let [stepped, idle, busy, total] = entry.quanta;
+                        slots[idx] = Some((
+                            entry.result,
+                            CellTiming {
+                                wall_ms: load_ms,
+                                cached: true,
+                                stepped_quanta: stepped,
+                                idle_advanced_quanta: idle,
+                                busy_advanced_quanta: busy,
+                                total_quanta: total,
+                            },
+                        ));
+                        hits += 1;
+                    }
+                    None => {
+                        let est_ms = store.wall_hint(&key).unwrap_or(f64::INFINITY);
+                        misses.push(Miss {
+                            idx,
+                            key: Some(key),
+                            est_ms,
+                        });
+                    }
+                }
+            }
+        } else {
+            misses.extend((0..cells.len()).map(|idx| Miss {
+                idx,
+                key: None,
+                est_ms: f64::INFINITY,
+            }));
+        }
+        let n_misses = misses.len() as u64;
+
+        // LPT order: descending cost estimate; the sort is stable, so
+        // unknown-cost cells (and the whole storeless path, where every
+        // estimate is +inf) stay in enumeration order.
+        let mut order: Vec<usize> = (0..misses.len()).collect();
+        order.sort_by(|&a, &b| {
+            misses[b]
+                .est_ms
+                .partial_cmp(&misses[a].est_ms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let queue: Injector<usize> = Injector::new();
+        for mi in order {
+            queue.push(mi);
+        }
+        let workers = shards.clamp(1, misses.len().max(1));
+        let collected: Mutex<Vec<(usize, CellResult, CellTiming)>> =
+            Mutex::new(Vec::with_capacity(misses.len()));
+
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let idx = match queue.steal() {
-                        Steal::Success(idx) => idx,
+                    let mi = match queue.steal() {
+                        Steal::Success(mi) => mi,
                         Steal::Empty => break,
                         Steal::Retry => continue,
                     };
-                    let (result, timing) = run_cell_timed(&self.machine, self.scale, &cells[idx]);
+                    let miss = &misses[mi];
+                    let (result, timing) =
+                        run_cell_timed(&self.machine, self.scale, &cells[miss.idx]);
+                    if let (Some(store), Some(key)) = (store, &miss.key) {
+                        // A full store is a perf bug, not a result bug:
+                        // warn and keep computing.
+                        if let Err(e) = store.commit(key, &result, &timing) {
+                            eprintln!(
+                                "warning: store commit failed for {} ({e}); continuing uncached",
+                                key.hex()
+                            );
+                        }
+                    }
                     collected
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .push((idx, result, timing));
+                        .push((miss.idx, result, timing));
                 });
             }
         });
         let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
 
-        let mut indexed = collected
+        let computed = collected
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        indexed.sort_by_key(|&(idx, ..)| idx);
-        let (cells, timings): (Vec<CellResult>, Vec<CellTiming>) =
-            indexed.into_iter().map(|(_, r, t)| (r, t)).unzip();
+        for (idx, result, timing) in computed {
+            slots[idx] = Some((result, timing));
+        }
+        let (cells, timings): (Vec<CellResult>, Vec<CellTiming>) = slots
+            .into_iter()
+            .map(|slot| slot.expect("every cell is a hit or a computed miss"))
+            .unzip();
         (
             GridResult {
                 grid: self.name.clone(),
@@ -336,6 +472,10 @@ impl GridSpec {
                 grid: self.name.clone(),
                 wall_ms,
                 cells: timings,
+                cache: store.map(|_| CacheStats {
+                    hits,
+                    misses: n_misses,
+                }),
             },
         )
     }
@@ -469,6 +609,31 @@ impl CellSpec {
             trace: self.trace,
             stepping: self.stepping,
         }
+    }
+
+    /// Canonical identity bytes of this cell in its grid context —
+    /// what the content-addressed store hashes (see [`Store::key`]).
+    ///
+    /// This is the grid embedding of the cell's canonical scenario
+    /// JSON: machine + scale + the cell spec, serialized through the
+    /// same deterministic codec as the artifact. Hashing the *cell*
+    /// rather than the expanded [`Scenario`] matters twice over: a
+    /// derived-oracle cell (`oracle: None`) keys on its declaration,
+    /// so a warm hit skips the expensive trace-probe expansion
+    /// entirely (the derivation is deterministic, hence covered by the
+    /// code-version half of the key); and fields a particular setup
+    /// ignores at expansion time (e.g. `config` under `Default`) still
+    /// separate keys, so the replayed `spec` bytes embedded in the
+    /// artifact always match what a fresh run would embed.
+    pub fn store_identity(&self, machine: &MachineSpec, scale: f64) -> Vec<u8> {
+        obj(vec![
+            ("schema", Json::Str("cuttlefish/cell-key/v1".into())),
+            ("machine", machine.to_json()),
+            ("scale", Json::Num(scale)),
+            ("cell", self.to_json()),
+        ])
+        .to_pretty()
+        .into_bytes()
     }
 
     /// Derive this cell's oracle table the way the paper builds its
@@ -614,14 +779,46 @@ pub fn scenario_cell(scenario: &Scenario) -> Result<CellSpec, String> {
 
 /// Run a free-standing scenario into a one-cell [`GridResult`] — the
 /// `--scenario` CLI path. The cell executes through exactly the code
-/// the grid runner uses, so a scenario file describing a grid cell
-/// reproduces that cell's artifact bytes bit for bit.
-pub fn run_scenario_timed(scenario: &Scenario) -> Result<(GridResult, GridTiming), String> {
+/// the grid runner uses — including the result store when one is
+/// given (a scenario identical to a previously-run grid cell is a
+/// hit) — so a scenario file describing a grid cell reproduces that
+/// cell's artifact bytes bit for bit.
+pub fn run_scenario_timed(
+    scenario: &Scenario,
+    store: Option<&Store>,
+) -> Result<(GridResult, GridTiming), String> {
     scenario.validate()?;
     let cell = scenario_cell(scenario)?;
     let machine = scenario.nodes[0].0.clone();
     let scale = scenario.workload.scale();
-    let (result, timing) = run_cell_timed(&machine, scale, &cell);
+    let wall = Instant::now();
+    let key = store.map(|s| s.key(&cell.store_identity(&machine, scale)));
+    let (result, timing, hit) = match store.zip(key).and_then(|(store, key)| store.load(&key)) {
+        Some(entry) => {
+            let [stepped, idle, busy, total] = entry.quanta;
+            let timing = CellTiming {
+                wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+                cached: true,
+                stepped_quanta: stepped,
+                idle_advanced_quanta: idle,
+                busy_advanced_quanta: busy,
+                total_quanta: total,
+            };
+            (entry.result, timing, true)
+        }
+        None => {
+            let (result, timing) = run_cell_timed(&machine, scale, &cell);
+            if let (Some(store), Some(key)) = (store, &key) {
+                if let Err(e) = store.commit(key, &result, &timing) {
+                    eprintln!(
+                        "warning: store commit failed for {} ({e}); continuing uncached",
+                        key.hex()
+                    );
+                }
+            }
+            (result, timing, false)
+        }
+    };
     Ok((
         GridResult {
             grid: format!("scenario:{}", scenario.label),
@@ -633,6 +830,10 @@ pub fn run_scenario_timed(scenario: &Scenario) -> Result<(GridResult, GridTiming
             grid: format!("scenario:{}", scenario.label),
             wall_ms: timing.wall_ms,
             cells: vec![timing],
+            cache: store.map(|_| CacheStats {
+                hits: u64::from(hit),
+                misses: u64::from(!hit),
+            }),
         },
     ))
 }
@@ -727,8 +928,14 @@ impl CellResult {
 /// must never enter the deterministic artifact bytes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellTiming {
-    /// Host wall-clock the cell took, milliseconds.
+    /// Host wall-clock the cell took, milliseconds. For a store hit
+    /// this is the load-and-verify time, not the compute time.
     pub wall_ms: f64,
+    /// Whether the cell was replayed from the result store. The quanta
+    /// counters below are deterministic virtual quantities, so a hit
+    /// restores the committing run's values verbatim — only this flag
+    /// and the wall-clock betray that nothing executed.
+    pub cached: bool,
     /// Quanta the engine executed one step at a time (all nodes).
     pub stepped_quanta: u64,
     /// Quanta fast-forwarded analytically while parked (all nodes).
@@ -753,6 +960,27 @@ fn fast_forward_factor(stepped: u64, total: u64) -> f64 {
     total as f64 / stepped.max(1) as f64
 }
 
+/// Result-store traffic of one grid run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cells replayed from the store.
+    pub hits: u64,
+    /// Cells executed (and committed).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; an empty grid counts as all-hit.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Per-cell timings of one grid run, in cell-enumeration order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GridTiming {
@@ -762,6 +990,8 @@ pub struct GridTiming {
     pub wall_ms: f64,
     /// Per-cell timings.
     pub cells: Vec<CellTiming>,
+    /// Store traffic; `None` when the run bypassed the store.
+    pub cache: Option<CacheStats>,
 }
 
 impl GridTiming {
@@ -796,7 +1026,7 @@ impl GridTiming {
     pub fn stepping_summary(&self) -> String {
         let stepped = self.stepped_quanta();
         let total = self.total_quanta();
-        format!(
+        let mut line = format!(
             "{}: stepped {stepped} of {total} quanta (idle-adv {}, busy-adv {}; \
              {:.2}x fast-forward), {:.1} ms wall, {:.2} Mquanta/s",
             self.grid,
@@ -805,7 +1035,16 @@ impl GridTiming {
             self.fast_forward_factor(),
             self.wall_ms,
             total as f64 / 1e3 / self.wall_ms.max(1e-9),
-        )
+        );
+        if let Some(cache) = &self.cache {
+            line.push_str(&format!(
+                "; store {} hit / {} miss ({:.0}% hits)",
+                cache.hits,
+                cache.misses,
+                cache.hit_rate() * 100.0
+            ));
+        }
+        line
     }
 }
 
@@ -856,6 +1095,7 @@ pub fn run_cell_timed(
         result,
         CellTiming {
             wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+            cached: false,
             stepped_quanta,
             idle_advanced_quanta,
             busy_advanced_quanta,
@@ -1353,6 +1593,7 @@ impl ToJson for CellTiming {
     fn to_json(&self) -> Json {
         obj(vec![
             ("wall_ms", Json::Num(self.wall_ms)),
+            ("cached", Json::Bool(self.cached)),
             ("stepped_quanta", Json::Num(self.stepped_quanta as f64)),
             (
                 "idle_advanced_quanta",
@@ -1371,6 +1612,7 @@ impl FromJson for CellTiming {
     fn from_json(j: &Json) -> Result<Self, JsonError> {
         Ok(CellTiming {
             wall_ms: j.field("wall_ms")?.as_f64()?,
+            cached: j.field("cached")?.as_bool()?,
             stepped_quanta: j.field("stepped_quanta")?.as_f64()? as u64,
             idle_advanced_quanta: j.field("idle_advanced_quanta")?.as_f64()? as u64,
             busy_advanced_quanta: j.field("busy_advanced_quanta")?.as_f64()? as u64,
@@ -1379,14 +1621,35 @@ impl FromJson for CellTiming {
     }
 }
 
-/// Sidecar format tag for `.timing` files. v2 splits the single
+/// Sidecar format tag for `.timing` files. v2 split the single
 /// fast-forward counter into `idle_advanced_quanta` and
-/// `busy_advanced_quanta` so the two mechanisms are attributable.
-pub const TIMING_SCHEMA: &str = "cuttlefish/grid-timing/v2";
+/// `busy_advanced_quanta` so the two mechanisms are attributable; v3
+/// adds the result-store view — a per-cell `cached` flag and an
+/// optional grid-level `cache` section (hits/misses/hit-rate).
+pub const TIMING_SCHEMA: &str = "cuttlefish/grid-timing/v3";
+
+impl ToJson for CacheStats {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("hits", Json::Num(self.hits as f64)),
+            ("misses", Json::Num(self.misses as f64)),
+            ("hit_rate", Json::Num(self.hit_rate())),
+        ])
+    }
+}
+
+impl FromJson for CacheStats {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(CacheStats {
+            hits: j.field("hits")?.as_u64()?,
+            misses: j.field("misses")?.as_u64()?,
+        })
+    }
+}
 
 impl ToJson for GridTiming {
     fn to_json(&self) -> Json {
-        obj(vec![
+        let mut fields = vec![
             ("schema", Json::Str(TIMING_SCHEMA.into())),
             ("grid", Json::Str(self.grid.clone())),
             ("wall_ms", Json::Num(self.wall_ms)),
@@ -1401,8 +1664,14 @@ impl ToJson for GridTiming {
             ),
             ("total_quanta", Json::Num(self.total_quanta() as f64)),
             ("fast_forward", Json::Num(self.fast_forward_factor())),
-            ("cells", arr(&self.cells)),
-        ])
+        ];
+        // Storeless runs keep the key omitted: "no store" and "0% hit
+        // rate" are different facts.
+        if let Some(cache) = &self.cache {
+            fields.push(("cache", cache.to_json()));
+        }
+        fields.push(("cells", arr(&self.cells)));
+        obj(fields)
     }
 }
 
@@ -1418,6 +1687,10 @@ impl FromJson for GridTiming {
             grid: j.field("grid")?.as_str()?.to_string(),
             wall_ms: j.field("wall_ms")?.as_f64()?,
             cells: from_arr(j.field("cells")?)?,
+            cache: match j.get("cache") {
+                Some(c) => Some(CacheStats::from_json(c)?),
+                None => None,
+            },
         })
     }
 }

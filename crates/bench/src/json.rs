@@ -346,13 +346,17 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so byte
-                // boundaries are valid).
-                let rest = std::str::from_utf8(&bytes[*pos..])
+                // Consume the maximal run up to the next quote or
+                // escape in one shot — one UTF-8 validation per run,
+                // not per character (per-character revalidation of the
+                // remainder made parsing quadratic).
+                let start = *pos;
+                while *pos < bytes.len() && !matches!(bytes[*pos], b'"' | b'\\') {
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&bytes[start..*pos])
                     .map_err(|_| JsonError("invalid utf-8 in string".into()))?;
-                let c = rest.chars().next().expect("non-empty remainder");
-                out.push(c);
-                *pos += c.len_utf8();
+                out.push_str(run);
             }
         }
     }

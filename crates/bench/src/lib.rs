@@ -16,6 +16,7 @@ pub mod cli;
 pub mod grid;
 pub mod json;
 pub mod scenario;
+pub mod store;
 
 pub use scenario::{Scenario, ScenarioOutcome, Topology};
 

@@ -421,7 +421,7 @@ fn scenario_file_reproduces_grid_cell_bit_for_bit() {
     // Round-trip the scenario through its file format first: the rerun
     // must work from JSON alone.
     let reparsed = Scenario::from_json_str(&scenario.to_json_string()).expect("file parses");
-    let (result, timing) = run_scenario_timed(&reparsed).expect("scenario runs");
+    let (result, timing) = run_scenario_timed(&reparsed, None).expect("scenario runs");
     assert_eq!(result.cells.len(), 1);
     assert_eq!(timing.cells.len(), 1);
     let scenario_cell_json = {

@@ -8,7 +8,7 @@
 //! the historical per-quantum lockstep loop retained as the bit-exact
 //! reference ([`SteppingMode::Lockstep`]).
 
-use crate::bsp::{BspApp, BspOutcome, BspProgram, CommModel, QuantaSplit, ReplicatedProgram};
+use crate::bsp::{BspOutcome, BspProgram, CommModel, QuantaSplit};
 use crate::sched::{run_event_loop, EventSource, SteppingMode};
 use cuttlefish::controller::FrequencyController;
 use simproc::engine::{Chunk, Workload};
@@ -209,16 +209,6 @@ impl Cluster {
     /// The cluster's current driving mode.
     pub fn stepping(&self) -> SteppingMode {
         self.stepping
-    }
-
-    /// Toggle event stepping.
-    #[deprecated(note = "use `set_stepping(SteppingMode::EventDriven | Lockstep)`")]
-    pub fn set_event_stepping(&mut self, on: bool) -> &mut Self {
-        self.set_stepping(if on {
-            SteppingMode::EventDriven
-        } else {
-            SteppingMode::Lockstep
-        })
     }
 
     /// Number of nodes.
@@ -456,28 +446,12 @@ impl Cluster {
 
         self.outcome(barrier_wait_s, node_barrier_wait_s)
     }
-
-    /// Run one independent workload per node, then one final barrier
-    /// and exchange.
-    #[deprecated(note = "use `run_program(&mut ReplicatedProgram::new(n, make))`")]
-    pub fn run_replicated<F>(&mut self, make: F) -> BspOutcome
-    where
-        F: FnMut(usize, usize) -> Box<dyn Workload>,
-    {
-        let mut program = ReplicatedProgram::new(self.nodes.len(), make);
-        self.run_program(&mut program)
-    }
-
-    /// Execute the app to completion.
-    #[deprecated(note = "use `run_program(&mut &app)`")]
-    pub fn run(&mut self, app: &BspApp) -> BspOutcome {
-        self.run_program(&mut &*app)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bsp::{BspApp, ReplicatedProgram};
     use cuttlefish::Config;
     use simproc::perf::CostProfile;
 
@@ -620,32 +594,39 @@ mod tests {
     }
 
     #[test]
-    fn replicated_program_matches_the_deprecated_wrapper() {
+    fn replicated_program_runs_one_replica_per_node() {
         let make = |chunks: Vec<Chunk>| {
             move |_node: usize, n_cores: usize| -> Box<dyn Workload> {
                 let region = tasking::Region::statically_partitioned(chunks.clone(), n_cores);
                 Box::new(tasking::WorkSharingScheduler::new(vec![region], n_cores))
             }
         };
-        let via_program = Cluster::new(2, NodePolicy::Default, CommModel::default())
+        let duo = Cluster::new(2, NodePolicy::Default, CommModel::default())
             .run_program(&mut ReplicatedProgram::new(2, make(heat_chunks())));
-        #[allow(deprecated)]
-        let via_wrapper = Cluster::new(2, NodePolicy::Default, CommModel::default())
-            .run_replicated(make(heat_chunks()));
-        assert_eq!(via_program.joules.to_bits(), via_wrapper.joules.to_bits());
-        assert_eq!(via_program.seconds.to_bits(), via_wrapper.seconds.to_bits());
-        assert_eq!(via_program.total_quanta, via_wrapper.total_quanta);
+        let solo = Cluster::new(1, NodePolicy::Default, CommModel::default())
+            .run_program(&mut ReplicatedProgram::new(1, make(heat_chunks())));
+        // Identical nodes run identical replicas: per-node accounting
+        // doubles while the (synchronized) wall clock does not move.
+        assert_eq!(duo.node_joules.len(), 2);
+        assert_eq!(
+            duo.instructions.to_bits(),
+            (2.0 * solo.instructions).to_bits()
+        );
+        assert_eq!(duo.seconds.to_bits(), solo.seconds.to_bits());
+        // And a second identical run reproduces it bit for bit.
+        let again = Cluster::new(2, NodePolicy::Default, CommModel::default())
+            .run_program(&mut ReplicatedProgram::new(2, make(heat_chunks())));
+        assert_eq!(duo.joules.to_bits(), again.joules.to_bits());
+        assert_eq!(duo.total_quanta, again.total_quanta);
     }
 
     #[test]
-    fn deprecated_stepping_toggle_maps_onto_the_enum() {
+    fn stepping_mode_is_selected_through_the_enum() {
         let mut cluster = Cluster::new(1, NodePolicy::Default, CommModel::default());
         assert_eq!(cluster.stepping(), SteppingMode::EventDriven);
-        #[allow(deprecated)]
-        cluster.set_event_stepping(false);
+        cluster.set_stepping(SteppingMode::Lockstep);
         assert_eq!(cluster.stepping(), SteppingMode::Lockstep);
-        #[allow(deprecated)]
-        cluster.set_event_stepping(true);
+        cluster.set_stepping(SteppingMode::EventDriven);
         assert_eq!(cluster.stepping(), SteppingMode::EventDriven);
     }
 }
