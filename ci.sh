@@ -28,7 +28,9 @@ stage() {
   STAGE="$1"
   echo "== $STAGE"
 }
-trap 'echo "ci.sh: FAILED in stage \"$STAGE\"" >&2' ERR
+# (the kill reaps the serve-smoke daemon if a gate fails while it is
+# up — otherwise the orphan outlives the script and holds CI open)
+trap 'echo "ci.sh: FAILED in stage \"$STAGE\"" >&2; kill "${SERVE_PID:-}" 2>/dev/null || true' ERR
 
 # Determinism: never let a CI run silently rewrite Cargo.lock (the
 # registry is offline here, but --locked keeps the invariant explicit
@@ -63,6 +65,7 @@ fi
 
 stage "bench bins build: release"
 cargo build --release -p bench --bins "$LOCKED"
+cargo build --release -p serve --bins "$LOCKED"
 
 stage "scenario file check"
 # Any cell is runnable from a checked-in scenario file without
@@ -202,6 +205,60 @@ if ! awk -v c="$COLD_MS" -v w="$WARM_MS" 'BEGIN { exit !(w > 0 && c >= 10 * w) }
   echo "ci.sh: warm grids ran less than 10x faster than cold (${COLD_MS} ms vs ${WARM_MS} ms)" >&2
   false
 fi
+
+stage "serve smoke"
+# The daemon against the store the smoke passes just warmed: every
+# checked-in scenario file must be served entirely from the store
+# (100% hits — the daemon never touches the simulator), each artifact
+# byte-identical to the committed expected artifact (the same bytes
+# the batch `--scenario --json` path writes), and a graceful
+# `shutdown` must drain the daemon to a 0 exit. This is the serving
+# half of the cache contract the warm-cache stage gates for the bins.
+SERVE_DIR=target/serve-smoke
+rm -rf "$SERVE_DIR"
+mkdir -p "$SERVE_DIR"
+# Pre-warm through the *batch* path: not every scenario cell is in the
+# grid-warmed store (fig10-heat-oracle carries its operating-point
+# table inline, so its identity differs from the fig10 grid's
+# derive-form Oracle cell — identical artifact bytes, distinct store
+# key). One `--scenario --store` run per file commits whatever the
+# grids did not, and turns the all-hits gate below into the sharing
+# contract itself: the daemon must hit entries committed by the grid
+# pass (fig2) and by the batch scenario path (fig10) alike.
+for scen in scenarios/*.json; do
+  [[ "$scen" == *.expected.json ]] && continue
+  name=$(basename "$scen" .json)
+  "./target/release/${name%%-*}" --scenario "$scen" --store "$SMOKE_STORE" \
+    --json "$SERVE_DIR/warm-$name.json" >/dev/null
+done
+PORT_FILE="$SERVE_DIR/addr"
+./target/release/cuttlefish-serve serve \
+  --addr 127.0.0.1:0 --store "$SMOKE_STORE" --port-file "$PORT_FILE" \
+  > "$SERVE_DIR/daemon.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [[ -f "$PORT_FILE" ]] && break
+  sleep 0.05
+done
+if [[ ! -f "$PORT_FILE" ]]; then
+  echo "ci.sh: daemon never wrote its port file; log:" >&2
+  cat "$SERVE_DIR/daemon.log" >&2
+  false
+fi
+SERVE_ADDR=$(cat "$PORT_FILE")
+for scen in scenarios/*.json; do
+  [[ "$scen" == *.expected.json ]] && continue
+  name=$(basename "$scen" .json)
+  stage "serve smoke: $name"
+  ./target/release/cuttlefish-serve submit "$scen" \
+    --addr "$SERVE_ADDR" --wait --json "$SERVE_DIR/$name.json"
+  cmp "scenarios/$name.expected.json" "$SERVE_DIR/$name.json"
+done
+stage "serve smoke: all hits + graceful shutdown"
+./target/release/cuttlefish-serve stats --addr "$SERVE_ADDR" --require-all-hits
+./target/release/cuttlefish-serve shutdown --addr "$SERVE_ADDR"
+wait "$SERVE_PID"
+SERVE_PID=
 
 if [[ "$QUICK" -eq 0 ]]; then
   stage "full-scale oracle gate (informational)"

@@ -13,6 +13,9 @@
 //! * `grid_cell` — one end-to-end scenario-grid cell at tiny scale
 //!   (what each `--shards` worker executes per steal; the setup path
 //!   is shared with every figure/table bin);
+//! * `serve_submit_hit` — a warm submission's full round trip against
+//!   a live `cuttlefish-serve` daemon (vs `grid_cell_warm`'s raw
+//!   store load: the difference is the protocol tax);
 //! * `bsp_superstep_{lockstep,event}` — one imbalanced 4-node
 //!   superstep under the cycle-box reference vs the event heap.
 
@@ -195,6 +198,42 @@ fn bench_grid_cell(c: &mut Criterion) {
             black_box(store.load(&key).expect("warm bench must hit"))
         })
     });
+
+    // The same warm cell through the serving path: one full
+    // submit + result round trip against a live in-process daemon
+    // (connect, coalesced key lookup, artifact transfer). The gap to
+    // `grid_cell_warm` is the protocol tax a memoized submission pays
+    // over a raw store load.
+    let serve_root =
+        std::env::temp_dir().join(format!("cuttlefish-micro-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&serve_root);
+    let serve_store = Store::with_code_version(serve_root, "micro-bench");
+    {
+        let key = serve_store.key(&cell.store_identity(&HASWELL_2650V3, scale));
+        let (result, timing) = run_cell_timed(&HASWELL_2650V3, scale, &cell);
+        serve_store.commit(&key, &result, &timing).expect("commit");
+    }
+    let server = serve::Server::bind("127.0.0.1:0", serve_store, 1).expect("bind");
+    let client = serve::Client::new(server.local_addr().to_string());
+    let daemon = std::thread::spawn(move || server.run().expect("server runs"));
+    let submission = || {
+        serve::Submission::Cell(Box::new(serve::protocol::CellSubmission {
+            machine: HASWELL_2650V3.clone(),
+            scale,
+            cell: cell.clone(),
+        }))
+    };
+    c.bench_function("serve_submit_hit", |b| {
+        b.iter(|| {
+            black_box(
+                client
+                    .submit_and_fetch(submission())
+                    .expect("warm round trip"),
+            )
+        })
+    });
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon exits cleanly");
 }
 
 fn bench_bsp_superstep(c: &mut Criterion) {

@@ -4,6 +4,9 @@
 //!
 //! * `ls` — list every entry (key, code version, benchmark, label,
 //!   compute wall-clock, size), sorted by key;
+//! * `stats` — aggregate shape: entries, total bytes, distinct code
+//!   versions, hint coverage (the same `bench::store::StoreStats`
+//!   computation the `cuttlefish-serve` daemon reports over the wire);
 //! * `verify` — fully verify every entry (decodable, filename/key
 //!   consistent, result digest intact); exits non-zero if any fail;
 //! * `gc` — remove entries that can never hit under the current code
@@ -17,7 +20,7 @@
 use bench::store::{resolve_root, Store};
 use std::path::PathBuf;
 
-const USAGE: &str = "store <ls|verify|gc|rm> [PREFIX|--all] [--store PATH]";
+const USAGE: &str = "store <ls|stats|verify|gc|rm> [PREFIX|--all] [--store PATH]";
 
 fn main() {
     let mut command = None;
@@ -44,6 +47,7 @@ fn main() {
     let command = command.unwrap_or_else(|| die("missing command"));
     match command.as_str() {
         "ls" => ls(&store),
+        "stats" => stats(&store),
         "verify" => verify(&store),
         "gc" => gc(&store),
         "rm" => rm(&store, operand.as_deref()),
@@ -86,6 +90,24 @@ fn ls(store: &Store) {
         store.root().display(),
         fresh,
         current
+    );
+}
+
+fn stats(store: &Store) {
+    let s = store.stats();
+    println!(
+        "{} entries ({} bytes, {} corrupt) across {} code version(s) at {}",
+        s.entries,
+        s.bytes,
+        s.corrupt,
+        s.code_versions,
+        store.root().display()
+    );
+    println!(
+        "hints: {} file(s), {:.0}% cell coverage (current cv={})",
+        s.hints,
+        s.hint_coverage * 100.0,
+        store.code_version()
     );
 }
 

@@ -38,6 +38,11 @@ use workloads::{hclib_suite, openmp_suite, Benchmark, ProgModel, Scale, Workload
 /// Artifact format tag embedded in every serialized [`GridResult`].
 pub const SCHEMA: &str = "cuttlefish/grid-result/v1";
 
+/// Format tag of the canonical cell-identity document
+/// ([`CellSpec::store_identity`]) — also the declarative cell
+/// submission form the serve daemon accepts.
+pub const CELL_KEY_SCHEMA: &str = "cuttlefish/cell-key/v1";
+
 /// One entry on a grid's setup axis: an execution [`Setup`] with its
 /// Cuttlefish [`Config`], a display label unique within the grid, and
 /// whether cells under it collect a `Tinv`-rate trace.
@@ -627,7 +632,7 @@ impl CellSpec {
     /// artifact always match what a fresh run would embed.
     pub fn store_identity(&self, machine: &MachineSpec, scale: f64) -> Vec<u8> {
         obj(vec![
-            ("schema", Json::Str("cuttlefish/cell-key/v1".into())),
+            ("schema", Json::Str(CELL_KEY_SCHEMA.into())),
             ("machine", machine.to_json()),
             ("scale", Json::Num(scale)),
             ("cell", self.to_json()),

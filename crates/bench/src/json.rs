@@ -118,6 +118,52 @@ impl Json {
         out
     }
 
+    /// Serialize to a deterministic single-line string (no spaces, no
+    /// newline) — the wire form of line-delimited protocols. Parsing a
+    /// compact document and re-emitting it with [`Json::to_pretty`]
+    /// reproduces the pretty bytes exactly (and vice versa): both
+    /// emitters share the same key order and number formatting, so the
+    /// two forms are interchangeable representations of the same value.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                assert!(v.is_finite(), "JSON artifacts must hold finite numbers");
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -433,5 +479,21 @@ mod tests {
     fn escapes_parse_back() {
         let j = Json::parse(r#""aA\t\\\"""#).unwrap();
         assert_eq!(j.as_str().unwrap(), "aA\t\\\"");
+    }
+
+    #[test]
+    fn compact_is_single_line_and_interchangeable_with_pretty() {
+        let compact = doc().to_compact();
+        assert!(!compact.contains('\n'), "wire form must be one line");
+        assert!(!compact.contains(": "), "no pretty separators");
+        let reparsed = Json::parse(&compact).unwrap();
+        assert_eq!(reparsed, doc());
+        // Round-tripping between the two emitters is lossless at the
+        // byte level in both directions.
+        assert_eq!(reparsed.to_pretty(), doc().to_pretty());
+        assert_eq!(
+            Json::parse(&doc().to_pretty()).unwrap().to_compact(),
+            compact
+        );
     }
 }

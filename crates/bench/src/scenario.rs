@@ -739,15 +739,20 @@ impl ScenarioOutcome {
 // artifact codec in `bench::grid`.
 // ---------------------------------------------------------------------
 
-pub(crate) fn obj(fields: Vec<(&str, Json)>) -> Json {
+/// Build a [`Json::Obj`] from `(key, value)` pairs in order. Public
+/// because downstream codecs (the serve protocol, external tools)
+/// compose documents out of the same primitive impls defined here.
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
     Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
 }
 
-pub(crate) fn arr<T: ToJson>(items: &[T]) -> Json {
+/// Build a [`Json::Arr`] by encoding each item.
+pub fn arr<T: ToJson>(items: &[T]) -> Json {
     Json::Arr(items.iter().map(ToJson::to_json).collect())
 }
 
-pub(crate) fn from_arr<T: FromJson>(j: &Json) -> Result<Vec<T>, JsonError> {
+/// Decode a homogeneous array.
+pub fn from_arr<T: FromJson>(j: &Json) -> Result<Vec<T>, JsonError> {
     j.as_arr()?.iter().map(T::from_json).collect()
 }
 

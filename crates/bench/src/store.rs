@@ -132,6 +132,52 @@ pub struct EntryMeta {
     pub bytes: u64,
 }
 
+/// Aggregate shape of a store — the `store stats` subcommand and the
+/// serve daemon's `stats` response share this one computation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StoreStats {
+    /// Decodable entries under `objects/`.
+    pub entries: u64,
+    /// Entry files that failed to decode (still counted in `bytes`).
+    pub corrupt: u64,
+    /// Total bytes of all entry files.
+    pub bytes: u64,
+    /// Distinct code versions across the decodable entries.
+    pub code_versions: u64,
+    /// Wall-clock hint files under `hints/`.
+    pub hints: u64,
+    /// Fraction of the distinct cell identities among decodable
+    /// entries that have a hint (the LPT cost model's coverage);
+    /// `1.0` for an empty store.
+    pub hint_coverage: f64,
+}
+
+impl ToJson for StoreStats {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("entries", Json::Num(self.entries as f64)),
+            ("corrupt", Json::Num(self.corrupt as f64)),
+            ("bytes", Json::Num(self.bytes as f64)),
+            ("code_versions", Json::Num(self.code_versions as f64)),
+            ("hints", Json::Num(self.hints as f64)),
+            ("hint_coverage", Json::Num(self.hint_coverage)),
+        ])
+    }
+}
+
+impl FromJson for StoreStats {
+    fn from_json(j: &Json) -> Result<Self, crate::json::JsonError> {
+        Ok(StoreStats {
+            entries: j.field("entries")?.as_u64()?,
+            corrupt: j.field("corrupt")?.as_u64()?,
+            bytes: j.field("bytes")?.as_u64()?,
+            code_versions: j.field("code_versions")?.as_u64()?,
+            hints: j.field("hints")?.as_u64()?,
+            hint_coverage: j.field("hint_coverage")?.as_f64()?,
+        })
+    }
+}
+
 /// What [`Store::gc`] swept.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GcReport {
@@ -335,7 +381,58 @@ impl Store {
         j.field("wall_ms").and_then(Json::as_f64).ok()
     }
 
-    /// Every entry file under `objects/`, sorted by key.
+    /// Every hint file under `hints/`, sorted by cell digest.
+    pub fn hint_files(&self) -> Vec<PathBuf> {
+        let mut files = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(self.root.join("hints")) {
+            files.extend(
+                entries
+                    .flatten()
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|e| e == "json")),
+            );
+        }
+        files.sort();
+        files
+    }
+
+    /// Aggregate shape of the store: entry/byte counts, distinct code
+    /// versions, and how much of the cell population the LPT wall-clock
+    /// hints cover. One directory sweep, no digest verification.
+    pub fn stats(&self) -> StoreStats {
+        let mut stats = StoreStats::default();
+        let mut versions: std::collections::BTreeSet<String> = Default::default();
+        let mut cells: std::collections::BTreeSet<String> = Default::default();
+        for path in self.entry_files() {
+            stats.bytes += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            match Store::describe(&path) {
+                Ok(meta) => {
+                    stats.entries += 1;
+                    versions.insert(meta.code_version);
+                    cells.insert(meta.cell);
+                }
+                Err(_) => stats.corrupt += 1,
+            }
+        }
+        stats.code_versions = versions.len() as u64;
+        let hinted: std::collections::BTreeSet<String> = self
+            .hint_files()
+            .iter()
+            .filter_map(|p| p.file_stem().and_then(|s| s.to_str()).map(str::to_string))
+            .collect();
+        stats.hints = hinted.len() as u64;
+        stats.hint_coverage = if cells.is_empty() {
+            1.0
+        } else {
+            cells.iter().filter(|c| hinted.contains(*c)).count() as f64 / cells.len() as f64
+        };
+        stats
+    }
+
+    /// Every entry file under `objects/`, sorted by key (the two-hex
+    /// prefix directory is the key's own first two digits, so the
+    /// lexicographic path order *is* ascending key order — `store ls`
+    /// output must not depend on filesystem directory-iteration order).
     pub fn entry_files(&self) -> Vec<PathBuf> {
         let mut files = Vec::new();
         let objects = self.root.join("objects");

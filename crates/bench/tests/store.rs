@@ -223,6 +223,80 @@ fn scenario_path_shares_the_grid_cells() {
 }
 
 #[test]
+fn entry_listing_is_sorted_ascending_by_key() {
+    let store = Store::with_code_version(test_root("ls-sorted"), "cv-test");
+    tiny_spec().run_timed_store(2, Some(&store));
+
+    let files = store.entry_files();
+    assert_eq!(files.len(), 4);
+    let stems: Vec<String> = files
+        .iter()
+        .map(|p| p.file_stem().unwrap().to_str().unwrap().to_string())
+        .collect();
+    let mut sorted = stems.clone();
+    sorted.sort();
+    assert_eq!(stems, sorted, "entry_files must be ascending by key");
+    // The sharding prefix is the key's own first two digits, so path
+    // order *is* key order — the property `store ls` relies on.
+    for (path, stem) in files.iter().zip(&stems) {
+        let prefix = path
+            .parent()
+            .unwrap()
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap();
+        assert_eq!(prefix, &stem[..2]);
+        assert_eq!(store.verify_file(path).unwrap().key, *stem);
+    }
+}
+
+#[test]
+fn stats_reports_entries_versions_and_hint_coverage() {
+    let root = test_root("stats");
+    let v1 = Store::with_code_version(&root, "cv-one");
+    let v2 = Store::with_code_version(&root, "cv-two");
+
+    // Empty store: nothing to cover, coverage is vacuously full.
+    let empty = v1.stats();
+    assert_eq!((empty.entries, empty.corrupt, empty.bytes), (0, 0, 0));
+    assert_eq!((empty.code_versions, empty.hints), (0, 0));
+    assert!((empty.hint_coverage - 1.0).abs() < 1e-12);
+
+    // 2 cells under cv-one + the same 2 of 4 under cv-two: 6 entries,
+    // 2 code versions, 4 distinct identities, each hinted.
+    half_spec().run_timed_store(2, Some(&v1));
+    tiny_spec().run_timed_store(2, Some(&v2));
+    let stats = v1.stats();
+    assert_eq!(stats.entries, 6);
+    assert_eq!(stats.corrupt, 0);
+    assert_eq!(stats.code_versions, 2);
+    assert_eq!(stats.hints, 4);
+    assert!((stats.hint_coverage - 1.0).abs() < 1e-12);
+    let total: u64 = v1
+        .entry_files()
+        .iter()
+        .map(|f| std::fs::metadata(f).unwrap().len())
+        .sum();
+    assert_eq!(stats.bytes, total);
+
+    // Truncating an entry reclassifies it as corrupt (its bytes still
+    // count); dropping a hint file dents the coverage fraction.
+    let files = v1.entry_files();
+    let text = std::fs::read_to_string(&files[0]).unwrap();
+    std::fs::write(&files[0], &text[..text.len() / 2]).unwrap();
+    // Drop the hint of a cell that still decodes (the corrupt entry's
+    // cell leaves the population, so its hint wouldn't dent coverage).
+    let survivor = Store::describe(&files[1]).unwrap().cell;
+    std::fs::remove_file(root.join("hints").join(format!("{survivor}.json"))).unwrap();
+    let dented = v1.stats();
+    assert_eq!(dented.entries + dented.corrupt, 6);
+    assert_eq!(dented.corrupt, 1);
+    assert_eq!(dented.hints, 3);
+    assert!(dented.hint_coverage < 1.0);
+}
+
+#[test]
 fn gc_sweeps_only_entries_of_other_code_versions() {
     let root = test_root("gc");
     let v1 = Store::with_code_version(&root, "cv-one");

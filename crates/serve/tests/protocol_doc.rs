@@ -1,0 +1,80 @@
+//! `docs/SERVE.md` promises that every JSON block it shows is a valid
+//! `cuttlefish/serve/v1` message. This test keeps that promise: each
+//! fenced ```json block is decoded through the protocol codec (blocks
+//! with a `"req"` field as requests, `"resp"` as responses), so a
+//! protocol change that would break the documented examples breaks CI
+//! instead — the same discipline as `docs/GOVERNORS.md`.
+
+use bench::json::{Json, ToJson};
+use serve::protocol::{Request, Response};
+
+/// The fenced ```json blocks of a markdown document, in order.
+fn json_blocks(markdown: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in markdown.lines() {
+        match &mut current {
+            None if line.trim_start().starts_with("```json") => current = Some(String::new()),
+            None => {}
+            Some(block) => {
+                if line.trim_start().starts_with("```") {
+                    blocks.push(current.take().expect("open block"));
+                } else {
+                    block.push_str(line);
+                    block.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```json fence");
+    blocks
+}
+
+#[test]
+fn every_serve_md_snippet_is_a_valid_protocol_message() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/SERVE.md");
+    let text = std::fs::read_to_string(path).expect("docs/SERVE.md exists");
+    let blocks = json_blocks(&text);
+
+    let mut requests = 0usize;
+    let mut responses = 0usize;
+    for (i, block) in blocks.iter().enumerate() {
+        let j = Json::parse(block)
+            .unwrap_or_else(|e| panic!("SERVE.md json block #{i} does not parse: {}", e.0));
+        // Documented messages must also round-trip: what the page
+        // shows is (structurally) what the daemon puts on the wire.
+        let reencoded = if j.get("req").is_some() {
+            requests += 1;
+            serve::protocol::decode::<Request>(block)
+                .unwrap_or_else(|e| {
+                    panic!("SERVE.md json block #{i} is not a valid request: {}", e.0)
+                })
+                .to_json()
+        } else {
+            responses += 1;
+            serve::protocol::decode::<Response>(block)
+                .unwrap_or_else(|e| {
+                    panic!("SERVE.md json block #{i} is not a valid response: {}", e.0)
+                })
+                .to_json()
+        };
+        assert_eq!(reencoded, j, "block #{i} round-trips structurally");
+        // And the wire form is interchangeable with the shown pretty
+        // form — the compact line the daemon actually sends carries
+        // the same document.
+        assert_eq!(
+            Json::parse(&reencoded.to_compact()).expect("compact parses"),
+            reencoded
+        );
+    }
+
+    // The spec documents every request and every response shape.
+    assert!(
+        requests >= 7,
+        "expected one example per request (plus both submit forms), found {requests}"
+    );
+    assert!(
+        responses >= 7,
+        "expected one example per response shape, found {responses}"
+    );
+}
