@@ -67,6 +67,26 @@ stage "bench bins build: release"
 cargo build --release -p bench --bins "$LOCKED"
 cargo build --release -p serve --bins "$LOCKED"
 
+stage "fuzz smoke"
+# Differential six-governor fuzzing over the fixed-seed campaign (see
+# docs/FUZZING.md): zero invariant violations, and the report must be
+# byte-identical regardless of how the cases are sharded across
+# workers — the determinism contract the whole subsystem rests on.
+# (The committed regression corpus itself replays under `cargo test`
+# via the fuzz_regressions test above.)
+FUZZ_DIR=target/fuzz-smoke
+rm -rf "$FUZZ_DIR"
+mkdir -p "$FUZZ_DIR"
+FUZZ_CASES=200
+[[ "$QUICK" -eq 1 ]] && FUZZ_CASES=32
+./target/release/scenario_fuzz --seed 0xC0FFEE --cases "$FUZZ_CASES" \
+  --json "$FUZZ_DIR/campaign.json"
+./target/release/scenario_fuzz --seed 0xC0FFEE --cases 32 --shards 1 \
+  --json "$FUZZ_DIR/shard1.json"
+./target/release/scenario_fuzz --seed 0xC0FFEE --cases 32 --shards 4 \
+  --json "$FUZZ_DIR/shard4.json"
+cmp "$FUZZ_DIR/shard1.json" "$FUZZ_DIR/shard4.json"
+
 stage "scenario file check"
 # Any cell is runnable from a checked-in scenario file without
 # recompiling; the committed expected artifact pins the contract that
@@ -227,6 +247,10 @@ mkdir -p "$SERVE_DIR"
 # pass (fig2) and by the batch scenario path (fig10) alike.
 for scen in scenarios/*.json; do
   [[ "$scen" == *.expected.json ]] && continue
+  # regression-* files are the fuzz corpus (tests/fuzz_regressions.rs),
+  # not figure scenarios: no bin prefix, no expected artifact, and
+  # synthetic workloads are store-refused by design.
+  [[ "$scen" == scenarios/regression-* ]] && continue
   name=$(basename "$scen" .json)
   "./target/release/${name%%-*}" --scenario "$scen" --store "$SMOKE_STORE" \
     --json "$SERVE_DIR/warm-$name.json" >/dev/null
@@ -248,6 +272,7 @@ fi
 SERVE_ADDR=$(cat "$PORT_FILE")
 for scen in scenarios/*.json; do
   [[ "$scen" == *.expected.json ]] && continue
+  [[ "$scen" == scenarios/regression-* ]] && continue
   name=$(basename "$scen" .json)
   stage "serve smoke: $name"
   ./target/release/cuttlefish-serve submit "$scen" \

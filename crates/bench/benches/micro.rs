@@ -345,6 +345,31 @@ fn bench_advance_busy(c: &mut Criterion) {
     });
 }
 
+/// Fuzz-campaign throughput: scenario generation alone, and one full
+/// differential case (pin sweep + all six governors + rotating
+/// stepping/replay twins) — the per-case cost that sizes how many
+/// cases a CI budget buys.
+fn bench_fuzz(c: &mut Criterion) {
+    use bench::fuzz::{all_governors, generate, run_case, Tolerances};
+
+    c.bench_function("fuzz_case_generate", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(generate(bench::HARNESS_SEED, i % 1024))
+        });
+    });
+
+    c.bench_function("fuzz_case_differential", |b| {
+        // A fixed bounded single-node synthetic case, so the number
+        // tracks executor overhead rather than generator luck.
+        let scenario = generate(bench::HARNESS_SEED, 0);
+        let governors = all_governors();
+        let tol = Tolerances::default();
+        b.iter(|| black_box(run_case(0, &scenario, &governors, &tol)));
+    });
+}
+
 criterion_group!(
     benches,
     bench_daemon_tick,
@@ -355,6 +380,7 @@ criterion_group!(
     bench_grid_cell,
     bench_bsp_superstep,
     bench_advance_idle,
-    bench_advance_busy
+    bench_advance_busy,
+    bench_fuzz
 );
 criterion_main!(benches);

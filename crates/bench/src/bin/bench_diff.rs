@@ -22,13 +22,27 @@
 //! pin "a committed cell reproduces bit for bit from JSON alone" —
 //! and tolerance mode bands each cell's seconds/joules.
 //!
-//! Usage: `bench_diff [--exact] [--rel PCT] [--abs-saving PT]
-//!         <baseline.json> <candidate.json>`
+//! A third mode serves the fuzzing workflow's divergence triage:
+//! `--governor-gap` takes two `GridResult` artifacts produced by
+//! *different governors on the same scenario* (e.g. two one-cell
+//! `--scenario` runs, or a fuzz reproducer run twice) and prints the
+//! per-metric gap — seconds, joules, EDP, JPI — instead of treating
+//! the differing cell identity as drift. Cell identity must match
+//! modulo the governor fields (label, setup, config, oracle table);
+//! anything else is a usage error, because then the gap would compare
+//! different experiments, not different governors.
 //!
-//! Exit codes: 0 in-band, 1 out-of-band drift, 2 usage/IO error.
+//! Usage: `bench_diff [--exact | --governor-gap] [--rel PCT]
+//!         [--abs-saving PT] <baseline.json> <candidate.json>`
+//!
+//! Exit codes: 0 in-band, 1 out-of-band drift, 2 usage/IO error
+//! (`--governor-gap` is informational: 0 unless the inputs are not
+//! the same scenario).
 
-use bench::grid::GridResult;
+use bench::grid::{CellResult, GridResult};
 use bench::json::{FromJson, Json, ToJson};
+use bench::Setup;
+use cuttlefish::Config;
 
 struct Tolerance {
     exact: bool,
@@ -45,15 +59,17 @@ fn main() {
         abs_saving_pt: 1.0,
     };
     let mut paths = Vec::new();
+    let mut governor_gap = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--exact" => tol.exact = true,
+            "--governor-gap" => governor_gap = true,
             "--rel" => tol.rel_pct = num_arg(&mut args, "--rel"),
             "--abs-saving" => tol.abs_saving_pt = num_arg(&mut args, "--abs-saving"),
             "--help" | "-h" => {
                 println!(
-                    "bench_diff [--exact] [--rel PCT] [--abs-saving PT] \
+                    "bench_diff [--exact | --governor-gap] [--rel PCT] [--abs-saving PT] \
                      <baseline.json> <candidate.json>"
                 );
                 std::process::exit(0);
@@ -77,6 +93,21 @@ fn main() {
             schema_of(&cand)
         );
         std::process::exit(2);
+    }
+    if governor_gap {
+        if schema_of(&base) != bench::grid::SCHEMA {
+            usage_err("--governor-gap needs two grid-result artifacts");
+        }
+        let parse = |j: &Json, path: &str| {
+            GridResult::from_json(j).unwrap_or_else(|e| {
+                eprintln!("error: {path}: invalid grid-result artifact: {e}");
+                std::process::exit(2);
+            })
+        };
+        if diff_governor_gap(&parse(&base, &paths[0]), &parse(&cand, &paths[1])) {
+            std::process::exit(2);
+        }
+        return;
     }
     let drifted = if schema_of(&base) == bench::grid::SCHEMA {
         diff_grid_results(&base, &cand, &tol)
@@ -200,6 +231,69 @@ fn diff_grid_results(base: &Json, cand: &Json, tol: &Tolerance) -> bool {
         }
     }
     drifted
+}
+
+/// A cell spec with the governor identity neutralized: what must be
+/// equal between two artifacts for a governor gap to be meaningful.
+fn sans_governor(cell: &CellResult) -> bench::grid::CellSpec {
+    let mut spec = cell.spec.clone();
+    spec.label = String::new();
+    spec.setup = Setup::Default;
+    spec.config = Config::default();
+    spec.oracle = None;
+    spec
+}
+
+/// Cross-governor diff of two artifacts over the *same* scenario:
+/// pairs cells by index and prints the per-metric gap (candidate
+/// relative to baseline). Returns true — a usage error — when the
+/// inputs are not the same scenario modulo governor.
+fn diff_governor_gap(base: &GridResult, cand: &GridResult) -> bool {
+    if base.cells.len() != cand.cells.len() || base.cells.is_empty() {
+        eprintln!(
+            "error: --governor-gap needs matching non-empty cell lists \
+             ({} vs {} cells)",
+            base.cells.len(),
+            cand.cells.len()
+        );
+        return true;
+    }
+    for (b, c) in base.cells.iter().zip(&cand.cells) {
+        if sans_governor(b) != sans_governor(c) {
+            eprintln!(
+                "error: {}/{} and {}/{} are not the same scenario modulo \
+                 governor — a gap between them would compare experiments, \
+                 not governors",
+                b.spec.bench, b.spec.label, c.spec.bench, c.spec.label
+            );
+            return true;
+        }
+        let pct = |bv: f64, cv: f64| {
+            if bv == 0.0 {
+                f64::NAN
+            } else {
+                (cv - bv) / bv * 100.0
+            }
+        };
+        println!(
+            "governor gap: {} vs {} on {} ({} node{}, rep {})",
+            b.spec.label,
+            c.spec.label,
+            b.spec.bench,
+            b.spec.nodes,
+            if b.spec.nodes == 1 { "" } else { "s" },
+            b.spec.rep
+        );
+        for (key, bv, cv) in [
+            ("seconds", b.seconds, c.seconds),
+            ("joules", b.joules, c.joules),
+            ("edp", b.edp(), c.edp()),
+            ("jpi", b.jpi(), c.jpi()),
+        ] {
+            println!("  {key:>8}: {bv:.6e} -> {cv:.6e} ({:+.2}%)", pct(bv, cv));
+        }
+    }
+    false
 }
 
 /// Compare the gated (`grids`) sections; returns true on out-of-band
@@ -531,6 +625,75 @@ mod tests {
             }
         ));
         assert!(!diff(&a, &b, &tol()), "but it is inside the 1% band");
+    }
+
+    fn gap_cell(label: &str, setup: Setup, seconds: f64, joules: f64) -> CellResult {
+        CellResult {
+            spec: bench::grid::CellSpec {
+                bench: "Heat-ws".into(),
+                model: workloads::ProgModel::OpenMp,
+                label: label.into(),
+                setup,
+                config: Config::default(),
+                nodes: 1,
+                rep: 0,
+                trace: false,
+                machines: None,
+                bsp: None,
+                oracle: None,
+                stepping: cluster::SteppingMode::default(),
+            },
+            seconds,
+            joules,
+            instructions: 1.0e9,
+            resolved_cf: 0.0,
+            resolved_uf: 0.0,
+            report: vec![],
+            residency: vec![],
+            node_joules: vec![joules],
+            barrier_wait_s: 0.0,
+            trace: vec![],
+        }
+    }
+
+    fn gap_grid(cell: CellResult) -> GridResult {
+        GridResult {
+            grid: "scenario:test".into(),
+            scale: 0.05,
+            machine: "test".into(),
+            cells: vec![cell],
+        }
+    }
+
+    #[test]
+    fn governor_gap_accepts_same_scenario_different_governor() {
+        use simproc::freq::Freq;
+        let a = gap_grid(gap_cell("Default", Setup::Default, 10.0, 1000.0));
+        let b = gap_grid(gap_cell(
+            "Pinned",
+            Setup::Pinned(Freq(14), Freq(24)),
+            11.0,
+            900.0,
+        ));
+        assert!(!diff_governor_gap(&a, &b), "gap mode must accept this pair");
+    }
+
+    #[test]
+    fn governor_gap_rejects_different_scenarios() {
+        let a = gap_grid(gap_cell("Default", Setup::Default, 10.0, 1000.0));
+        let mut other = gap_cell("Default", Setup::Default, 10.0, 1000.0);
+        other.spec.bench = "UTS".into();
+        assert!(diff_governor_gap(&a, &gap_grid(other)), "different bench");
+        let mut reps = gap_cell("Default", Setup::Default, 10.0, 1000.0);
+        reps.spec.rep = 1;
+        assert!(diff_governor_gap(&a, &gap_grid(reps)), "different rep");
+        let empty = GridResult {
+            grid: "scenario:test".into(),
+            scale: 0.05,
+            machine: "test".into(),
+            cells: vec![],
+        };
+        assert!(diff_governor_gap(&empty, &empty), "empty cell lists");
     }
 
     #[test]

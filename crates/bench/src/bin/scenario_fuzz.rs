@@ -1,0 +1,154 @@
+//! Deterministic scenario-fuzz campaign driver: generate `--cases`
+//! scenarios from `--seed`, run each under every `--governors` entry
+//! plus the static pin sweep, and assert the differential invariant
+//! catalogue (docs/FUZZING.md). The JSON report is bit-identical for
+//! a given `(seed, cases, governors)` regardless of `--shards` or
+//! prior runs; exit status 1 signals violations, 2 usage errors.
+//!
+//! With `--shrink`, every violating case is greedily minimized (the
+//! predicate being "run_case still reports a violation") and the
+//! shrunk reproducer is written next to the report — the candidate a
+//! fix turns into a committed `scenarios/regression-*.json`.
+
+use bench::fuzz::{
+    all_governors, parse_governors, run_campaign, run_case, shrink, CampaignConfig, Tolerances,
+};
+
+fn die(usage: &str, msg: &str) -> ! {
+    eprintln!("error: {msg}\n{usage}");
+    std::process::exit(2);
+}
+
+fn die_io(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+const USAGE: &str = "usage: scenario_fuzz [--seed S] [--cases N] [--governors a,b,..] \
+     [--shards N] [--shrink] [--json PATH]
+
+  --seed S          campaign seed, decimal or 0x-hex (default 0xC0FFEE)
+  --cases N         cases to generate (default 200)
+  --governors LIST  comma-separated subset of:
+                    default,cuttlefish,pinned,ondemand,oracle,pid-uncore
+                    (default: all six)
+  --shards N        worker threads (default: available parallelism);
+                    never changes the report bytes
+  --shrink          minimize each violating case and write the shrunk
+                    reproducer beside the report (or ./)
+  --json PATH       write the deterministic campaign report to PATH";
+
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse::<u64>()
+    };
+    parsed.map_err(|e| format!("bad seed `{s}`: {e}"))
+}
+
+fn main() {
+    let mut seed: u64 = bench::HARNESS_SEED;
+    let mut cases: u64 = 200;
+    let mut governors = all_governors();
+    let mut shards = bench::cli::default_shards();
+    let mut do_shrink = false;
+    let mut json_path: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(USAGE, &format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                let v = value("--seed");
+                seed = parse_seed(&v).unwrap_or_else(|e| die(USAGE, &e));
+            }
+            "--cases" => {
+                let v = value("--cases");
+                cases = v
+                    .parse()
+                    .unwrap_or_else(|e| die(USAGE, &format!("bad case count `{v}`: {e}")));
+            }
+            "--governors" => {
+                let v = value("--governors");
+                governors = parse_governors(&v).unwrap_or_else(|e| die(USAGE, &e));
+            }
+            "--shards" => {
+                let v = value("--shards");
+                shards = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die(USAGE, &format!("bad shard count `{v}`")));
+            }
+            "--shrink" => do_shrink = true,
+            "--json" => json_path = Some(value("--json")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(USAGE, &format!("unknown flag `{other}`")),
+        }
+    }
+
+    let config = CampaignConfig {
+        seed,
+        cases,
+        governors,
+        shards,
+        tol: Tolerances::default(),
+    };
+    let start = std::time::Instant::now();
+    let campaign = run_campaign(&config);
+    let wall = start.elapsed();
+
+    for case in &campaign.outcomes {
+        for v in &case.violations {
+            eprintln!(
+                "case {}: [{}] governor {}: {}",
+                case.index, v.invariant, v.governor, v.detail
+            );
+        }
+    }
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, campaign.to_json_string())
+            .unwrap_or_else(|e| die_io(&format!("writing {path}: {e}")));
+        eprintln!("report: {path}");
+    }
+
+    let violations = campaign.violation_count();
+    if do_shrink && violations > 0 {
+        let dir = json_path
+            .as_deref()
+            .and_then(|p| std::path::Path::new(p).parent())
+            .filter(|p| !p.as_os_str().is_empty())
+            .map(|p| p.to_path_buf())
+            .unwrap_or_else(|| std::path::PathBuf::from("."));
+        for case in campaign.outcomes.iter().filter(|c| !c.clean()) {
+            let mut failing = |s: &bench::scenario::Scenario| {
+                !run_case(case.index, s, &config.governors, &config.tol).clean()
+            };
+            let shrunk = shrink(&case.scenario, &mut failing);
+            let path = dir.join(format!("regression-candidate-{:04}.json", case.index));
+            std::fs::write(&path, shrunk.to_json_string())
+                .unwrap_or_else(|e| die_io(&format!("writing {}: {e}", path.display())));
+            eprintln!("case {}: shrunk reproducer: {}", case.index, path.display());
+        }
+    }
+
+    println!(
+        "fuzz: seed {seed:#x}, {} cases x {} governors, {violations} violations, {:.1}s",
+        campaign.config.cases,
+        campaign.config.governors.len(),
+        wall.as_secs_f64()
+    );
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

@@ -13,6 +13,7 @@ use cuttlefish::{Config, Policy};
 use simproc::freq::Freq;
 
 pub mod cli;
+pub mod fuzz;
 pub mod grid;
 pub mod json;
 pub mod scenario;

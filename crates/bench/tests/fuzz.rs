@@ -1,0 +1,424 @@
+//! Integration suite for the scenario-fuzz subsystem: generator
+//! validity (every generated scenario is valid, codec-lossless, and
+//! store-addressable or refused with the grid path's diagnostics),
+//! campaign determinism across shard counts, oracle wiring through
+//! `run_case`, a deliberately broken controller the stepping-
+//! equivalence oracle must catch, and shrinker soundness/minimality.
+
+use bench::fuzz::{
+    all_governors, fingerprint, generate, proc_fingerprint, run_campaign, run_case, shrink,
+    shrink_candidates, CampaignConfig, Tolerances,
+};
+use bench::grid::scenario_cell;
+use bench::scenario::{Scenario, Topology};
+use cluster::SteppingMode;
+use cuttlefish::controller::{drive, FrequencyController};
+use cuttlefish::daemon::NodeReport;
+use simproc::freq::HASWELL_2650V3;
+use simproc::SimProcessor;
+use workloads::{ChunkPhase, SyntheticSpec, WorkloadSpec};
+
+const SEED: u64 = 0xC0FFEE;
+
+// ---------------------------------------------------------------------------
+// Generator validity (satellite: every scenario valid + codec-lossless
+// + store-addressable-or-refused)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn generated_scenarios_are_valid_and_codec_lossless() {
+    for i in 0..300 {
+        let s = generate(SEED, i);
+        s.validate()
+            .unwrap_or_else(|e| panic!("case {i} invalid: {e}\n{}", s.to_json_string()));
+        let json = s.to_json_string();
+        let parsed = Scenario::from_json_str(&json)
+            .unwrap_or_else(|e| panic!("case {i} failed to parse: {e}"));
+        assert_eq!(parsed, s, "case {i}: decoded scenario differs");
+        assert_eq!(
+            parsed.to_json_string(),
+            json,
+            "case {i}: re-serialization is not byte-identical"
+        );
+    }
+}
+
+#[test]
+fn generated_scenarios_are_store_addressable_or_refused_with_diagnostics() {
+    // The grid path refuses exactly the scenario shapes a
+    // content-addressed artifact cannot carry; everything else must
+    // map to a cell. Any other error message is a generator or
+    // validation bug.
+    let recognized = [
+        "scenario seed is not a harness repetition seed",
+        "synthetic workloads cannot be embedded in a grid artifact",
+        "per-node policies cannot be embedded in a grid artifact",
+        "BSP weights cannot be embedded in a grid artifact",
+    ];
+    let (mut cells, mut refusals) = (0, 0);
+    for i in 0..300 {
+        let s = generate(SEED, i);
+        match scenario_cell(&s) {
+            Ok(_) => cells += 1,
+            Err(e) => {
+                assert!(
+                    recognized.iter().any(|r| e.starts_with(r)),
+                    "case {i}: unrecognized refusal: {e}"
+                );
+                refusals += 1;
+            }
+        }
+    }
+    assert!(cells > 0, "some generated cases must be store-addressable");
+    assert!(refusals > 0, "some cases must exercise the refusal path");
+}
+
+#[test]
+fn generator_covers_the_space() {
+    let mut single = 0;
+    let mut replicated = 0;
+    let mut bsp = 0;
+    let mut lockstep = 0;
+    let mut benches = 0;
+    let mut endless = 0;
+    let mut traced = 0;
+    let mut capped = 0;
+    let mut weighted = 0;
+    let mut non_harness_seed = 0;
+    let mut machines = std::collections::BTreeSet::new();
+    for i in 0..400 {
+        let s = generate(SEED, i);
+        match &s.topology {
+            Topology::SingleNode => single += 1,
+            Topology::Replicated => replicated += 1,
+            Topology::Bsp { weights, .. } => {
+                bsp += 1;
+                if !weights.is_empty() {
+                    weighted += 1;
+                }
+            }
+        }
+        if s.stepping == SteppingMode::Lockstep {
+            lockstep += 1;
+        }
+        match &s.workload {
+            WorkloadSpec::Bench { .. } => benches += 1,
+            WorkloadSpec::Synthetic(spec) => {
+                if spec.total_chunks.is_none() {
+                    endless += 1;
+                }
+            }
+        }
+        if s.trace {
+            traced += 1;
+        }
+        if s.duration_s.is_some() {
+            capped += 1;
+        }
+        let rep_seeds: Vec<u64> = (0..4).map(|r| bench::HARNESS_SEED ^ (r << 32)).collect();
+        if !rep_seeds.contains(&s.seed) {
+            non_harness_seed += 1;
+        }
+        for (m, _) in &s.nodes {
+            machines.insert(m.name.clone());
+        }
+    }
+    assert!(single > 0 && replicated > 0 && bsp > 0, "all topologies");
+    assert!(lockstep > 0, "lockstep cases");
+    assert!(benches > 0, "benchmark-backed cases");
+    assert!(endless > 0, "endless streams");
+    assert!(traced > 0, "traced cases");
+    assert!(capped > 0, "duration-capped cases");
+    assert!(weighted > 0, "weighted BSP cases");
+    assert!(non_harness_seed > 0, "non-harness seeds");
+    assert!(machines.len() >= 3, "machine variety: {machines:?}");
+}
+
+#[test]
+fn generation_is_index_addressed() {
+    // Case i depends only on (seed, i): generating out of order or in
+    // isolation yields the same scenario — the property shard
+    // invariance rests on.
+    let forward: Vec<Scenario> = (0..20).map(|i| generate(SEED, i)).collect();
+    let backward: Vec<Scenario> = (0..20).rev().map(|i| generate(SEED, i)).collect();
+    for (i, s) in forward.iter().enumerate() {
+        assert_eq!(*s, backward[19 - i], "case {i}");
+    }
+    assert_ne!(forward[0], generate(SEED + 1, 0), "seed must matter");
+}
+
+// ---------------------------------------------------------------------------
+// Campaign determinism + clean fixed-seed run
+// ---------------------------------------------------------------------------
+
+#[test]
+fn campaign_report_is_bit_identical_across_shard_counts() {
+    let config = |shards| CampaignConfig {
+        seed: SEED,
+        cases: 6,
+        governors: all_governors(),
+        shards,
+        tol: Tolerances::default(),
+    };
+    let a = run_campaign(&config(1));
+    let b = run_campaign(&config(3));
+    assert_eq!(a.violation_count(), 0, "fixed-seed campaign must be clean");
+    assert_eq!(
+        a.to_json_string(),
+        b.to_json_string(),
+        "report bytes must not depend on shard count"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Oracle wiring through run_case (satellite: invariant oracles fire)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn absurd_tolerances_make_the_envelope_and_slowdown_oracles_fire() {
+    // Shrinking the envelope to 1% of the measured band and the
+    // slowdown bound to ~0 must flag every governor — proving
+    // run_case actually wires the oracles to real runs.
+    let tol = Tolerances {
+        envelope_below: -0.99,
+        envelope_above: -0.99,
+        slowdown_headroom: -0.999,
+    };
+    let s = generate(SEED, 0);
+    assert!(matches!(s.topology, Topology::SingleNode));
+    let out = run_case(0, &s, &all_governors(), &tol);
+    assert!(
+        out.violations
+            .iter()
+            .any(|v| v.invariant == "energy-envelope"),
+        "envelope oracle must fire: {:?}",
+        out.violations
+    );
+    assert!(
+        out.violations.iter().any(|v| v.invariant == "slowdown"),
+        "slowdown oracle must fire: {:?}",
+        out.violations
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Broken controller (satellite: a capacity-contract violation is
+// exactly what the stepping-equivalence oracle detects)
+// ---------------------------------------------------------------------------
+
+/// A controller that toggles the core frequency every quantum but
+/// *lies* about its busy fast-forward capacity, claiming an unbounded
+/// runway. The event-driven loop then skips the toggles the
+/// per-quantum reference performs — the observation streams diverge,
+/// and the stepping-equivalence oracle must catch it.
+struct OvercommitController;
+
+impl FrequencyController for OvercommitController {
+    fn on_quantum(&mut self, proc: &mut SimProcessor) {
+        let (lo, hi) = (proc.spec().core.min(), proc.spec().core.max());
+        let next = if proc.core_freq() == lo { hi } else { lo };
+        proc.set_core_freq(next);
+    }
+
+    fn report(&self) -> Vec<NodeReport> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "broken-overcommit"
+    }
+
+    fn busy_quanta_capacity(&self, _proc: &SimProcessor, _horizon: u64) -> u64 {
+        // The lie: claim a schedule-proven runway (the Pinned-style
+        // beyond-horizon grant) although on_quantum is anything but a
+        // no-op over it.
+        50
+    }
+}
+
+#[test]
+fn stepping_equivalence_oracle_catches_a_dishonest_capacity() {
+    let spec = SyntheticSpec {
+        phases: vec![ChunkPhase {
+            chunks: 2,
+            instructions: 6_000_000,
+            misses_local: 56_000,
+            misses_remote: 8_000,
+            cpi: 0.55,
+            mlp: 12.0,
+        }],
+        total_chunks: Some(40),
+    };
+    let run = |event: bool| {
+        let mut proc = SimProcessor::new(HASWELL_2650V3.clone());
+        let mut wl = WorkloadSpec::Synthetic(spec.clone()).build(proc.spec().n_cores, SEED);
+        let mut ctrl = OvercommitController;
+        let (t0, e0) = (proc.now_ns(), proc.total_energy_joules());
+        if event {
+            drive(&mut proc, wl.as_mut(), &mut ctrl);
+        } else {
+            while !proc.workload_drained(wl.as_mut()) {
+                proc.step(wl.as_mut());
+                ctrl.on_quantum(&mut proc);
+            }
+        }
+        proc_fingerprint(&proc, t0, e0)
+    };
+    let event = run(true);
+    let stepped = run(false);
+    assert_ne!(
+        event, stepped,
+        "an over-granted busy capacity must diverge from the per-quantum \
+         reference — this inequality is what the stepping-equivalence \
+         oracle asserts the absence of"
+    );
+    // Sanity: the honest shipped governors do NOT diverge on the same
+    // workload (the oracle stays quiet where it should).
+    let scenario = Scenario::synthetic(spec.clone())
+        .label("honest-twin")
+        .node(&HASWELL_2650V3, cuttlefish::controller::NodePolicy::Default)
+        .seed(SEED)
+        .build();
+    let honest_event = fingerprint(&scenario.run());
+    let honest_stepped = bench::fuzz::stepped_fingerprint(&scenario).unwrap();
+    assert_eq!(
+        honest_event, honest_stepped,
+        "Default must be bit-identical"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Shrinker (satellite: output still fails, and is minimal-ish)
+// ---------------------------------------------------------------------------
+
+fn big_scenario() -> Scenario {
+    // A deliberately baroque starting point: 4-node weighted BSP,
+    // lockstep, three phases, non-harness seed.
+    let s = generate(SEED, 7);
+    let mut s = s;
+    s.nodes = (0..4)
+        .map(|_| {
+            (
+                HASWELL_2650V3.clone(),
+                cuttlefish::controller::NodePolicy::Default,
+            )
+        })
+        .collect();
+    s.topology = Topology::Bsp {
+        supersteps: 6,
+        comm_bytes: 4.0e6,
+        weights: vec![2, 1, 1, 1],
+    };
+    s.workload = WorkloadSpec::Synthetic(SyntheticSpec {
+        phases: vec![
+            ChunkPhase {
+                chunks: 3,
+                instructions: 51_111_100,
+                misses_local: 56_000,
+                misses_remote: 8_000,
+                cpi: 0.55,
+                mlp: 12.0,
+            },
+            ChunkPhase {
+                chunks: 2,
+                instructions: 2_555_000,
+                misses_local: 1_000,
+                misses_remote: 0,
+                cpi: 0.9,
+                mlp: 4.0,
+            },
+            ChunkPhase {
+                chunks: 1,
+                instructions: 400_000,
+                misses_local: 0,
+                misses_remote: 0,
+                cpi: 0.9,
+                mlp: 4.0,
+            },
+        ],
+        total_chunks: Some(120),
+    });
+    s.stepping = SteppingMode::Lockstep;
+    s.seed = 123_456_789;
+    s.validate().unwrap();
+    s
+}
+
+#[test]
+fn shrinker_output_still_fails_and_is_minimal() {
+    // Structural predicate: "at least 2 nodes". The shrinker must
+    // keep it true at every accepted step, and at the fixpoint no
+    // single candidate may still satisfy it (minimality) while every
+    // magnitude floor has been ground down.
+    let pred = |s: &Scenario| s.nodes.len() >= 2;
+    let start = big_scenario();
+    assert!(pred(&start));
+    let shrunk = shrink(&start, &mut |s| pred(s));
+    assert!(pred(&shrunk), "shrunk scenario must still fail");
+    assert_eq!(shrunk.nodes.len(), 2, "node count ground to the floor");
+    for c in shrink_candidates(&shrunk) {
+        assert!(
+            !pred(&c),
+            "not minimal: a one-step candidate still fails: {}",
+            c.to_json_string()
+        );
+    }
+    // Deterministic: same input, same predicate, same output.
+    let again = shrink(&start, &mut |s| pred(s));
+    assert_eq!(shrunk, again);
+    // And the simplifications actually landed.
+    assert!(matches!(
+        shrunk.topology,
+        Topology::SingleNode | Topology::Replicated | Topology::Bsp { .. }
+    ));
+    assert_eq!(shrunk.stepping, SteppingMode::default());
+    assert_eq!(shrunk.seed, bench::HARNESS_SEED);
+}
+
+#[test]
+fn shrinker_with_a_real_run_case_predicate() {
+    // Drive the shrinker with the executor itself as the predicate
+    // (absurd tolerances make every case "fail"): the output must
+    // still fail the same predicate — the exact workflow --shrink
+    // runs on a real violation.
+    let tol = Tolerances {
+        envelope_below: -0.99,
+        envelope_above: -0.99,
+        slowdown_headroom: 0.10,
+    };
+    let governors = vec!["default".to_string(), "pinned".to_string()];
+    let base = {
+        // Small bounded single-node synthetic so the debug-mode runs
+        // stay cheap.
+        let mut s = generate(SEED, 0);
+        assert!(matches!(s.topology, Topology::SingleNode));
+        if let WorkloadSpec::Synthetic(spec) = &mut s.workload {
+            spec.total_chunks = Some(24);
+        }
+        s
+    };
+    let mut failing = |s: &Scenario| !run_case(0, s, &governors, &tol).clean();
+    assert!(failing(&base), "the predicate must fail on the base case");
+    let shrunk = shrink(&base, &mut failing);
+    assert!(
+        failing(&shrunk),
+        "shrunk output must still fail the original predicate"
+    );
+}
+
+#[test]
+fn shrink_candidates_are_valid_and_strictly_simpler() {
+    let start = big_scenario();
+    let candidates = shrink_candidates(&start);
+    assert!(!candidates.is_empty());
+    for c in &candidates {
+        c.validate().expect("candidates must stay valid");
+        assert_ne!(*c, start, "candidates must differ from the input");
+    }
+    // No duplicates (keeps the greedy walk deterministic and short).
+    for (i, a) in candidates.iter().enumerate() {
+        for b in &candidates[i + 1..] {
+            assert_ne!(a, b, "duplicate shrink candidate");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! `docs/FUZZING.md` promises that every JSON block it shows is a
+//! runnable scenario file (campaign-report excerpts use ```text
+//! fences precisely so this stays true). This test keeps the promise
+//! the same way `governors_doc.rs` does for the governor guide: each
+//! fenced ```json block must decode through the
+//! `cuttlefish/scenario/v1` codec, validate, and round-trip.
+
+use bench::scenario::Scenario;
+
+/// The fenced ```json blocks of a markdown document, in order.
+fn json_blocks(markdown: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in markdown.lines() {
+        match &mut current {
+            None if line.trim_start().starts_with("```json") => current = Some(String::new()),
+            None => {}
+            Some(block) => {
+                if line.trim_start().starts_with("```") {
+                    blocks.push(current.take().expect("open block"));
+                } else {
+                    block.push_str(line);
+                    block.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```json fence");
+    blocks
+}
+
+#[test]
+fn every_fuzzing_md_snippet_is_a_valid_scenario() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/FUZZING.md");
+    let text = std::fs::read_to_string(path).expect("docs/FUZZING.md exists");
+    let blocks = json_blocks(&text);
+    // At least the generated-case example and the seed corpus entry.
+    assert!(
+        blocks.len() >= 2,
+        "expected the generated-case and seed-corpus snippets, found {}",
+        blocks.len()
+    );
+    let mut scenarios = Vec::new();
+    for (i, block) in blocks.iter().enumerate() {
+        let scenario = Scenario::from_json_str(block).unwrap_or_else(|e| {
+            panic!("FUZZING.md json block #{i} is not a valid scenario: {e}\n{block}")
+        });
+        scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("FUZZING.md json block #{i} does not validate: {e}"));
+        let reparsed = Scenario::from_json_str(&scenario.to_json_string()).expect("round-trips");
+        assert_eq!(reparsed, scenario, "snippet #{i} round-trips losslessly");
+        scenarios.push(scenario);
+    }
+    // The documented seed-corpus snippet must be the committed file,
+    // not a paraphrase of it.
+    let committed = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/regression-0001-tinv-lockstep-mixed-fleet.json"
+    ))
+    .expect("committed seed corpus entry");
+    let committed = Scenario::from_json_str(&committed).expect("committed entry parses");
+    assert!(
+        scenarios.contains(&committed),
+        "FUZZING.md must show the committed regression-0001 entry verbatim"
+    );
+}

@@ -1,0 +1,126 @@
+//! Forever-replay of the committed fuzz regression corpus: every
+//! `scenarios/regression-*.json` must parse, re-serialize to the
+//! exact committed bytes, pass the full differential invariant
+//! catalogue under all six governors, and reproduce bit-identically
+//! run to run. A shrunk reproducer joins the corpus via the triage
+//! workflow in docs/FUZZING.md; once here, it is pinned for good.
+
+use bench::fuzz::{all_governors, execute, run_case, Tolerances};
+use bench::grid::straggler_spec;
+use bench::scenario::Scenario;
+use bench::HARNESS_SEED;
+use cluster::SteppingMode;
+use cuttlefish::controller::NodePolicy;
+use simproc::freq::HASWELL_2650V3;
+use std::path::PathBuf;
+use workloads::{ChunkPhase, SyntheticSpec};
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn regression_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ directory")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("regression-") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// The seed corpus entry: a `Tinv`-cadence two-phase stream on a
+/// mixed Haswell + straggler lockstep BSP fleet — the adversarial
+/// shape most of the fast-forward regressions of PRs 3–7 shared,
+/// pinned from development. (Real shrunk failures join it via the
+/// triage workflow; regenerate with
+/// `cargo test -p bench --test fuzz_regressions -- --ignored`.)
+fn regression_0001() -> Scenario {
+    Scenario::synthetic(SyntheticSpec {
+        phases: vec![
+            ChunkPhase {
+                chunks: 1,
+                instructions: 51_111_100,
+                misses_local: 56_000,
+                misses_remote: 8_000,
+                cpi: 0.55,
+                mlp: 12.0,
+            },
+            ChunkPhase {
+                chunks: 1,
+                instructions: 51_110_980,
+                misses_local: 1_000,
+                misses_remote: 0,
+                cpi: 0.9,
+                mlp: 4.0,
+            },
+        ],
+        total_chunks: Some(40),
+    })
+    .label("regression-0001-tinv-lockstep-mixed-fleet")
+    .node(&HASWELL_2650V3, NodePolicy::Default)
+    .node(&straggler_spec(), NodePolicy::Default)
+    .bsp(2, 1.0e6)
+    .seed(HARNESS_SEED)
+    .stepping(SteppingMode::Lockstep)
+    .build()
+}
+
+#[test]
+fn fuzz_regressions_replay_forever() {
+    let files = regression_files();
+    assert!(
+        !files.is_empty(),
+        "the committed corpus must contain at least the seed entry"
+    );
+    for path in files {
+        let bytes = std::fs::read_to_string(&path).unwrap();
+        let scenario =
+            Scenario::from_json_str(&bytes).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            scenario.to_json_string(),
+            bytes,
+            "{}: committed bytes must be the canonical serialization",
+            path.display()
+        );
+        let outcome = run_case(0, &scenario, &all_governors(), &Tolerances::default());
+        assert!(
+            outcome.clean(),
+            "{}: regression must stay fixed, got {:?}",
+            path.display(),
+            outcome.violations
+        );
+        let a = execute(&scenario).unwrap();
+        let b = execute(&scenario).unwrap();
+        assert_eq!(a, b, "{}: replay must be bit-identical", path.display());
+    }
+}
+
+#[test]
+fn seed_corpus_entry_matches_its_generator() {
+    // The committed file is exactly what the ignored writer emits —
+    // drift in either direction fails here first.
+    let path = scenarios_dir().join("regression-0001-tinv-lockstep-mixed-fleet.json");
+    let bytes = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e} (run the ignored writer test)", path.display()));
+    assert_eq!(bytes, regression_0001().to_json_string());
+}
+
+/// Regenerates the seed corpus file. Run manually:
+/// `cargo test -p bench --test fuzz_regressions -- --ignored`.
+#[test]
+#[ignore = "writes into scenarios/; run explicitly to (re)generate the seed corpus"]
+fn write_seed_corpus_entry() {
+    let s = regression_0001();
+    s.validate().unwrap();
+    let path = scenarios_dir().join("regression-0001-tinv-lockstep-mixed-fleet.json");
+    std::fs::write(&path, s.to_json_string()).unwrap();
+}
